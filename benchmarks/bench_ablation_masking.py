@@ -1,0 +1,12 @@
+"""Ablation A1 — claim-value masking (Figure 2 motivation)."""
+
+from repro.experiments.ablations import ablate_masking, format_outcomes
+
+
+def test_ablation_masking(one_round):
+    outcomes = one_round(ablate_masking, fast=False)
+    print()
+    print(format_outcomes("A1 — masking ablation", outcomes))
+    masked, unmasked = outcomes
+    # Without masking the model echoes the claimed value: recall collapses.
+    assert unmasked.recall < masked.recall - 30

@@ -1,0 +1,14 @@
+"""Ablation A2 — few-shot sample harvesting (Algorithm 1)."""
+
+from repro.experiments.ablations import ablate_samples, format_outcomes
+
+
+def test_ablation_samples(one_round):
+    outcomes = one_round(ablate_samples, fast=False)
+    print()
+    print(format_outcomes("A2 — few-shot sample ablation", outcomes))
+    with_samples, without = outcomes
+    # Samples lift translation success: without them more claims fail
+    # everywhere and fall back to wrong verdicts.
+    assert with_samples.f1 > without.f1
+    assert with_samples.cost < without.cost * 1.5

@@ -1,0 +1,17 @@
+"""Ablation A4 — DP scheduling (Algorithm 10) vs fixed orders."""
+
+from repro.experiments.ablations import ablate_scheduler, format_outcomes
+
+
+def test_ablation_scheduler(one_round):
+    outcomes = one_round(ablate_scheduler, fast=False)
+    print()
+    print(format_outcomes("A4 — scheduler ablation", outcomes))
+    by_label = {o.label: o for o in outcomes}
+    dp = by_label["DP schedule (Algorithm 10)"]
+    expensive_first = by_label["expensive-first"]
+    cheap_only = by_label["cheapest method only x3"]
+    # The DP order is far cheaper than expensive-first at similar quality,
+    # and more accurate than the cheap-only degenerate schedule.
+    assert dp.cost < expensive_first.cost / 3
+    assert dp.f1 >= cheap_only.f1

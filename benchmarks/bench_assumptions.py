@@ -1,0 +1,20 @@
+"""Extended-report experiment — cost of the independence assumptions."""
+
+from repro.experiments.assumptions import (
+    format_assumptions,
+    run_assumptions,
+)
+
+
+def test_assumptions(one_round):
+    result = one_round(run_assumptions)
+    print()
+    print(format_assumptions(result))
+    # Single tries are estimated well; retry ladders are optimistic
+    # (correlated failures), yet the model stays usable for scheduling —
+    # the extended report's conclusion.
+    single = result.points[0]
+    assert abs(single.accuracy_gap) < 0.15
+    ladder = result.points[1]
+    assert ladder.accuracy_gap > 0.0
+    assert result.mean_accuracy_gap < 0.35

@@ -1,0 +1,13 @@
+"""Benchmark E2 — regenerate the Section 7.2 cost figures."""
+
+from repro.experiments.costs import format_costs, run_costs
+
+
+def test_costs(one_round):
+    result = one_round(run_costs)
+    print()
+    print(format_costs(result))
+    per_claim = {r.dataset: r.cost_per_claim for r in result.rows}
+    # The paper's per-claim cost ordering: AggChecker > WikiText > TabFact.
+    assert per_claim["AggChecker"] > per_claim["TabFact"]
+    assert per_claim["WikiText"] > per_claim["TabFact"]

@@ -1,0 +1,12 @@
+"""Benchmark E4 + E8 — regenerate paper Figure 6 (unit conversions)."""
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+
+def test_figure6(one_round):
+    result = one_round(run_figure6)
+    print()
+    print(format_figure6(result))
+    assert result.aligned_f1 >= 80.0
+    # Conversions cost some F1 but do not collapse it (paper: 94.7->88.9).
+    assert result.converted_f1 >= result.aligned_f1 - 30.0

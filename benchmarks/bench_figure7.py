@@ -1,0 +1,12 @@
+"""Benchmark E7 — regenerate paper Figure 7 (cross-domain profiling)."""
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+
+def test_figure7(one_round):
+    result = one_round(run_figure7)
+    print()
+    print(format_figure7(result))
+    # Paper: limited generalisation penalty — ~80% of cases stay under
+    # 2x cost overhead and 0.1 F1 loss.
+    assert result.within_paper_bounds() >= 0.75

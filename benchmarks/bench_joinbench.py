@@ -1,0 +1,13 @@
+"""Benchmark E6 — regenerate the Section 7.3.2 JoinBench comparison."""
+
+from repro.experiments.joinbench_exp import format_joinbench, run_joinbench
+
+
+def test_joinbench(one_round):
+    result = one_round(run_joinbench)
+    print()
+    print(format_joinbench(result))
+    assert result.table_total == 23
+    # The paper's shape: quality holds, cost multiplies (~3x).
+    assert result.flat_f1 >= 85.0
+    assert 1.5 < result.cost_ratio < 8.0

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the substrates (SQL engine, embeddings, LLM sim).
+
+These are true timing benchmarks (many rounds), useful for catching
+performance regressions in the engine that all experiments sit on.
+"""
+
+import random
+
+from repro.datasets import generate_database
+from repro.datasets.themes import AIRLINE_SAFETY
+from repro.embeddings import MiniSimLM
+from repro.sqlengine import Engine, parse_select
+
+
+def test_engine_aggregate_query(benchmark):
+    database = generate_database(AIRLINE_SAFETY, random.Random(0))
+    engine = Engine(database)
+    sql = ('SELECT "region", SUM("incidents") FROM "airlinesafety" '
+           'GROUP BY "region" ORDER BY 2 DESC')
+    result = benchmark(engine.execute, sql)
+    assert result.rows
+
+
+def test_engine_percent_query(benchmark):
+    database = generate_database(AIRLINE_SAFETY, random.Random(1))
+    engine = Engine(database)
+    sql = ('SELECT (SELECT COUNT("airline") FROM "airlinesafety" '
+           "WHERE \"region\" = 'Europe') * 100.0 / "
+           '(SELECT COUNT("airline") FROM "airlinesafety")')
+    value = benchmark(engine.execute_scalar, sql)
+    assert value is not None
+
+
+def test_parser_throughput(benchmark):
+    sql = ('SELECT "a", SUM("b") FROM "t" WHERE "c" = \'x\' AND "d" > 5 '
+           'GROUP BY "a" HAVING COUNT(*) > 1 ORDER BY 2 DESC LIMIT 3')
+    statement = benchmark(parse_select, sql)
+    assert statement.group_by
+
+
+def test_embedding_similarity(benchmark):
+    model = MiniSimLM()
+    texts = [f"Entity number {i} of the benchmark" for i in range(50)]
+
+    def encode_all():
+        model._cache.clear()
+        return [model.encode(t) for t in texts]
+
+    vectors = benchmark(encode_all)
+    assert len(vectors) == 50

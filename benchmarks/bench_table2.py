@@ -1,0 +1,19 @@
+"""Benchmark E1 — regenerate paper Table 2 (quality vs baselines)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2(one_round):
+    result = one_round(run_table2)
+    print()
+    print(format_table2(result))
+    # Headline orderings from the paper must hold.
+    for dataset in result.datasets:
+        cedar = result.cells[(dataset, "CEDAR")].f1
+        rivals = [
+            result.cells[(dataset, s)].f1
+            for s in result.systems[1:]
+            if result.cells[(dataset, s)].supported
+        ]
+        assert cedar >= max(rivals), dataset
+    assert result.cells[("AggChecker", "TAPEX")].recall == 0.0

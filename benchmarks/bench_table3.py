@@ -1,0 +1,14 @@
+"""Benchmark E5 — regenerate paper Table 3 (query complexity)."""
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3(one_round):
+    result = one_round(run_table3)
+    print()
+    print(format_table3(result))
+    stats = result.stats
+    assert stats["JoinBench"].avg_joins > 0.3
+    assert stats["AggChecker"].avg_joins == 0
+    assert stats["WikiText"].avg_group_by > 0
+    assert stats["TabFact"].avg_subqueries < stats["AggChecker"].avg_subqueries

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the report, so ``pytest benchmarks/ --benchmark-only`` doubles as
+the full reproduction run. Heavy experiments run one round.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def one_round(benchmark):
+    """Run the benchmarked callable exactly once (experiments are heavy)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,106 @@
+"""Fact-check claims against your own CSV file.
+
+The realistic adoption path: a data file on disk, a paragraph of prose
+making claims about it. This example writes a small CSV, loads it with
+column-wise type sniffing, defines claims over it, and verifies them.
+
+With network access you would pass an
+:class:`repro.llm.OpenAIChatClient` to the methods instead of the
+simulated client — nothing else changes.
+
+Run with::
+
+    python examples/csv_factcheck.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import (
+    Claim,
+    Document,
+    MultiStageVerifier,
+    OneShotMethod,
+    ScheduleEntry,
+    Span,
+    mask_claim,
+)
+from repro.llm import ClaimKnowledge, ClaimWorld, CostLedger, SimulatedLLM
+from repro.sqlengine import Database, load_csv
+
+CSV_CONTENT = """\
+city,region,violent_crimes,population_k
+Chicago,Midwest,24000,2746
+Houston,South,16500,2304
+Phoenix,West,7800,1608
+Philadelphia,Northeast,14800,1603
+Seattle,West,5200,737
+"""
+
+ARTICLE = (
+    "Crime statistics for the five largest tracked cities were released "
+    "this week. {s0} {s1} Experts cautioned against year-on-year "
+    "comparisons."
+)
+
+SENTENCES = [
+    # Correct: Chicago's number is 24000.
+    ("Chicago reported 24,000 violent crimes last year.", Span(2, 2),
+     'SELECT "violent_crimes" FROM "crime" WHERE "city" = \'Chicago\''),
+    # Incorrect: the true total is 68300.
+    ("Across all five cities, 75,000 violent crimes were recorded.",
+     Span(4, 4), 'SELECT SUM("violent_crimes") FROM "crime"'),
+]
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "crime.csv"
+        csv_path.write_text(CSV_CONTENT)
+
+        table = load_csv(csv_path)  # types sniffed column-wise
+        print(f"Loaded {table.name}: {table.column_names}, "
+              f"{len(table)} rows")
+        database = Database("crime-data")
+        database.add(table)
+
+        claims = []
+        for sentence, span, _ in SENTENCES:
+            context = ARTICLE.format(
+                s0=SENTENCES[0][0], s1=SENTENCES[1][0]
+            )
+            claims.append(Claim(sentence, span, context))
+        document = Document("crime-article", claims, database)
+
+        # Offline only: teach the simulated model the reference
+        # translations. With OpenAIChatClient this block disappears.
+        world = ClaimWorld()
+        for claim, (_, _, reference) in zip(document.claims, SENTENCES):
+            masked = mask_claim(claim)
+            world.register(ClaimKnowledge(
+                claim_id=claim.claim_id,
+                masked_sentence=masked.masked_sentence,
+                unmasked_sentence=claim.sentence,
+                reference_sql=reference,
+                claim_value_text=claim.value_text,
+                claim_type="numeric",
+                difficulty=0.15,
+                table_name=table.name,
+                columns=tuple(table.column_names),
+            ))
+
+        ledger = CostLedger()
+        method = OneShotMethod(SimulatedLLM("gpt-4o", world, ledger))
+        verifier = MultiStageVerifier(ledger)
+        verifier.verify_documents([document], [ScheduleEntry(method, 2)])
+
+        print()
+        for claim in document.claims:
+            marker = "✔ consistent" if claim.correct else "✘ contradicted"
+            print(f"{marker}: {claim.sentence}")
+            print(f"    via {claim.query}")
+        print(f"\nspend: ${ledger.total_cost:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Quickstart: verify two claims about a small table, end to end.
+
+This walks the whole public API on hand-written data:
+
+1. build a :class:`~repro.sqlengine.Database`;
+2. write claims as sentences with value spans (the paper's claim model);
+3. wire the simulated GPT clients and CEDAR's verification methods;
+4. run multi-stage verification and inspect verdicts, queries, and costs.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.agents import install_agent_policy
+from repro.core import (
+    AgentMethod,
+    Claim,
+    Document,
+    MultiStageVerifier,
+    OneShotMethod,
+    ScheduleEntry,
+    Span,
+)
+from repro.llm import ClaimKnowledge, ClaimWorld, CostLedger, SimulatedLLM
+from repro.sqlengine import Database, Table
+
+
+def build_database() -> Database:
+    """The airline-safety table from the paper's running example."""
+    database = Database("quickstart")
+    database.add(Table(
+        "airlinesafety",
+        ["airline", "fatal_accidents_00_14", "incidents"],
+        [
+            ("Malaysia Airlines", 2, 24),
+            ("KLM", 0, 8),
+            ("Lufthansa", 1, 12),
+            ("Qantas", 0, 5),
+        ],
+    ))
+    return database
+
+
+def build_document(database: Database) -> Document:
+    """Two claims: one correct (the paper's Example 1.1), one wrong."""
+    correct_sentence = (
+        "The two fatal accidents involving Malaysia Airlines this year "
+        "were the first for the carrier since 1995."
+    )
+    wrong_sentence = "KLM logged 11 safety incidents over the period."
+    claims = [
+        Claim(correct_sentence, Span(1, 1),
+              f"Aviation safety remains under scrutiny. {correct_sentence}",
+              metadata={"label_correct": True}),
+        Claim(wrong_sentence, Span(2, 2),
+              f"Regulators publish incident counts. {wrong_sentence}",
+              metadata={"label_correct": False}),
+    ]
+    return Document("quickstart-doc", claims, database)
+
+
+def build_world(document: Document) -> ClaimWorld:
+    """Teach the *simulated* LLM what each claim means.
+
+    With a real OpenAI client this registry would not exist — the model's
+    language understanding plays this role. The registry holds, per claim,
+    the reference SQL and difficulty features (see DESIGN.md).
+    """
+    world = ClaimWorld()
+    reference = {
+        "quickstart-doc/c0": (
+            'SELECT "fatal_accidents_00_14" FROM "airlinesafety" '
+            "WHERE \"airline\" = 'Malaysia Airlines'"
+        ),
+        "quickstart-doc/c1": (
+            'SELECT "incidents" FROM "airlinesafety" '
+            "WHERE \"airline\" = 'KLM'"
+        ),
+    }
+    for claim in document.claims:
+        from repro.core import mask_claim
+
+        masked = mask_claim(claim)
+        world.register(ClaimKnowledge(
+            claim_id=claim.claim_id,
+            masked_sentence=masked.masked_sentence,
+            unmasked_sentence=claim.sentence,
+            reference_sql=reference[claim.claim_id],
+            claim_value_text=claim.value_text,
+            claim_type="numeric",
+            difficulty=0.15,
+            table_name="airlinesafety",
+            columns=("airline", "fatal_accidents_00_14", "incidents"),
+        ))
+    return world
+
+
+def main() -> None:
+    database = build_database()
+    document = build_document(database)
+    world = build_world(document)
+
+    # One shared ledger so every model call is billed in one place.
+    ledger = CostLedger()
+    cheap = OneShotMethod(SimulatedLLM("gpt-3.5-turbo", world, ledger))
+    strong = AgentMethod(
+        install_agent_policy(SimulatedLLM("gpt-4o", world, ledger, seed=1))
+    )
+
+    verifier = MultiStageVerifier(ledger)
+    schedule = [ScheduleEntry(cheap, tries=2), ScheduleEntry(strong, tries=1)]
+    run = verifier.verify_documents([document], schedule)
+
+    print("=== Verification results ===")
+    for claim in document.claims:
+        report = run.report_for(claim)
+        verdict = "CORRECT" if claim.correct else "INCORRECT"
+        print(f"\nClaim: {claim.sentence}")
+        print(f"  verdict:  {verdict}")
+        print(f"  query:    {claim.query}")
+        print(f"  method:   {report.verified_by} "
+              f"(attempts: {report.attempts})")
+    totals = ledger.totals()
+    print(f"\nLLM calls: {totals.calls}, tokens: {totals.total_tokens}, "
+          f"cost: ${totals.cost:.5f}")
+
+
+if __name__ == "__main__":
+    main()

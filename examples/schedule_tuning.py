@@ -1,0 +1,63 @@
+"""Explore the cost-accuracy dial (the paper's Section 6 contribution).
+
+Profiles the four verification methods on a labeled sample, prints the
+Pareto frontier the DP scheduler (Algorithm 10) computes, and shows how
+the selected schedule — and the realized cost and F1 — move as the user's
+accuracy threshold changes.
+
+Run with::
+
+    python examples/schedule_tuning.py
+"""
+
+from repro.core import (
+    describe_schedule,
+    optimal_schedule,
+    pareto_schedules,
+    schedule_accuracy,
+    schedule_cost,
+    select_schedule,
+)
+from repro.datasets import build_aggchecker
+from repro.experiments import build_cedar, profile_system, run_cedar
+
+
+def main() -> None:
+    bundle = build_aggchecker(document_count=12, total_claims=72, seed=5)
+    system = build_cedar(bundle, seed=0)
+    profiles = profile_system(system, bundle.documents[:3])
+
+    print("Method profiles (accuracy, $/claim):")
+    for name, profile in profiles.items():
+        print(f"  {name:28} A={profile.accuracy:4.2f} "
+              f"C=${profile.cost:.5f}")
+
+    frontier = pareto_schedules(profiles, max_tries=3)
+    print(f"\nPareto frontier: {len(frontier)} schedules; a sample:")
+    for scored in sorted(frontier, key=lambda s: s.cost)[::max(1, len(frontier) // 8)]:
+        print(f"  A={scored.accuracy:5.3f}  C=${scored.cost:.5f}  "
+              f"{describe_schedule(scored.schedule)}")
+
+    print("\nThreshold sweep (model estimate vs realized):")
+    header = (f"{'threshold':>9}  {'est. accuracy':>13}  "
+              f"{'est. $/claim':>12}  {'realized F1':>11}  "
+              f"{'realized $/claim':>16}  schedule")
+    print(header)
+    for threshold in (0.5, 0.7, 0.9, 0.95, 0.99):
+        planned = select_schedule(frontier, threshold)
+        estimate_a = schedule_accuracy(planned, profiles)
+        estimate_c = schedule_cost(planned, profiles)
+        run = run_cedar(bundle, accuracy_threshold=threshold, seed=0,
+                        profiles=profiles, planned=planned)
+        print(f"{threshold:9.2f}  {estimate_a:13.3f}  "
+              f"{estimate_c:12.5f}  {100 * run.counts.f1:11.1f}  "
+              f"{run.economics.cost_per_claim:16.5f}  "
+              f"{describe_schedule(planned)}")
+
+    strict = optimal_schedule(profiles, 0.99)
+    print(f"\nAt 99% the scheduler escalates through "
+          f"{len(strict)} stages: {describe_schedule(strict)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The pinned offline environment lacks the ``wheel`` package, so PEP-517
+editable installs (``pip install -e .``) cannot build an editable wheel.
+``python setup.py develop`` installs the same editable hook without wheel.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""CEDAR reproduction: cost-efficient data-driven claim verification.
+
+The package mirrors the paper's architecture (see README.md):
+
+* :mod:`repro.core` — CEDAR itself: the claim model, masking,
+  verification methods, the multi-stage pipeline, and the cost-based
+  scheduler;
+* :mod:`repro.sqlengine` — the relational engine claims are verified
+  against;
+* :mod:`repro.llm` — the LLM client layer (pricing, cost ledger, offline
+  simulation, OpenAI adapter);
+* :mod:`repro.agents` — the ReAct agent framework and its tools;
+* :mod:`repro.embeddings` — short-string embeddings for textual claims;
+* :mod:`repro.datasets` — generators for the paper's benchmarks;
+* :mod:`repro.baselines` — the prior systems of Table 2;
+* :mod:`repro.metrics` — detection quality, economics, query complexity;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure.
+
+The most common entry points are re-exported here::
+
+    from repro import Claim, Document, Database, Table, MultiStageVerifier
+"""
+
+from repro.core import (
+    AgentMethod,
+    Claim,
+    Document,
+    MultiStageVerifier,
+    OneShotMethod,
+    ScheduleEntry,
+    Span,
+    optimal_schedule,
+    profile_methods,
+)
+from repro.llm import CostLedger, LLMClient, OpenAIChatClient, SimulatedLLM
+from repro.sqlengine import Database, Engine, Table, load_csv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentMethod",
+    "Claim",
+    "CostLedger",
+    "Database",
+    "Document",
+    "Engine",
+    "LLMClient",
+    "MultiStageVerifier",
+    "OneShotMethod",
+    "OpenAIChatClient",
+    "ScheduleEntry",
+    "SimulatedLLM",
+    "Span",
+    "Table",
+    "__version__",
+    "load_csv",
+    "optimal_schedule",
+    "profile_methods",
+]

@@ -1,0 +1,26 @@
+"""ReAct agent framework for claim verification (paper Section 5.3)."""
+
+from .policy import agent_success_probability, install_agent_policy
+from .prompts import agent_prompt
+from .react import MAX_ITERATIONS, ReActAgent, ReActResult, parse_scratchpad
+from .tools import (
+    DatabaseQueryingTool,
+    Tool,
+    UniqueColumnValuesTool,
+)
+from .trace import AgentStep, AgentTrace
+
+__all__ = [
+    "AgentStep",
+    "AgentTrace",
+    "DatabaseQueryingTool",
+    "MAX_ITERATIONS",
+    "ReActAgent",
+    "ReActResult",
+    "Tool",
+    "UniqueColumnValuesTool",
+    "agent_prompt",
+    "agent_success_probability",
+    "install_agent_policy",
+    "parse_scratchpad",
+]

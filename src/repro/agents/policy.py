@@ -1,0 +1,357 @@
+"""Simulated agent policy: the ReAct "brain" of the offline LLM.
+
+A real agent LLM reads the prompt (claim + tools + scratchpad) and decides
+the next thought/action. This policy reproduces that decision process with
+a seeded noise model, consuming the same information a real model would:
+
+* no prior steps → propose an initial query (reference translation on a
+  successful skill draw, a corruption otherwise; claims whose constants
+  are not guessable fall into the lookup trap — Figure 4's
+  'United States' instead of 'USA');
+* an error observation (empty result) → consult ``unique_column_values``
+  for the offending column, then emit the corrected query;
+* 'greater'/'smaller'/'mismatched' feedback → attempt a repair with the
+  model's repair skill, giving up after a few failed queries;
+* claims whose reference uses a scalar sub-query are solved *stepwise*
+  (the paper's motivation for Algorithm 9): the agent first runs the inner
+  query, then a trivial outer query with the observed constant inlined.
+
+The policy is installed on a :class:`~repro.llm.simulated.SimulatedLLM`
+via :func:`install_agent_policy`; the ReAct loop in :mod:`.react` never
+knows it is talking to a simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.llm.corruption import corrupt_query, trap_query
+from repro.llm.simulated import (
+    SAMPLE_MARKER,
+    ModelBehaviour,
+    SimulatedLLM,
+    hard_claim_factor,
+)
+from repro.llm.world import ClaimKnowledge
+
+from .react import parse_scratchpad
+from .trace import AgentStep
+
+#: After this many unsuccessful database_querying attempts the policy
+#: concedes and produces a final answer from the best result so far.
+GIVE_UP_AFTER_QUERIES = 3
+
+#: Marker feedbacks produced by the querying tool (see tools.py).
+_SUCCESS_FEEDBACK = ("Value is correct", "Value matched")
+_CLOSE_FEEDBACK = ("Value is close",)
+
+
+def install_agent_policy(client: SimulatedLLM) -> SimulatedLLM:
+    """Install the simulated ReAct policy on a client and return it."""
+    client.agent_policy = _agent_policy
+    return client
+
+
+def agent_success_probability(
+    knowledge: ClaimKnowledge, behaviour: ModelBehaviour, has_sample: bool
+) -> float:
+    """Probability that the agent's *initial* query is the right one.
+
+    Difficulty weighs less than for one-shot translation because the agent
+    observes the schema plus feedback; units and joins also penalise less
+    (tools let the agent inspect the data).
+    """
+    probability = (
+        behaviour.agent_initial_skill
+        - 0.45 * behaviour.difficulty_slope * knowledge.difficulty
+    )
+    if has_sample:
+        probability += behaviour.sample_bonus
+    if knowledge.needs_unit_conversion:
+        probability -= (1.0 - behaviour.unit_conversion_skill) / 2.0
+    if knowledge.join_required:
+        probability -= behaviour.join_penalty / 2.0
+    probability *= hard_claim_factor(knowledge)
+    return min(0.98, max(0.03, probability))
+
+
+def _agent_policy(
+    knowledge: ClaimKnowledge,
+    value_visible: bool,
+    behaviour: ModelBehaviour,
+    prompt: str,
+    rng: random.Random,
+) -> str:
+    steps = parse_scratchpad(prompt)
+    query_steps = [
+        s for s in steps if s.action == "database_querying" and s.action_input
+    ]
+    used_lookup = any(s.action == "unique_column_values" for s in steps)
+    has_sample = SAMPLE_MARKER in prompt
+
+    if not steps or not query_steps:
+        return _initial_move(knowledge, behaviour, has_sample, rng)
+
+    last = query_steps[-1]
+    observation = last.observation or ""
+    last_sql = (last.action_input or "").strip()
+
+    # Stepwise plan: if the last query was a decomposition step, move on to
+    # the next step (or finish) regardless of the coarse feedback —
+    # intermediate results are not supposed to match the claim value.
+    plan_move = _advance_plan(knowledge, last_sql, observation)
+    if plan_move is not None:
+        return plan_move
+
+    if used_lookup and _after_lookup(steps):
+        # The unique values revealed the stored constant; emit the
+        # corrected query (Figure 4's second database_querying call).
+        return _render_action(
+            "The unique values show the constant stored in the data; I "
+            "will correct the filter and re-run the query.",
+            "database_querying",
+            _corrected_query(knowledge),
+        )
+
+    if _is_error(observation):
+        if knowledge.lookup_trap is not None and not used_lookup:
+            trap = knowledge.lookup_trap
+            return _render_action(
+                "The query returned no rows. The constant in the filter may "
+                "not match how values are stored; I will inspect the unique "
+                f"values of the '{trap.column}' column.",
+                "unique_column_values",
+                trap.column,
+            )
+        return _repair_or_concede(
+            knowledge, behaviour, query_steps, observation, rng
+        )
+
+    if any(marker in observation for marker in _SUCCESS_FEEDBACK):
+        return _finish(observation)
+
+    if _matches_reference(knowledge, last_sql):
+        # The agent issued the translation it believes in; coarse feedback
+        # (close/greater/smaller) does not shake that belief — an
+        # incorrect claim is *expected* to mismatch the correct query.
+        return _finish(observation)
+
+    return _repair_or_concede(
+        knowledge, behaviour, query_steps, observation, rng
+    )
+
+
+# -- move constructors -------------------------------------------------------
+
+
+def _initial_move(
+    knowledge: ClaimKnowledge,
+    behaviour: ModelBehaviour,
+    has_sample: bool,
+    rng: random.Random,
+) -> str:
+    if (
+        knowledge.misread_sql is not None
+        and rng.random() < behaviour.misread_prob
+    ):
+        # The same tempting misinterpretation one-shot models fall for;
+        # the agent can still escape it through tool feedback.
+        return _render_action(
+            "Based on the schema, one column matches the claim's phrasing "
+            "directly; I will query it.",
+            "database_querying",
+            knowledge.misread_sql,
+        )
+    probability = agent_success_probability(knowledge, behaviour, has_sample)
+    if rng.random() < probability:
+        if len(knowledge.decomposition) >= 2:
+            return _render_action(
+                "The claim needs an intermediate value; I will decompose "
+                "the problem and query for the inner value first.",
+                "database_querying",
+                knowledge.decomposition[0],
+            )
+        sql = knowledge.reference_sql
+        if (
+            knowledge.lookup_trap is not None
+            and rng.random() >= behaviour.lookup_known_prob
+        ):
+            sql = trap_query(knowledge)
+        return _render_action(
+            "Based on the schema, the claim maps to a query over the "
+            f"{knowledge.table_name} data; I will test it.",
+            "database_querying",
+            sql,
+        )
+    return _render_action(
+        "I will try a query that should produce the masked value.",
+        "database_querying",
+        corrupt_query(knowledge, rng),
+    )
+
+
+def _advance_plan(
+    knowledge: ClaimKnowledge, last_sql: str, observation: str
+) -> str | None:
+    plan = knowledge.decomposition
+    if len(plan) < 2 or _is_error(observation):
+        return None
+    normalised = _normalise(last_sql)
+    for index, step_sql in enumerate(plan):
+        if _normalise(step_sql) == normalised:
+            if index + 1 < len(plan):
+                return _render_action(
+                    "With the intermediate value known, I can query for "
+                    "the claimed value directly.",
+                    "database_querying",
+                    plan[index + 1],
+                )
+            return _finish(observation)
+    return None
+
+
+def _repair_or_concede(
+    knowledge: ClaimKnowledge,
+    behaviour: ModelBehaviour,
+    query_steps: list[AgentStep],
+    observation: str,
+    rng: random.Random,
+) -> str:
+    if len(query_steps) >= GIVE_UP_AFTER_QUERIES:
+        return _finish(observation, conceded=True)
+    if (
+        knowledge.misread_sql is not None
+        and rng.random() < min(0.9, 1.6 * behaviour.misread_prob)
+    ):
+        # The misreading persists: after coarse feedback the agent
+        # re-convinces itself of the same tempting interpretation —
+        # it is the same model family that misread the claim one-shot.
+        return _render_action(
+            "Re-reading the claim, the column I queried still looks like "
+            "the best match; I will re-check it.",
+            "database_querying",
+            knowledge.misread_sql,
+        )
+    if (
+        knowledge.claim_type == "numeric"
+        and rng.random() < behaviour.feedback_fit_prob
+    ):
+        # Feedback fitting: instead of fixing the semantics, the agent
+        # chases the greater/smaller signal until the tool reports a
+        # match — a constant query that verifies nothing (the residual
+        # cheat Section 5.3's coarse feedback cannot fully prevent).
+        fitted = knowledge.claim_value_text.replace(",", "")
+        return _render_action(
+            "The feedback narrows the value down; I will test the exact "
+            "figure directly.",
+            "database_querying",
+            f"SELECT {fitted}",
+        )
+    repair_probability = behaviour.agent_repair_skill * hard_claim_factor(
+        knowledge
+    )
+    if rng.random() < repair_probability:
+        if knowledge.lookup_trap is not None and not _knows_constant(
+            knowledge, query_steps
+        ):
+            trap = knowledge.lookup_trap
+            return _render_action(
+                "Before revising the query I will check which constants "
+                f"the '{trap.column}' column actually contains.",
+                "unique_column_values",
+                trap.column,
+            )
+        if len(knowledge.decomposition) >= 2:
+            return _render_action(
+                "I will decompose the problem and query for the inner "
+                "value first.",
+                "database_querying",
+                knowledge.decomposition[0],
+            )
+        return _render_action(
+            "The feedback suggests the previous query was wrong; I will "
+            "revise it against the schema.",
+            "database_querying",
+            knowledge.reference_sql,
+        )
+    return _render_action(
+        "I will try an alternative formulation of the query.",
+        "database_querying",
+        corrupt_query(knowledge, rng),
+    )
+
+
+def _corrected_query(knowledge: ClaimKnowledge) -> str:
+    if len(knowledge.decomposition) >= 2:
+        return knowledge.decomposition[0]
+    return knowledge.reference_sql
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _render_action(thought: str, action: str, action_input: str) -> str:
+    return f"Thought: {thought}\nAction: {action}\nAction Input: {action_input}"
+
+
+def _finish(observation: str, conceded: bool = False) -> str:
+    value = _value_from_observation(observation)
+    if conceded:
+        thought = (
+            "I cannot find a better query; I will report the best result."
+        )
+    else:
+        thought = "I now know the final answer."
+    return f"Thought: {thought}\nFinal Answer: {value}"
+
+
+def _value_from_observation(observation: str) -> str:
+    text = observation.strip()
+    if text.startswith("[") and "," in text:
+        return text[1:].split(",", 1)[0].strip()
+    return text or "unknown"
+
+
+def _is_error(observation: str) -> bool:
+    lowered = observation.lower()
+    return (
+        "out of bounds" in lowered
+        or lowered.startswith("error")
+        or "no column" in lowered
+        or "no table" in lowered
+        or "expected" in lowered and "found" in lowered and "line" not in lowered
+    )
+
+
+def _after_lookup(steps: list[AgentStep]) -> bool:
+    """True when the most recent completed step was a unique-values lookup."""
+    for step in reversed(steps):
+        if step.action:
+            return step.action == "unique_column_values"
+    return False
+
+
+def _matches_reference(knowledge: ClaimKnowledge, sql: str) -> bool:
+    reference = _normalise(knowledge.reference_sql)
+    candidate = _normalise(sql)
+    if candidate == reference:
+        return True
+    return any(
+        _normalise(step) == candidate for step in knowledge.decomposition
+    )
+
+
+def _knows_constant(
+    knowledge: ClaimKnowledge, query_steps: list[AgentStep]
+) -> bool:
+    trap = knowledge.lookup_trap
+    if trap is None:
+        return True
+    needle = trap.right_constant.lower()
+    return any(
+        needle in (s.action_input or "").lower() for s in query_steps
+    )
+
+
+def _normalise(sql: str) -> str:
+    return " ".join(sql.split()).rstrip(";").lower()

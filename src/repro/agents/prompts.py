@@ -1,0 +1,57 @@
+"""Prompt construction for the ReAct verification agent.
+
+The template extends the one-shot prompt (paper Figure 3) with tool
+descriptions and the ReAct format instructions, following the standard
+LangChain ReAct template the paper references.
+"""
+
+from __future__ import annotations
+
+from repro.llm.simulated import AGENT_PROMPT_MARKER
+
+from .tools import Tool
+
+_REACT_FORMAT = """Use the following format:
+
+Thought: reason about what to do next
+Action: the tool to use, one of [{tool_names}]
+Action Input: the input to the tool
+Observation: the result of the tool
+... (this Thought/Action/Action Input/Observation can repeat N times)
+Thought: I now know the final answer
+Final Answer: the value that replaces "x" in the claim"""
+
+
+def agent_prompt(
+    masked_claim: str,
+    value_type: str,
+    db_schema: str,
+    sample_text: str,
+    context: str,
+    tools: list[Tool],
+) -> str:
+    """Build the base agent prompt for one claim.
+
+    The scratchpad (prior thoughts/actions/observations) is appended by the
+    ReAct loop on every iteration.
+    """
+    tool_lines = "\n".join(f"- {t.name}: {t.description}" for t in tools)
+    tool_names = ", ".join(t.name for t in tools)
+    type_clause = f' where "x" is a "{value_type}" value' if value_type else ""
+    sample_block = f"\n{sample_text}\n" if sample_text else ""
+    return f"""Given the claim "{masked_claim}"{type_clause}, you must think about a question that generates "x" as the answer and then find the SQL query that answers that question by interacting with the database.
+
+You must use the schema of the following table called "table".
+{db_schema}
+
+{AGENT_PROMPT_MARKER}:
+{tool_lines}
+
+{_REACT_FORMAT.format(tool_names=tool_names)}
+{sample_block}
+The following context information might help to form the SQL query.
+{context}
+
+Begin!
+
+"""

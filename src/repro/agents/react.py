@@ -1,0 +1,148 @@
+"""The iterative ReAct agent loop (paper Algorithm 7).
+
+The loop is model-agnostic: it sends the base prompt plus the scratchpad of
+prior steps to an :class:`~repro.llm.base.LLMClient`, parses the reply in
+ReAct format, executes the requested tool, and appends the observation —
+until the model produces a final answer or the iteration cap is reached.
+Every SQL query issued through the ``database_querying`` tool is logged, so
+the post-processing stage (Algorithm 9) can reconstruct one complete query
+from the trace.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.llm.base import LLMClient
+
+from .tools import Tool
+from .trace import AgentStep, AgentTrace
+
+#: Hard cap on thought/action/observation iterations per claim; the paper's
+#: agent terminates quickly (Figure 4 uses three tool calls), and the cap
+#: bounds the cost of pathological loops.
+MAX_ITERATIONS = 8
+
+_ACTION_PATTERN = re.compile(
+    r"Action:\s*(?P<action>[\w-]+)\s*\nAction Input:\s*(?P<input>.*?)"
+    r"(?=\n(?:Thought|Action|Observation|Final Answer):|\Z)",
+    re.DOTALL,
+)
+_FINAL_PATTERN = re.compile(r"Final Answer:\s*(?P<answer>.*)", re.DOTALL)
+_THOUGHT_PATTERN = re.compile(
+    r"Thought:\s*(?P<thought>.*?)(?=\n(?:Action|Final Answer):|\Z)", re.DOTALL
+)
+
+
+@dataclass
+class ReActResult:
+    """Outcome of one agent run."""
+
+    queries: list[str] = field(default_factory=list)
+    trace: AgentTrace = field(default_factory=AgentTrace)
+    final_answer: str | None = None
+
+
+class ReActAgent:
+    """Runs the thought/action/observation loop for one claim."""
+
+    def __init__(
+        self,
+        client: LLMClient,
+        tools: list[Tool],
+        max_iterations: int = MAX_ITERATIONS,
+    ) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+        self._client = client
+        self._tools = {tool.name: tool for tool in tools}
+        self._max_iterations = max_iterations
+
+    def run(self, base_prompt: str, temperature: float = 0.0) -> ReActResult:
+        """Execute the loop, returning issued queries and the full trace."""
+        result = ReActResult()
+        scratchpad: list[str] = []
+        for _ in range(self._max_iterations):
+            prompt = base_prompt + "\n".join(scratchpad)
+            response = self._client.complete(prompt, temperature)
+            thought, action, action_input, final = _parse_reply(response.text)
+            step = AgentStep(thought, action, action_input)
+            if final is not None:
+                result.trace.steps.append(step)
+                result.trace.final_answer = final
+                result.final_answer = final
+                result.trace.stopped_reason = "finished"
+                return result
+            if action is None:
+                # The model produced only reasoning; keep iterating.
+                result.trace.steps.append(step)
+                scratchpad.append(step.render())
+                continue
+            tool = self._tools.get(action)
+            if tool is None:
+                observation = (
+                    f"Error: unknown tool '{action}'. Available tools: "
+                    f"{', '.join(sorted(self._tools))}"
+                )
+            else:
+                observation = tool.run(action_input or "")
+            if action == "database_querying" and action_input:
+                result.queries.append(action_input.strip())
+            step.observation = observation
+            result.trace.steps.append(step)
+            scratchpad.append(step.render())
+        result.trace.stopped_reason = "iteration_limit"
+        return result
+
+
+def _parse_reply(
+    text: str,
+) -> tuple[str, str | None, str | None, str | None]:
+    """Split one model reply into (thought, action, input, final_answer)."""
+    final_match = _FINAL_PATTERN.search(text)
+    thought_match = _THOUGHT_PATTERN.search(text)
+    thought = (
+        thought_match.group("thought").strip() if thought_match else text.strip()
+    )
+    if final_match:
+        return thought, None, None, final_match.group("answer").strip()
+    action_match = _ACTION_PATTERN.search(text)
+    if action_match:
+        return (
+            thought,
+            action_match.group("action").strip(),
+            action_match.group("input").strip(),
+            None,
+        )
+    return thought, None, None, None
+
+
+def parse_scratchpad(prompt: str) -> list[AgentStep]:
+    """Recover prior steps from a prompt's scratchpad section.
+
+    Used by the simulated agent policy, which is stateless across LLM
+    calls: it re-reads what has happened so far from the prompt, exactly
+    as a real model would.
+    """
+    steps: list[AgentStep] = []
+    pattern = re.compile(
+        r"Thought:\s*(?P<thought>.*?)\n"
+        r"(?:Action:\s*(?P<action>[\w-]+)\s*\n"
+        r"Action Input:\s*(?P<input>.*?)\n"
+        r"Observation:\s*(?P<obs>.*?))?"
+        r"(?=\nThought:|\Z)",
+        re.DOTALL,
+    )
+    marker = prompt.find("Begin!")
+    section = prompt[marker:] if marker >= 0 else prompt
+    for match in pattern.finditer(section):
+        steps.append(
+            AgentStep(
+                thought=match.group("thought").strip(),
+                action=(match.group("action") or "").strip() or None,
+                action_input=(match.group("input") or "").strip() or None,
+                observation=(match.group("obs") or "").strip() or None,
+            )
+        )
+    return steps

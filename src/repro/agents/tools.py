@@ -1,0 +1,138 @@
+"""Agent tools (paper Section 5.3 and Algorithm 8).
+
+Two tools are available to the verification agent:
+
+* ``unique_column_values`` — list the distinct values of one column, so the
+  agent can discover the exact constants stored in the data (Figure 4's
+  'United States' → 'USA' correction).
+* ``database_querying`` — run a candidate SQL query and receive the result
+  together with *coarse* feedback comparing it to the claimed value
+  ('correct' / 'close' / 'greater' / 'smaller' for numbers, 'matched' /
+  'mismatched' for text). The feedback deliberately never reveals the
+  claimed value itself, to prevent the Figure 2 cheat.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.embeddings import text_similarity
+from repro.sqlengine import Database, Engine, SqlValue, to_text
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.values import coerce_numeric
+
+from repro.core.claims import numeric_values_match, same_order_of_magnitude
+
+#: Cap on how many distinct values the unique-values tool returns;
+#: everything is billed as prompt tokens, so unbounded output would make
+#: the tool uneconomical (the paper makes the same argument).
+MAX_UNIQUE_VALUES = 60
+
+#: Textual similarity above which the querying tool reports 'matched'
+#: (the paper's plausibility threshold, Section 4).
+TEXT_MATCH_THRESHOLD = 0.7
+
+
+class Tool(ABC):
+    """One callable tool exposed to the ReAct agent."""
+
+    name: str
+    description: str
+
+    @abstractmethod
+    def run(self, tool_input: str) -> str:
+        """Execute the tool; the returned string becomes the observation."""
+
+
+class UniqueColumnValuesTool(Tool):
+    """Expose distinct column values (first tool of Section 5.3)."""
+
+    name = "unique_column_values"
+    description = (
+        "List the unique values stored in a column. Input: the column "
+        "name, optionally qualified as table.column."
+    )
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    def run(self, tool_input: str) -> str:
+        column = tool_input.strip().strip("\"'")
+        table_name = None
+        if "." in column:
+            table_name, column = column.split(".", 1)
+            table_name = table_name.strip().strip("\"'")
+            column = column.strip().strip("\"'")
+        tables = (
+            [self._database.table(table_name)]
+            if table_name and self._database.has_table(table_name)
+            else self._database.tables()
+        )
+        for table in tables:
+            if table.has_column(column):
+                values = table.unique_column_values(column)
+                shown = values[:MAX_UNIQUE_VALUES]
+                lines = [column] + [to_text(v) for v in shown]
+                if len(values) > len(shown):
+                    lines.append(f"... ({len(values) - len(shown)} more)")
+                return "\n".join(lines)
+        return f"Error: no column named '{column}' in the database"
+
+
+class DatabaseQueryingTool(Tool):
+    """Run a candidate query and give coarse claim-value feedback
+    (Algorithm 8)."""
+
+    name = "database_querying"
+    description = (
+        "Execute a SQL query against the data. Returns the query result "
+        "and feedback on whether the result is consistent with the "
+        "claimed value."
+    )
+
+    def __init__(
+        self,
+        database: Database,
+        claim_value: SqlValue,
+        claim_value_text: str,
+    ) -> None:
+        self._engine = Engine(database)
+        self._claim_value = claim_value
+        self._claim_value_text = claim_value_text
+        self.queries: list[str] = []
+        self.results: list[SqlValue] = []
+
+    def run(self, tool_input: str) -> str:
+        sql = tool_input.strip()
+        self.queries.append(sql)
+        try:
+            result = self._engine.execute(sql).first_cell()
+        except SqlError as error:
+            return str(error)
+        self.results.append(result)
+        feedback = self._feedback(result)
+        return f"[{to_text(result)}, '{feedback}']"
+
+    def _feedback(self, result: SqlValue) -> str:
+        """GetFeedback of Algorithm 8: coarse, value-free comparison."""
+        claim_number = coerce_numeric(self._claim_value)
+        if claim_number is not None:
+            result_number = coerce_numeric(result)
+            if result_number is None:
+                return "Result is not numeric but a number was expected"
+            if numeric_values_match(result_number, self._claim_value_text):
+                return "Value is correct"
+            if same_order_of_magnitude(result_number, claim_number):
+                direction = (
+                    "greater" if result_number > claim_number else "smaller"
+                )
+                return f"Value is close but {direction} than expected"
+            if result_number > claim_number:
+                return "Value is greater than expected"
+            return "Value is smaller than expected"
+        if result is None:
+            return "Value mismatched"
+        similarity = text_similarity(to_text(result), str(self._claim_value))
+        if similarity >= TEXT_MATCH_THRESHOLD:
+            return "Value matched"
+        return "Value mismatched"

@@ -1,0 +1,45 @@
+"""Structured records of an agent run (thoughts, actions, observations)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AgentStep:
+    """One ReAct iteration."""
+
+    thought: str
+    action: str | None = None
+    action_input: str | None = None
+    observation: str | None = None
+
+    def render(self) -> str:
+        """Render the step in the scratchpad format the LLM sees."""
+        lines = [f"Thought: {self.thought}"]
+        if self.action is not None:
+            lines.append(f"Action: {self.action}")
+            lines.append(f"Action Input: {self.action_input or ''}")
+        if self.observation is not None:
+            lines.append(f"Observation: {self.observation}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AgentTrace:
+    """The full record of one agent run over a single claim."""
+
+    steps: list[AgentStep] = field(default_factory=list)
+    final_answer: str | None = None
+    stopped_reason: str = "finished"
+
+    def render(self) -> str:
+        """Render the whole trace (used in prompts and in the demo example)."""
+        parts = [step.render() for step in self.steps]
+        if self.final_answer is not None:
+            parts.append(f"Final Answer: {self.final_answer}")
+        return "\n".join(parts)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.steps)

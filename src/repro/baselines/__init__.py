@@ -1,0 +1,13 @@
+"""Prior fact-checking systems CEDAR is compared against (Section 7.2)."""
+
+from .aggchecker_system import AggCheckerSystem
+from .base import Baseline
+from .tapex import TapexBaseline
+from .text_to_sql import TextToSqlBaseline
+
+__all__ = [
+    "AggCheckerSystem",
+    "Baseline",
+    "TapexBaseline",
+    "TextToSqlBaseline",
+]

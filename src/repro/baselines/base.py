@@ -1,0 +1,26 @@
+"""Common interface for the prior systems CEDAR is compared against."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.claims import Document
+
+
+class Baseline(ABC):
+    """One prior fact-checking system.
+
+    A baseline consumes documents and writes its verdict into each claim's
+    ``correct`` attribute, exactly as CEDAR's pipeline does, so the same
+    scoring code applies to every system.
+    """
+
+    name: str
+    supports_textual: bool = True
+
+    @abstractmethod
+    def verify_documents(self, documents: list[Document]) -> None:
+        """Set ``claim.correct`` on every claim of every document."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,107 @@
+"""Text-to-SQL baselines P1 and P2 (paper Section 7.1).
+
+Both baselines follow the paper's protocol: the claim is first rephrased
+as a question, then GPT-3.5 translates the question to SQL using a generic
+text-to-SQL prompt —
+
+* **P1**: the "Create Table + Select 3" template of Rajkumar et al. [26]
+  (schema as CREATE TABLE statements plus the first three rows of every
+  table);
+* **P2**: OpenAI's text-to-SQL template [4] (schema as a terse comment
+  block).
+
+The translated query is judged with the same CorrectQuery/CorrectClaim
+machinery as CEDAR. What these baselines *lack* is everything CEDAR adds:
+no claim-value plausibility loop (the first executable query decides), no
+few-shot samples, no retries, no agents — which is why their precision
+collapses in Table 2 despite decent recall.
+"""
+
+from __future__ import annotations
+
+from repro.core.claims import Document
+from repro.core.masking import mask_claim
+from repro.core.plausibility import assess_query, validate_claim
+from repro.llm.base import LLMClient, extract_sql_block
+from repro.llm.simulated import QUESTION_MARKER, TEXT2SQL_MARKER
+from repro.sqlengine import (
+    Database,
+    create_table_select_3_text,
+    schema_text,
+)
+from repro.sqlengine.errors import SqlError
+
+from .base import Baseline
+
+_QUESTION_TEMPLATE = """{marker}: given the claim "{claim}" where "x" stands for the claimed value, produce the natural-language question whose answer is "x"."""
+
+_P1_TEMPLATE = """{schema_block}
+
+{marker}.
+Question: {question}
+Answer with the SQL only, wrapped in ```sql ```."""
+
+_P2_TEMPLATE = """### SQLite tables, with their properties:
+#
+{schema_comment}
+#
+{marker}.
+### A query to answer: {question}
+Wrap the SQL in ```sql ```."""
+
+
+class TextToSqlBaseline(Baseline):
+    """Claim -> question -> SQL with a generic text-to-SQL template."""
+
+    supports_textual = True
+
+    def __init__(self, client: LLMClient, template: str = "P1") -> None:
+        if template not in ("P1", "P2"):
+            raise ValueError("template must be 'P1' or 'P2'")
+        self._client = client
+        self.template = template
+        self.name = template.lower()
+
+    def verify_documents(self, documents: list[Document]) -> None:
+        for document in documents:
+            for claim in document.claims:
+                claim.correct = self._verify_claim(claim, document.data)
+
+    def _verify_claim(self, claim, database: Database) -> bool:
+        masked = mask_claim(claim)
+        question_prompt = _QUESTION_TEMPLATE.format(
+            marker=QUESTION_MARKER, claim=masked.masked_sentence
+        )
+        question = self._client.complete(question_prompt, 0.0).text.strip()
+        sql_prompt = self._sql_prompt(question, database)
+        response = self._client.complete(sql_prompt, 0.0)
+        sql = extract_sql_block(response.text)
+        assessment = assess_query(sql, claim, database)
+        if not assessment.executable or sql is None:
+            # No executable query: nothing refutes the claim.
+            return True
+        claim.query = sql
+        # No plausibility loop: the first executable query decides. An
+        # executable query with an empty result matches nothing, so the
+        # claim is flagged (same convention as CEDAR's fallback).
+        try:
+            return validate_claim(sql, claim, database)
+        except SqlError:
+            return False
+
+    def _sql_prompt(self, question: str, database: Database) -> str:
+        if self.template == "P1":
+            return _P1_TEMPLATE.format(
+                schema_block=create_table_select_3_text(database),
+                marker=TEXT2SQL_MARKER,
+                question=question,
+            )
+        schema_comment = "\n".join(
+            f"# {table.name}({', '.join(table.column_names)})"
+            for table in database.tables()
+        )
+        return _P2_TEMPLATE.format(
+            schema_comment=schema_comment,
+            marker=TEXT2SQL_MARKER,
+            question=question,
+        )

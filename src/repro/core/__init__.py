@@ -1,0 +1,106 @@
+"""CEDAR core: claims, verification methods, multi-stage pipeline,
+cost-based scheduling."""
+
+from .agent_method import AgentMethod
+from .claims import (
+    Claim,
+    Document,
+    Span,
+    numeric_values_match,
+    parse_claim_value,
+    round_to_precision,
+    same_order_of_magnitude,
+    value_precision,
+)
+from .cost_model import (
+    MethodProfile,
+    PlannedSchedule,
+    PlannedStage,
+    describe_schedule,
+    distinct_methods_used,
+    expected_latency,
+    schedule_accuracy,
+    schedule_cost,
+    schedule_failure_probability,
+)
+from .masking import MASK_TOKEN, MaskedClaim, mask_claim, mask_sentence
+from .methods import Sample, TranslationResult, VerificationMethod
+from .oneshot import ONE_SHOT_TEMPLATE, OneShotMethod, one_shot_prompt
+from .pipeline import (
+    ClaimReport,
+    MultiStageVerifier,
+    ScheduleEntry,
+    VerificationRun,
+)
+from .plausibility import (
+    CORRECTNESS_SIMILARITY,
+    PLAUSIBILITY_SIMILARITY,
+    QueryAssessment,
+    assess_query,
+    validate_claim,
+)
+from .profiling import LABEL_KEY, profile_method, profile_methods
+from .reconstruction import reconstruct
+from .reports import claim_records, document_report, to_json, to_markdown
+from .scheduling import (
+    DEFAULT_MAX_TRIES,
+    ScoredSchedule,
+    optimal_schedule,
+    pareto_schedules,
+    prune,
+    select_schedule,
+)
+
+__all__ = [
+    "AgentMethod",
+    "CORRECTNESS_SIMILARITY",
+    "Claim",
+    "ClaimReport",
+    "DEFAULT_MAX_TRIES",
+    "Document",
+    "LABEL_KEY",
+    "MASK_TOKEN",
+    "MaskedClaim",
+    "MethodProfile",
+    "MultiStageVerifier",
+    "ONE_SHOT_TEMPLATE",
+    "OneShotMethod",
+    "PLAUSIBILITY_SIMILARITY",
+    "PlannedSchedule",
+    "PlannedStage",
+    "QueryAssessment",
+    "Sample",
+    "ScheduleEntry",
+    "ScoredSchedule",
+    "Span",
+    "TranslationResult",
+    "VerificationMethod",
+    "VerificationRun",
+    "assess_query",
+    "describe_schedule",
+    "distinct_methods_used",
+    "expected_latency",
+    "mask_claim",
+    "mask_sentence",
+    "numeric_values_match",
+    "one_shot_prompt",
+    "optimal_schedule",
+    "pareto_schedules",
+    "parse_claim_value",
+    "profile_method",
+    "profile_methods",
+    "prune",
+    "claim_records",
+    "document_report",
+    "reconstruct",
+    "to_json",
+    "to_markdown",
+    "round_to_precision",
+    "same_order_of_magnitude",
+    "schedule_accuracy",
+    "schedule_cost",
+    "schedule_failure_probability",
+    "select_schedule",
+    "validate_claim",
+    "value_precision",
+]

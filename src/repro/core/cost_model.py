@@ -1,0 +1,124 @@
+"""Cost and quality model for verification schedules (paper Section 6.2).
+
+A schedule is a sequence of stages, each pairing a verification method
+(identified by name) with a try count. Per-method accuracy ``A`` and cost
+``C`` come from profiling. Under the paper's independence assumptions
+(Assumptions 1 and 2):
+
+* expected cost (Theorem 6.1):  C(v) = Σᵢ C(vᵢ) · Πⱼ<ᵢ (1 − A(vⱼ))
+* accuracy (Theorem 6.2):       A(v) = 1 − Πᵢ (1 − A(vᵢ))
+
+where the schedule is expanded so each try is one component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MethodProfile:
+    """Profiled statistics of one verification method."""
+
+    name: str
+    accuracy: float          # success probability per try, A(v)
+    cost: float              # expected dollars per try, C(v)
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy {self.accuracy} out of [0, 1]")
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlannedStage:
+    """One stage of a planned schedule: method name and number of tries."""
+
+    method_name: str
+    tries: int
+
+    def __post_init__(self) -> None:
+        if self.tries < 0:
+            raise ValueError("tries must be non-negative")
+
+
+PlannedSchedule = tuple[PlannedStage, ...]
+
+
+def expand_tries(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> list[MethodProfile]:
+    """Flatten a schedule into one profile per individual try."""
+    expanded: list[MethodProfile] = []
+    for stage in schedule:
+        profile = profiles[stage.method_name]
+        expanded.extend([profile] * stage.tries)
+    return expanded
+
+
+def schedule_cost(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> float:
+    """Expected cost per claim (Theorem 6.1)."""
+    expected = 0.0
+    failure_mass = 1.0
+    for profile in expand_tries(schedule, profiles):
+        expected += profile.cost * failure_mass
+        failure_mass *= 1.0 - profile.accuracy
+    return expected
+
+
+def schedule_accuracy(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> float:
+    """Probability that at least one try succeeds (Theorem 6.2)."""
+    return 1.0 - schedule_failure_probability(schedule, profiles)
+
+
+def schedule_failure_probability(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> float:
+    """Probability that every try fails."""
+    failure_mass = 1.0
+    for profile in expand_tries(schedule, profiles):
+        failure_mass *= 1.0 - profile.accuracy
+    return failure_mass
+
+
+def expected_latency(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> float:
+    """Expected verification latency per claim, mirroring Theorem 6.1.
+
+    Latency accrues exactly when a stage runs, i.e. when all prior tries
+    failed — the same structure as the cost expectation.
+    """
+    expected = 0.0
+    failure_mass = 1.0
+    for profile in expand_tries(schedule, profiles):
+        expected += profile.latency_seconds * failure_mass
+        failure_mass *= 1.0 - profile.accuracy
+    return expected
+
+
+def distinct_methods_used(schedule: PlannedSchedule) -> int:
+    """Number of different methods with a non-zero try budget.
+
+    SelectSchedule prefers diversity (Section 6.4): the independence
+    assumption overstates the value of retrying one method, so among
+    equally acceptable schedules CEDAR picks the one exercising the most
+    distinct methods.
+    """
+    return len({s.method_name for s in schedule if s.tries > 0})
+
+
+def describe_schedule(schedule: PlannedSchedule) -> str:
+    """Human-readable one-liner, e.g. 'one_shot[gpt-3.5-turbo]x2 -> ...'."""
+    stages = [
+        f"{stage.method_name}x{stage.tries}"
+        for stage in schedule
+        if stage.tries > 0
+    ]
+    return " -> ".join(stages) if stages else "(empty)"

@@ -1,0 +1,73 @@
+"""Claim pre-processing (paper Algorithm 4, Section 5.1).
+
+The claim value is obfuscated in both the claim sentence and the context
+paragraph before any LLM sees the text. Without this, models "cheat" by
+emitting queries that contain the claimed value as a constant (Figure 2),
+which verifies nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .claims import Claim
+
+#: The mask token substituted for the claim value (Figure 3 prompts refer
+#: to it as "x").
+MASK_TOKEN = "x"
+
+
+@dataclass(frozen=True)
+class MaskedClaim:
+    """Output of pre-processing: obfuscated sentence and context."""
+
+    masked_sentence: str
+    masked_context: str
+
+
+def mask_claim(claim: Claim) -> MaskedClaim:
+    """Pre-process a claim (Algorithm 4).
+
+    Replaces the claim-value tokens with :data:`MASK_TOKEN` in the claim
+    sentence, then substitutes the masked sentence for the original inside
+    the context paragraph so the value cannot leak from surrounding text.
+    """
+    masked_sentence = mask_sentence(claim.sentence, claim.span.start,
+                                    claim.span.end)
+    if claim.sentence and claim.sentence in claim.context:
+        masked_context = claim.context.replace(claim.sentence, masked_sentence)
+    else:
+        masked_context = claim.context
+    return MaskedClaim(masked_sentence, masked_context)
+
+
+def mask_sentence(sentence: str, start: int, end: int) -> str:
+    """Replace tokens ``start..end`` (inclusive) of a sentence with the mask.
+
+    Punctuation attached to the masked tokens is preserved, so "(2)" masks
+    to "(x)" and "370," masks to "x," — keeping the sentence readable.
+    """
+    tokens = sentence.split()
+    if end >= len(tokens):
+        raise ValueError(
+            f"span [{start}, {end}] out of range for sentence {sentence!r}"
+        )
+    target = tokens[start:end + 1]
+    prefix = _leading_punctuation(target[0])
+    suffix = _trailing_punctuation(target[-1])
+    masked = prefix + MASK_TOKEN + suffix
+    return " ".join(tokens[:start] + [masked] + tokens[end + 1:])
+
+
+def _leading_punctuation(token: str) -> str:
+    count = 0
+    while count < len(token) and token[count] in "(['\"":
+        count += 1
+    return token[:count]
+
+
+def _trailing_punctuation(token: str) -> str:
+    count = len(token)
+    while count > 0 and token[count - 1] in ".,;:!?)]'\"%":
+        count -= 1
+    return token[count:]

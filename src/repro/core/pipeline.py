@@ -1,0 +1,209 @@
+"""Multi-stage claim verification (paper Section 4, Algorithms 1-2).
+
+CEDAR tries verification methods in schedule order, removing claims as
+soon as a method produces a plausible translation. The first claim a
+method verifies in a document is harvested as a few-shot sample for the
+remaining claims (Algorithm 2's early return). Claims no method can
+verify receive the paper's fallback verdict: *correct* if no method ever
+produced an executable query (the claim is deemed unverifiable from the
+data), *incorrect* if executable queries existed but none matched the
+claimed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.ledger import CostLedger
+from repro.sqlengine import Database
+
+from .claims import Claim, Document
+from .masking import mask_claim
+from .methods import Sample, VerificationMethod
+from .plausibility import assess_query, validate_claim
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One stage of a verification schedule: a method and its try budget."""
+
+    method: VerificationMethod
+    tries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tries < 0:
+            raise ValueError("tries must be non-negative")
+
+
+@dataclass
+class ClaimReport:
+    """Per-claim bookkeeping produced by the verifier."""
+
+    claim_id: str
+    verified_by: str | None = None
+    attempts: int = 0
+    method_attempts: dict[str, int] = field(default_factory=dict)
+    plausible: bool = False
+    fallback: bool = False
+    saw_executable: bool = False
+    last_executable_query: str | None = None
+
+
+@dataclass
+class VerificationRun:
+    """Result of verifying a batch of documents."""
+
+    documents: list[Document]
+    reports: dict[str, ClaimReport] = field(default_factory=dict)
+
+    def report_for(self, claim: Claim) -> ClaimReport:
+        return self.reports[claim.claim_id]
+
+
+class MultiStageVerifier:
+    """Executes Algorithm 1 over documents with a given schedule."""
+
+    def __init__(
+        self,
+        ledger: CostLedger | None = None,
+        use_samples: bool = True,
+    ) -> None:
+        # Explicit None check: an empty ledger is falsy (it has __len__).
+        self.ledger = ledger if ledger is not None else CostLedger()
+        #: When False, the few-shot sample harvesting of Algorithm 1 is
+        #: disabled (ablation A2 in DESIGN.md).
+        self.use_samples = use_samples
+
+    def verify_documents(
+        self, documents: list[Document], schedule: list[ScheduleEntry]
+    ) -> VerificationRun:
+        """Verify every claim of every document (Algorithm 1)."""
+        run = VerificationRun(documents)
+        for document in documents:
+            with self.ledger.tagged(f"doc:{document.doc_id}"):
+                self._verify_document(document, schedule, run)
+        return run
+
+    def verify_document(
+        self, document: Document, schedule: list[ScheduleEntry]
+    ) -> VerificationRun:
+        """Convenience wrapper for a single document."""
+        return self.verify_documents([document], schedule)
+
+    # -- Algorithm 1 ---------------------------------------------------------
+
+    def _verify_document(
+        self,
+        document: Document,
+        schedule: list[ScheduleEntry],
+        run: VerificationRun,
+    ) -> None:
+        for claim in document.claims:
+            run.reports[claim.claim_id] = ClaimReport(claim.claim_id)
+        remaining = list(document.claims)
+        for entry in schedule:
+            if entry.tries == 0:
+                continue
+            sample: Sample | None = None
+            for _ in range(entry.tries):
+                if not remaining:
+                    break
+                if sample is None:
+                    verified = self._verify_batch(
+                        entry.method, remaining, None, document.data, run,
+                        harvest_sample=self.use_samples,
+                    )
+                    remaining = _without(remaining, verified)
+                    if verified and self.use_samples:
+                        sample = _make_sample(verified[0])
+                        more = self._verify_batch(
+                            entry.method, remaining, sample, document.data, run
+                        )
+                        remaining = _without(remaining, more)
+                else:
+                    verified = self._verify_batch(
+                        entry.method, remaining, sample, document.data, run
+                    )
+                    remaining = _without(remaining, verified)
+            if not remaining:
+                break
+        for claim in remaining:
+            self._apply_fallback(claim, run.reports[claim.claim_id])
+
+    # -- Algorithm 2 ---------------------------------------------------------
+
+    def _verify_batch(
+        self,
+        method: VerificationMethod,
+        claims: list[Claim],
+        sample: Sample | None,
+        database: Database,
+        run: VerificationRun,
+        harvest_sample: bool = True,
+    ) -> list[Claim]:
+        """One Verify pass: apply one method to all remaining claims.
+
+        Mirrors Algorithm 2, including the early return that hands the
+        first verified claim back as a few-shot sample — suppressed when
+        ``harvest_sample`` is False (the sample-free ablation), since the
+        caller will not re-invoke with a sample and the remaining claims
+        must be processed in this pass.
+        """
+        verified: list[Claim] = []
+        for claim in claims:
+            report = run.reports[claim.claim_id]
+            masked = mask_claim(claim)
+            value_type = "numeric" if claim.is_numeric else ""
+            # Temperature 0 for the first invocation of *this* method on
+            # this claim, the method's retry temperature afterwards
+            # (Section 7.1: 0.25 one-shot retries, 0.5 agent retries).
+            prior_tries = report.method_attempts.get(method.name, 0)
+            temperature = 0.0 if prior_tries == 0 else method.retry_temperature
+            with self.ledger.tagged(f"method:{method.name}"), \
+                    self.ledger.tagged(f"claim:{claim.claim_id}"):
+                translation = method.translate(
+                    masked,
+                    value_type,
+                    claim.value,
+                    claim.value_text,
+                    database,
+                    sample,
+                    temperature,
+                )
+            report.attempts += 1
+            report.method_attempts[method.name] = prior_tries + 1
+            assessment = assess_query(translation.query, claim, database)
+            if assessment.executable:
+                report.saw_executable = True
+                report.last_executable_query = translation.query
+            if not assessment.plausible:
+                continue
+            claim.query = translation.query
+            claim.correct = validate_claim(translation.query, claim, database)
+            report.plausible = True
+            report.verified_by = method.name
+            if sample is None and harvest_sample:
+                return [claim]
+            verified.append(claim)
+        return verified
+
+    def _apply_fallback(self, claim: Claim, report: ClaimReport) -> None:
+        """Verdict for claims no method verified (end of Section 4)."""
+        report.fallback = True
+        if report.saw_executable:
+            claim.correct = False
+            claim.query = report.last_executable_query
+        else:
+            claim.correct = True
+            claim.query = None
+
+
+def _make_sample(claim: Claim) -> Sample:
+    masked = mask_claim(claim)
+    assert claim.query is not None
+    return Sample(masked.masked_sentence, claim.query)
+
+
+def _without(claims: list[Claim], removed: list[Claim]) -> list[Claim]:
+    removed_ids = {c.claim_id for c in removed}
+    return [c for c in claims if c.claim_id not in removed_ids]

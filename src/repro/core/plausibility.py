@@ -1,0 +1,111 @@
+"""Query plausibility and claim validation (paper Section 4).
+
+Two functions from the paper live here:
+
+* ``CorrectQuery`` (:func:`assess_query`) — is a candidate translation
+  *plausibly* correct? Numeric: the query result falls in the same order
+  of magnitude as the claimed value (wrong claims tend to be close to the
+  truth [17], wrong translations tend to be far off). Textual: embedding
+  cosine ≥ 0.7.
+* ``CorrectClaim`` (:func:`validate_claim`, Algorithm 3) — given a
+  plausible translation, is the claim itself correct? Numeric: round the
+  query result to the claim's displayed precision and compare. Textual:
+  embedding cosine ≥ 0.8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embeddings import text_similarity
+from repro.sqlengine import Database, Engine, SqlValue, to_text
+from repro.sqlengine.errors import EmptyResultError, SqlError
+from repro.sqlengine.values import coerce_numeric
+
+from .claims import (
+    Claim,
+    numeric_values_match,
+    same_order_of_magnitude,
+)
+
+#: Embedding-similarity threshold for plausibility ("moderate-to-strong
+#: semantic alignment between short text spans", Section 4).
+PLAUSIBILITY_SIMILARITY = 0.7
+
+#: Embedding-similarity threshold for claim correctness (Algorithm 3).
+CORRECTNESS_SIMILARITY = 0.8
+
+
+@dataclass(frozen=True)
+class QueryAssessment:
+    """Outcome of running CorrectQuery on one candidate translation."""
+
+    executable: bool
+    plausible: bool
+    result: SqlValue = None
+    error: str | None = None
+
+
+def execute_single_cell(sql: str, database: Database) -> SqlValue:
+    """Run a query and return its top-left cell.
+
+    Raises :class:`~repro.sqlengine.errors.SqlError` subclasses on parse or
+    runtime failures, including :class:`EmptyResultError` for empty results
+    — claims map to single-cell queries (Definition 2.4), so anything else
+    is a failed translation.
+    """
+    return Engine(database).execute(sql).first_cell()
+
+
+def assess_query(
+    sql: str | None, claim: Claim, database: Database
+) -> QueryAssessment:
+    """CorrectQuery: execute a candidate query and judge its plausibility."""
+    if not sql:
+        return QueryAssessment(False, False, error="no query produced")
+    try:
+        result = execute_single_cell(sql, database)
+    except EmptyResultError as error:
+        # The query parsed and ran but selected nothing: executable, yet
+        # there is no value to compare, hence not plausible.
+        return QueryAssessment(True, False, error=str(error))
+    except SqlError as error:
+        return QueryAssessment(False, False, error=str(error))
+    return QueryAssessment(
+        True, _plausible(result, claim), result=result
+    )
+
+
+def _plausible(result: SqlValue, claim: Claim) -> bool:
+    claimed = claim.value
+    claimed_number = coerce_numeric(claimed)
+    if claimed_number is not None:
+        result_number = coerce_numeric(result)
+        if result_number is None:
+            return False
+        return same_order_of_magnitude(result_number, claimed_number)
+    if result is None:
+        return False
+    similarity = text_similarity(to_text(result), str(claimed))
+    return similarity >= PLAUSIBILITY_SIMILARITY
+
+
+def validate_claim(
+    sql: str, claim: Claim, database: Database
+) -> bool:
+    """CorrectClaim (Algorithm 3): decide correctness from a trusted query.
+
+    Raises :class:`~repro.sqlengine.errors.SqlError` if the query cannot be
+    executed; callers are expected to have run :func:`assess_query` first.
+    """
+    result = execute_single_cell(sql, database)
+    claimed = claim.value
+    if isinstance(claimed, (int, float)):
+        result_number = coerce_numeric(result)
+        if result_number is None:
+            return False
+        return numeric_values_match(result_number, claim.value_text)
+    if result is None:
+        return False
+    similarity = text_similarity(to_text(result), str(claimed))
+    return similarity >= CORRECTNESS_SIMILARITY

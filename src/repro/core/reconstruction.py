@@ -1,0 +1,113 @@
+"""Query reconstruction from agent traces (paper Section 5.4, Algorithm 9).
+
+The agent often pieces a claim together across several queries: it first
+queries an intermediate value (``SELECT MAX("Wins") FROM table`` → 105),
+then issues a trivial final query with that constant inlined
+(``SELECT "Driver" FROM table WHERE "Wins" = 105``). The trivial query does
+not represent the claim's semantics on its own, so this stage recursively
+substitutes constants in later queries with the earlier queries that
+produced them, yielding one self-contained SQL statement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sqlengine import Database, Engine
+from repro.sqlengine.ast_nodes import quote_string
+from repro.sqlengine.errors import SqlError
+from repro.sqlengine.values import SqlValue, coerce_numeric
+
+from .claims import round_to_precision
+
+_NUMBER_IN_TOKEN = re.compile(r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?")
+
+
+def reconstruct(query_list: list[str], database: Database) -> str:
+    """Algorithm 9: merge an agent's query list into a single query.
+
+    Queries must be in issue order. Constants in *later* queries that match
+    the result of an *earlier* query are replaced by that query as a
+    parenthesised sub-query (the agent can only have derived constants from
+    queries it already ran). The last query — after all substitutions — is
+    the reconstruction.
+    """
+    if not query_list:
+        raise ValueError("cannot reconstruct from an empty query list")
+    remaining = list(query_list)
+    engine = Engine(database)
+    while len(remaining) > 1:
+        current = remaining.pop(0)
+        result = _try_single_cell(engine, current)
+        if result is None:
+            continue
+        for index, query in enumerate(remaining):
+            substituted = _substitute(query, current, result)
+            if substituted is not None:
+                remaining[index] = substituted
+    return remaining[0]
+
+
+def _try_single_cell(engine: Engine, sql: str) -> SqlValue | None:
+    try:
+        return engine.execute(sql).first_cell()
+    except SqlError:
+        return None
+
+
+def _substitute(query: str, sub_query: str, result: SqlValue) -> str | None:
+    """Replace the constant in ``query`` matching ``result``, if any.
+
+    Numeric results replace the whitespace-delimited numeric term with
+    minimal absolute distance, provided the result rounds to that term
+    (Algorithm 9's tie-break). String results replace the quoted literal.
+    Returns None when no substitution applies.
+    """
+    number = coerce_numeric(result)
+    if number is not None and not isinstance(result, str):
+        return _substitute_number(query, sub_query, float(number))
+    if isinstance(result, str):
+        literal = quote_string(result)
+        if literal in query:
+            return query.replace(literal, f"({sub_query})", 1)
+        return None
+    return None
+
+
+def _substitute_number(
+    query: str, sub_query: str, result: float
+) -> str | None:
+    best: tuple[float, int, re.Match] | None = None
+    for token_index, token in enumerate(query.split()):
+        match = _NUMBER_IN_TOKEN.search(token)
+        if match is None:
+            continue
+        try:
+            value = float(match.group(0))
+        except ValueError:
+            continue
+        distance = abs(value - result)
+        if best is None or distance < best[0]:
+            best = (distance, token_index, match)
+    if best is None:
+        return None
+    _, token_index, match = best
+    term_text = match.group(0)
+    if not _rounds_to(result, term_text):
+        return None
+    tokens = query.split()
+    token = tokens[token_index]
+    tokens[token_index] = (
+        token[: match.start()] + f"({sub_query})" + token[match.end():]
+    )
+    return " ".join(tokens)
+
+
+def _rounds_to(result: float, term_text: str) -> bool:
+    """Check whether the query result rounds to the written term."""
+    precision = len(term_text.split(".", 1)[1]) if "." in term_text else 0
+    try:
+        term_value = float(term_text)
+    except ValueError:
+        return False
+    return float(round_to_precision(result, precision)) == term_value

@@ -1,0 +1,114 @@
+"""Human-readable and machine-readable verification reports.
+
+The demo paper's user-facing output is an annotated document: each claim
+marked up with its verdict and the SQL evidence. This module renders a
+:class:`~repro.core.pipeline.VerificationRun` as markdown (for people)
+or as plain dictionaries (for JSON export / downstream tooling).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.llm.ledger import CostLedger
+
+from .claims import Document
+from .pipeline import VerificationRun
+
+
+def claim_records(
+    document: Document, run: VerificationRun
+) -> list[dict]:
+    """One plain dictionary per claim, JSON-serialisable."""
+    records = []
+    for claim in document.claims:
+        report = run.reports[claim.claim_id]
+        records.append({
+            "claim_id": claim.claim_id,
+            "sentence": claim.sentence,
+            "claimed_value": claim.value_text,
+            "verdict": "correct" if claim.correct else "incorrect",
+            "query": claim.query,
+            "verified_by": report.verified_by,
+            "attempts": report.attempts,
+            "fallback": report.fallback,
+        })
+    return records
+
+
+def document_report(
+    document: Document,
+    run: VerificationRun,
+    ledger: CostLedger | None = None,
+) -> dict:
+    """Full report for one document, JSON-serialisable."""
+    records = claim_records(document, run)
+    flagged = sum(1 for r in records if r["verdict"] == "incorrect")
+    report: dict = {
+        "document_id": document.doc_id,
+        "title": document.title,
+        "claims": records,
+        "summary": {
+            "total_claims": len(records),
+            "flagged": flagged,
+            "verified_without_fallback": sum(
+                1 for r in records if not r["fallback"]
+            ),
+        },
+    }
+    if ledger is not None:
+        totals = ledger.totals(f"doc:{document.doc_id}")
+        report["spend"] = {
+            "cost_usd": round(totals.cost, 6),
+            "llm_calls": totals.calls,
+            "tokens": totals.total_tokens,
+        }
+    return report
+
+
+def to_json(
+    document: Document,
+    run: VerificationRun,
+    ledger: CostLedger | None = None,
+    indent: int = 2,
+) -> str:
+    """Serialise the document report as JSON text."""
+    return json.dumps(document_report(document, run, ledger), indent=indent)
+
+
+def to_markdown(
+    document: Document,
+    run: VerificationRun,
+    ledger: CostLedger | None = None,
+) -> str:
+    """Render the annotated document as markdown.
+
+    Flagged claims carry a warning marker and their SQL evidence in a
+    details block, mirroring the demo front-end's presentation.
+    """
+    report = document_report(document, run, ledger)
+    lines = [f"# Verification report — {document.title or document.doc_id}",
+             ""]
+    summary = report["summary"]
+    lines.append(
+        f"**{summary['total_claims']} claims checked, "
+        f"{summary['flagged']} flagged.**"
+    )
+    if "spend" in report:
+        spend = report["spend"]
+        lines.append(
+            f"Verification spend: ${spend['cost_usd']:.4f} across "
+            f"{spend['llm_calls']} LLM calls."
+        )
+    lines.append("")
+    for record in report["claims"]:
+        marker = "⚠️" if record["verdict"] == "incorrect" else "✅"
+        lines.append(f"- {marker} {record['sentence']}")
+        stage = record["verified_by"] or "fallback verdict"
+        lines.append(
+            f"  - verdict: **{record['verdict']}** "
+            f"({stage}, {record['attempts']} attempt(s))"
+        )
+        if record["query"]:
+            lines.append(f"  - evidence: `{record['query']}`")
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Cost-based schedule optimisation (paper Section 6.4, Algorithm 10).
+
+Dynamic programming in the style of Selinger's join-ordering algorithm,
+but over *verification methods*: the state is the subset of methods a
+schedule uses, the per-state value is the Pareto frontier of (cost,
+accuracy) over all orderings and try counts of that subset. Theorem 6.3
+(principle of optimality) justifies pruning dominated prefixes; Theorem
+6.4 justifies restricting to consecutive retries of the same method.
+
+The final choice (``SelectSchedule``) filters to schedules meeting the
+accuracy constraint (or, failing that, the maximum achievable accuracy),
+prefers schedules using the most distinct methods (diversity compensates
+for the independence assumptions), and picks minimal cost among those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from .cost_model import (
+    MethodProfile,
+    PlannedSchedule,
+    PlannedStage,
+    distinct_methods_used,
+    schedule_accuracy,
+    schedule_cost,
+)
+
+#: Default cap on retries per method (m in Algorithm 10).
+DEFAULT_MAX_TRIES = 3
+
+
+@dataclass(frozen=True)
+class ScoredSchedule:
+    """A candidate schedule with its model-estimated metrics."""
+
+    schedule: PlannedSchedule
+    cost: float
+    accuracy: float
+
+    def dominates(self, other: "ScoredSchedule") -> bool:
+        """Pareto dominance over (cost ↓, accuracy ↑)."""
+        at_least = self.cost <= other.cost and self.accuracy >= other.accuracy
+        strictly = self.cost < other.cost or self.accuracy > other.accuracy
+        return at_least and strictly
+
+
+def optimal_schedule(
+    profiles: dict[str, MethodProfile],
+    min_accuracy: float,
+    max_tries: int = DEFAULT_MAX_TRIES,
+) -> PlannedSchedule:
+    """Algorithm 10 + SelectSchedule: the schedule CEDAR will execute."""
+    frontier = pareto_schedules(profiles, max_tries)
+    return select_schedule(frontier, min_accuracy)
+
+
+def pareto_schedules(
+    profiles: dict[str, MethodProfile],
+    max_tries: int = DEFAULT_MAX_TRIES,
+) -> list[ScoredSchedule]:
+    """The DP of Algorithm 10: Pareto-optimal schedules over all methods."""
+    if not profiles:
+        raise ValueError("no method profiles supplied")
+    if max_tries < 1:
+        raise ValueError("max_tries must be at least 1")
+    method_names = sorted(profiles)
+    table: dict[frozenset[str], list[ScoredSchedule]] = {}
+    # Initialise single-method entries: every try count 0..m is
+    # Pareto-optimal among schedules over one method.
+    for name in method_names:
+        entries = [
+            _score((PlannedStage(name, tries),), profiles)
+            for tries in range(max_tries + 1)
+        ]
+        table[frozenset((name,))] = entries
+    # Grow subsets, appending each candidate last method with each try
+    # count to every Pareto-optimal schedule of the remaining subset.
+    for size in range(2, len(method_names) + 1):
+        for subset in combinations(method_names, size):
+            subset_key = frozenset(subset)
+            pareto: list[ScoredSchedule] = []
+            for last in subset:
+                rest_key = subset_key - {last}
+                for partial in table[rest_key]:
+                    for tries in range(max_tries + 1):
+                        candidate = _score(
+                            partial.schedule + (PlannedStage(last, tries),),
+                            profiles,
+                        )
+                        pareto = prune(pareto, candidate)
+            table[subset_key] = pareto
+    return table[frozenset(method_names)]
+
+
+def prune(
+    frontier: list[ScoredSchedule], candidate: ScoredSchedule
+) -> list[ScoredSchedule]:
+    """Insert a candidate into a Pareto frontier, dropping dominated entries.
+
+    Exact (cost, accuracy) ties are broken towards the schedule using more
+    distinct methods, so the diversity preference of SelectSchedule still
+    has the diverse variant available.
+    """
+    candidate_diversity = distinct_methods_used(candidate.schedule)
+    for existing in frontier:
+        if existing.dominates(candidate):
+            return frontier
+        if (
+            existing.cost == candidate.cost
+            and existing.accuracy == candidate.accuracy
+            and distinct_methods_used(existing.schedule)
+            >= candidate_diversity
+        ):
+            return frontier
+    kept = [
+        s
+        for s in frontier
+        if not candidate.dominates(s)
+        and not (
+            s.cost == candidate.cost
+            and s.accuracy == candidate.accuracy
+            and distinct_methods_used(s.schedule) < candidate_diversity
+        )
+    ]
+    kept.append(candidate)
+    return kept
+
+
+#: Schedules within this relative cost margin of the cheapest feasible
+#: schedule are considered cost-equivalent for the diversity tie-break.
+DIVERSITY_COST_MARGIN = 1.10
+
+
+def select_schedule(
+    frontier: list[ScoredSchedule], min_accuracy: float
+) -> PlannedSchedule:
+    """SelectSchedule (Section 6.4): constraint, then cost, then diversity.
+
+    The accuracy constraint restricts the frontier (falling back to the
+    maximum achievable accuracy when infeasible); the cheapest remaining
+    schedule wins. Among schedules whose estimated cost is within a small
+    margin of the cheapest, the one using the most *distinct* methods is
+    preferred: the independence assumptions overstate the value of
+    retrying one method, so diversity buys real accuracy at nominally
+    equal cost (the paper's correction for Assumption 2).
+    """
+    if not frontier:
+        raise ValueError("empty schedule frontier")
+    feasible = [s for s in frontier if s.accuracy >= min_accuracy]
+    if not feasible:
+        best_accuracy = max(s.accuracy for s in frontier)
+        feasible = [s for s in frontier if s.accuracy == best_accuracy]
+    cheapest = min(s.cost for s in feasible)
+    margin = cheapest * DIVERSITY_COST_MARGIN if cheapest > 0 else 0.0
+    near_cheapest = [s for s in feasible if s.cost <= margin]
+    chosen = max(
+        near_cheapest,
+        key=lambda s: (distinct_methods_used(s.schedule), -s.cost),
+    )
+    return _strip_zero_stages(chosen.schedule)
+
+
+def _score(
+    schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
+) -> ScoredSchedule:
+    return ScoredSchedule(
+        schedule=schedule,
+        cost=schedule_cost(schedule, profiles),
+        accuracy=schedule_accuracy(schedule, profiles),
+    )
+
+
+def _strip_zero_stages(schedule: PlannedSchedule) -> PlannedSchedule:
+    return tuple(stage for stage in schedule if stage.tries > 0)

@@ -1,0 +1,45 @@
+"""Synthetic benchmark datasets matching the paper's evaluation corpora."""
+
+from .aggchecker import build_aggchecker
+from .base import DatasetBundle
+from .claimgen import (
+    ClaimGenerator,
+    GeneratedClaim,
+    GenerationSettings,
+    QueryRecipe,
+    build_sql,
+)
+from .joinbench import build_joinbench
+from .normalize import NormalizedNaming, joined_sql, normalize_database
+from .tablegen import generate_database, generate_table
+from .tabfact import build_tabfact
+from .themes import ALL_THEMES, AGGCHECKER_THEMES, Theme, theme_by_key
+from .units import CONVERSIONS, UnitConversion, conversion_for
+from .unitsbench import build_units_benchmark
+from .wikitext import build_wikitext
+
+__all__ = [
+    "AGGCHECKER_THEMES",
+    "ALL_THEMES",
+    "CONVERSIONS",
+    "ClaimGenerator",
+    "DatasetBundle",
+    "GeneratedClaim",
+    "GenerationSettings",
+    "NormalizedNaming",
+    "QueryRecipe",
+    "Theme",
+    "UnitConversion",
+    "build_aggchecker",
+    "build_joinbench",
+    "build_sql",
+    "build_tabfact",
+    "build_units_benchmark",
+    "build_wikitext",
+    "conversion_for",
+    "generate_database",
+    "generate_table",
+    "joined_sql",
+    "normalize_database",
+    "theme_by_key",
+]

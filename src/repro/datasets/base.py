@@ -1,0 +1,52 @@
+"""Common container for generated benchmark datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.claims import Claim, Document
+from repro.llm.world import ClaimWorld
+
+
+@dataclass
+class DatasetBundle:
+    """A generated benchmark: documents plus the simulated-LLM world.
+
+    The world is part of the LLM substitute, not of the data: experiment
+    harnesses hand it to :class:`~repro.llm.simulated.SimulatedLLM`
+    instances, never to CEDAR itself.
+    """
+
+    name: str
+    documents: list[Document]
+    world: ClaimWorld
+    description: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def claims(self) -> list[Claim]:
+        """All claims across all documents, in document order."""
+        return [c for d in self.documents for c in d.claims]
+
+    @property
+    def claim_count(self) -> int:
+        return len(self.claims)
+
+    @property
+    def incorrect_count(self) -> int:
+        return sum(
+            1 for c in self.claims if not c.metadata.get("label_correct", True)
+        )
+
+    def documents_by_domain(self) -> dict[str, list[Document]]:
+        """Group documents by their domain tag (538, nytimes, …)."""
+        grouped: dict[str, list[Document]] = {}
+        for document in self.documents:
+            grouped.setdefault(document.domain, []).append(document)
+        return grouped
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetBundle({self.name!r}, {len(self.documents)} docs, "
+            f"{self.claim_count} claims, {self.incorrect_count} incorrect)"
+        )

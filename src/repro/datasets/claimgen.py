@@ -1,0 +1,825 @@
+"""Claim generation: sentences, ground-truth SQL, labels, and LLM knowledge.
+
+Each generated claim is built *backwards from a query*: a query recipe is
+drawn (lookup, count, aggregate, percentage, superlative, …), instantiated
+against the actual table contents, executed to obtain the true value, and
+then rendered as a fluent English sentence claiming either the true value
+(correct claim) or a perturbed one (incorrect claim — perturbations stay
+in the same order of magnitude, matching the finding [17] that wrong
+numeric claims are close to the truth).
+
+Alongside the :class:`~repro.core.claims.Claim`, the generator registers a
+:class:`~repro.llm.world.ClaimKnowledge` record in the dataset's
+:class:`~repro.llm.world.ClaimWorld` so the simulated LLM can "understand"
+the claim. The structured :class:`QueryRecipe` is stored in the claim's
+metadata so JoinBench can mechanically rebuild the query over a normalised
+schema.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.core.claims import (
+    Claim,
+    Span,
+    numeric_values_match,
+    parse_claim_value,
+    same_order_of_magnitude,
+)
+from repro.core.masking import mask_sentence
+from repro.embeddings import text_similarity
+from repro.llm.world import ClaimKnowledge, ClaimWorld, LookupTrap
+from repro.sqlengine import Database, Engine
+from repro.sqlengine.ast_nodes import quote_identifier, quote_string
+from repro.sqlengine.errors import SqlError
+
+from .tablegen import vocab_entry_for
+from .themes import NumericColumn, Theme
+from .units import UnitConversion, conversion_for
+
+#: Sentinel marking the claim-value position while rendering templates.
+_VALUE_SENTINEL = "__VALUE__"
+
+#: Base difficulty per template kind; see the behaviour model in
+#: repro.llm.simulated for how difficulty maps to success probability.
+BASE_DIFFICULTY = {
+    "lookup": 0.12,
+    "lookup_text": 0.18,
+    "count": 0.18,
+    "max": 0.28,
+    "min": 0.28,
+    "sum": 0.34,
+    "avg": 0.34,
+    "superlative_numeric": 0.42,
+    "superlative_text": 0.46,
+    "group_leader_text": 0.52,
+    "percent": 0.50,
+}
+
+_OPENERS = (
+    "According to the data,",
+    "The records show that",
+    "The figures indicate that",
+    "Based on the latest release,",
+    "The dataset reveals that",
+    "Per the official tally,",
+    "",
+)
+
+_CLOSERS = (
+    "Analysts continue to monitor these figures closely.",
+    "The numbers are updated with every reporting cycle.",
+    "Experts consider the trend noteworthy.",
+    "Observers expect the picture to shift in coming years.",
+    "The statistic has drawn considerable attention.",
+)
+
+
+@dataclass(frozen=True)
+class QueryRecipe:
+    """Machine-readable description of a claim's ground-truth query."""
+
+    kind: str
+    value_column: str | None = None
+    aggregate: str | None = None
+    filters: tuple[tuple[str, str], ...] = ()
+    numeric_filter: tuple[str, str, float] | None = None
+    inner_aggregate: tuple[str, str] | None = None  # (agg, column)
+    entity_column: str | None = None
+
+
+@dataclass
+class GeneratedClaim:
+    """A claim together with its registered LLM knowledge."""
+
+    claim: Claim
+    knowledge: ClaimKnowledge
+
+
+@dataclass
+class GenerationSettings:
+    """Knobs for one dataset's claim mix."""
+
+    kind_weights: dict[str, float]
+    incorrect_rate: float = 0.25
+    convert_units: bool = False
+    restrict_convertible: bool = False
+    difficulty_shift: float = 0.0
+    #: Fraction of claims whose phrasing is genuinely ambiguous or
+    #: under-specified — real-world documents always contain some. These
+    #: draw difficulty from the high tail and often defeat every
+    #: verification method, producing the fallback verdicts behind the
+    #: paper's sub-100% precision.
+    hard_fraction: float = 0.10
+    #: Fraction of claims that carry a *tempting misreading* — a sibling
+    #: column or group whose phrasing also fits the claim. Models latch
+    #: onto it across retries (see ClaimKnowledge.misread_sql).
+    misread_fraction: float = 0.10
+    #: For *correct textual* claims: probability that the claim phrases
+    #: the value differently from how the data stores it (abbreviation,
+    #: partial name). The claim is factually right, but no query result
+    #: can match it at the 0.8 similarity bar — the surface mismatches
+    #: behind the paper's low precision on textual claims (WikiText).
+    textual_variant_prob: float = 0.0
+    max_attempts: int = 80
+
+
+class ClaimGenerator:
+    """Generates claims for one document (one theme + one database)."""
+
+    def __init__(
+        self,
+        theme: Theme,
+        database: Database,
+        world: ClaimWorld,
+        rng: random.Random,
+        doc_id: str,
+    ) -> None:
+        self.theme = theme
+        self.database = database
+        self.world = world
+        self.rng = rng
+        self.doc_id = doc_id
+        self._engine = Engine(database)
+        self._table = database.table(theme.table_name)
+        self._claim_index = 0
+        self._pending_surface_variant = False
+
+    # -- public API ----------------------------------------------------------
+
+    def generate(self, settings: GenerationSettings) -> GeneratedClaim:
+        """Generate one claim, retrying until all integrity checks pass."""
+        last_error: Exception | None = None
+        for _ in range(settings.max_attempts):
+            try:
+                generated = self._attempt(settings)
+            except _RetryGeneration as error:
+                last_error = error
+                continue
+            self.world.register(generated.knowledge)
+            self._claim_index += 1
+            return generated
+        raise RuntimeError(
+            f"could not generate a claim for {self.doc_id} after "
+            f"{settings.max_attempts} attempts: {last_error}"
+        )
+
+    # -- single attempt --------------------------------------------------------
+
+    def _attempt(self, settings: GenerationSettings) -> GeneratedClaim:
+        rng = self.rng
+        self._pending_surface_variant = False
+        kind = _weighted_kind(settings.kind_weights, rng)
+        recipe, conversion = self._draw_recipe(kind, settings)
+        reference_sql = build_sql(
+            recipe, self.theme.table_name, conversion
+        )
+        true_value = self._execute(reference_sql)
+        if true_value is None:
+            raise _RetryGeneration("query returned NULL")
+        label_correct = rng.random() >= settings.incorrect_rate
+        claim_type = "text" if kind.endswith("_text") else "numeric"
+        if claim_type == "numeric":
+            value_text = self._numeric_value_text(
+                kind, recipe, true_value, label_correct
+            )
+        else:
+            value_text = self._text_value_text(
+                recipe, str(true_value), label_correct, settings
+            )
+        sentence, span = self._render_sentence(
+            kind, recipe, value_text, conversion
+        )
+        claim_id = f"{self.doc_id}/c{self._claim_index}"
+        masked = mask_sentence(sentence, span.start, span.end)
+        if self.world.has_sentence(masked) or self.world.has_sentence(sentence):
+            raise _RetryGeneration("sentence collision")
+        context = self._render_context(sentence)
+        claim = Claim(
+            sentence=sentence,
+            span=span,
+            context=context,
+            claim_id=claim_id,
+            metadata={
+                "label_correct": label_correct,
+                "kind": kind,
+                "recipe": recipe,
+                "reference_sql": reference_sql,
+                "theme": self.theme.key,
+                "surface_variant": self._pending_surface_variant,
+            },
+        )
+        knowledge = self._build_knowledge(
+            claim, masked, reference_sql, recipe, kind, claim_type,
+            conversion, settings,
+        )
+        return GeneratedClaim(claim, knowledge)
+
+    # -- recipe drawing --------------------------------------------------------
+
+    def _draw_recipe(
+        self, kind: str, settings: GenerationSettings
+    ) -> tuple[QueryRecipe, UnitConversion | None]:
+        rng = self.rng
+        theme = self.theme
+        entity = theme.entity_column.name
+        conversion: UnitConversion | None = None
+        numeric = self._pick_numeric(settings)
+        if settings.convert_units and numeric.unit_kind:
+            conversion = conversion_for(numeric.unit_kind)
+        if kind == "lookup":
+            row_value = self._pick_entity_value()
+            recipe = QueryRecipe(
+                kind, value_column=numeric.name,
+                filters=((entity, row_value),), entity_column=entity,
+            )
+        elif kind == "lookup_text":
+            row_value = self._pick_entity_value()
+            category = rng.choice(theme.extra_categories)
+            recipe = QueryRecipe(
+                kind, value_column=category.name,
+                filters=((entity, row_value),), entity_column=entity,
+            )
+        elif kind == "count":
+            recipe = QueryRecipe(
+                kind, value_column=entity, aggregate="COUNT",
+                filters=self._category_filter(), entity_column=entity,
+            )
+            if rng.random() < 0.35:
+                threshold = self._numeric_threshold(numeric)
+                recipe = replace(
+                    recipe, filters=(), numeric_filter=threshold
+                )
+        elif kind in ("sum", "avg", "max", "min"):
+            filters = self._category_filter() if rng.random() < 0.4 else ()
+            recipe = QueryRecipe(
+                kind, value_column=numeric.name, aggregate=kind.upper(),
+                filters=filters, entity_column=entity,
+            )
+        elif kind == "percent":
+            recipe = QueryRecipe(
+                kind, value_column=entity, aggregate="COUNT",
+                filters=self._category_filter(), entity_column=entity,
+            )
+        elif kind == "superlative_numeric":
+            other = self._pick_numeric(settings, exclude=numeric.name)
+            recipe = QueryRecipe(
+                kind, value_column=numeric.name,
+                inner_aggregate=("MAX", other.name), entity_column=entity,
+            )
+            self._require_unique_extreme("MAX", other.name)
+        elif kind == "superlative_text":
+            agg = rng.choice(("MAX", "MIN"))
+            recipe = QueryRecipe(
+                kind, value_column=entity,
+                inner_aggregate=(agg, numeric.name), entity_column=entity,
+            )
+            self._require_unique_extreme(agg, numeric.name)
+        elif kind == "group_leader_text":
+            category = rng.choice(theme.extra_categories)
+            recipe = QueryRecipe(
+                kind, value_column=category.name,
+                inner_aggregate=("SUM", numeric.name), entity_column=entity,
+            )
+        else:
+            raise ValueError(f"unknown claim kind {kind!r}")
+        return recipe, conversion
+
+    def _pick_numeric(
+        self, settings: GenerationSettings, exclude: str | None = None
+    ) -> NumericColumn:
+        candidates = [
+            c for c in self.theme.numeric_columns if c.name != exclude
+        ]
+        if settings.convert_units or settings.restrict_convertible:
+            convertible = [c for c in candidates if c.unit_kind]
+            if convertible:
+                candidates = convertible
+        return self.rng.choice(candidates)
+
+    def _pick_entity_value(self) -> str:
+        values = self._table.unique_column_values(
+            self.theme.entity_column.name
+        )
+        # Filler rows (appended beyond the named vocabulary) are part of
+        # the data but never the subject of a claim.
+        named = {e.stored for e in self.theme.entity_column.vocabulary}
+        candidates = [v for v in values if str(v) in named]
+        if not candidates:
+            raise _RetryGeneration("no named entities in table")
+        return str(self.rng.choice(candidates))
+
+    def _category_filter(self) -> tuple[tuple[str, str], ...]:
+        category = self.rng.choice(self.theme.extra_categories)
+        values = self._table.unique_column_values(category.name)
+        if not values:
+            raise _RetryGeneration("empty category column")
+        return ((category.name, str(self.rng.choice(values))),)
+
+    def _numeric_threshold(
+        self, numeric: NumericColumn
+    ) -> tuple[str, str, float]:
+        values = [
+            v for v in self._table.column_values(numeric.name)
+            if v is not None
+        ]
+        pivot = self.rng.choice(values)
+        operator = self.rng.choice((">", "<"))
+        return (numeric.name, operator, float(pivot))
+
+    def _require_unique_extreme(self, agg: str, column: str) -> None:
+        values = [
+            v for v in self._table.column_values(column) if v is not None
+        ]
+        extreme = max(values) if agg == "MAX" else min(values)
+        if sum(1 for v in values if v == extreme) != 1:
+            raise _RetryGeneration(f"tied {agg} on {column}")
+
+    # -- values ------------------------------------------------------------------
+
+    def _execute(self, sql: str):
+        try:
+            return self._engine.execute(sql).first_cell()
+        except SqlError as error:
+            raise _RetryGeneration(f"reference query failed: {error}") from None
+
+    def _numeric_value_text(
+        self, kind: str, recipe: QueryRecipe, true_value, label_correct: bool
+    ) -> str:
+        decimals = self._display_decimals(kind, recipe)
+        true_text = _format_number(float(true_value), decimals)
+        if label_correct:
+            return true_text
+        for _ in range(30):
+            perturbed = _perturb(float(true_value), self.rng)
+            text = _format_number(perturbed, decimals)
+            parsed = parse_claim_value(text)
+            if not isinstance(parsed, (int, float)):
+                continue
+            if numeric_values_match(float(true_value), text):
+                continue  # perturbation rounded back to the truth
+            if not same_order_of_magnitude(float(true_value), float(parsed)):
+                continue  # too far off; wrong claims stay close [17]
+            return text
+        raise _RetryGeneration("could not perturb numeric value")
+
+    def _display_decimals(self, kind: str, recipe: QueryRecipe) -> int:
+        if kind in ("count", "sum", "percent"):
+            return 1 if kind == "percent" else 0
+        if kind == "avg":
+            return 1
+        column = self._numeric_column(recipe.value_column)
+        return column.decimals if column is not None else 0
+
+    def _numeric_column(self, name: str | None) -> NumericColumn | None:
+        for column in self.theme.numeric_columns:
+            if column.name == name:
+                return column
+        return None
+
+    def _text_value_text(
+        self,
+        recipe: QueryRecipe,
+        true_value: str,
+        label_correct: bool,
+        settings: GenerationSettings,
+    ) -> str:
+        if label_correct:
+            if self.rng.random() < settings.textual_variant_prob:
+                variant = self._surface_variant(recipe, true_value)
+                if variant is not None:
+                    self._pending_surface_variant = True
+                    return variant
+            return true_value
+        values = [
+            str(v)
+            for v in self._table.unique_column_values(recipe.value_column)
+            if v is not None and str(v) != true_value
+        ]
+        self.rng.shuffle(values)
+        for candidate in values:
+            if text_similarity(candidate, true_value) < 0.55:
+                return candidate
+        raise _RetryGeneration("no dissimilar wrong value available")
+
+    def _surface_variant(
+        self, recipe: QueryRecipe, true_value: str
+    ) -> str | None:
+        """A different surface form of the same entity, if one exists."""
+        try:
+            entry = vocab_entry_for(self.theme, recipe.value_column,
+                                    true_value)
+        except KeyError:
+            entry = None
+        if entry is not None and entry.is_trap:
+            return entry.shown
+        words = true_value.split()
+        if len(words) >= 2:
+            # Refer to the entity by its distinctive last word ("Hamilton"
+            # for "Lewis Hamilton").
+            return words[-1]
+        return None
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _render_sentence(
+        self,
+        kind: str,
+        recipe: QueryRecipe,
+        value_text: str,
+        conversion: UnitConversion | None,
+    ) -> tuple[str, Span]:
+        template = self._sentence_template(kind, recipe, conversion)
+        opener = self.rng.choice(_OPENERS)
+        sentence = f"{opener} {template}".strip()
+        return _place_value(sentence, value_text)
+
+    def _sentence_template(
+        self,
+        kind: str,
+        recipe: QueryRecipe,
+        conversion: UnitConversion | None,
+    ) -> str:
+        theme = self.theme
+        measure = self._measure_phrase(recipe.value_column, conversion)
+        if kind == "lookup":
+            entity = self._shown(recipe.filters[0])
+            return f"{entity} recorded {_VALUE_SENTINEL} {measure}."
+        if kind == "lookup_text":
+            entity = self._shown(recipe.filters[0])
+            noun = self._category_noun(recipe.value_column)
+            return (
+                f"the {noun} listed for {entity} is {_VALUE_SENTINEL}."
+            )
+        if kind == "count":
+            if recipe.numeric_filter is not None:
+                column, operator, threshold = recipe.numeric_filter
+                direction = "more" if operator == ">" else "fewer"
+                filter_measure = self._measure_phrase(column, None)
+                return (
+                    f"{_VALUE_SENTINEL} of the {theme.subject} posted "
+                    f"{direction} than {_format_number(threshold, 6).rstrip('0').rstrip('.')} "
+                    f"{filter_measure}."
+                )
+            noun = self._category_noun(recipe.filters[0][0])
+            shown = self._shown(recipe.filters[0])
+            return (
+                f"{_VALUE_SENTINEL} of the {theme.subject} fall under the "
+                f"{shown} {noun}."
+            )
+        if kind == "sum":
+            scope = self._scope_phrase(recipe.filters)
+            return (
+                f"the combined total of {measure} across {scope} reaches "
+                f"{_VALUE_SENTINEL}."
+            )
+        if kind == "avg":
+            scope = self._scope_phrase(recipe.filters)
+            return (
+                f"on average, {scope} posted {_VALUE_SENTINEL} {measure}."
+            )
+        if kind in ("max", "min"):
+            extreme = "highest" if kind == "max" else "lowest"
+            scope = self._scope_phrase(recipe.filters)
+            return (
+                f"the {extreme} number of {measure} among {scope} stands at "
+                f"{_VALUE_SENTINEL}."
+            )
+        if kind == "percent":
+            noun = self._category_noun(recipe.filters[0][0])
+            shown = self._shown(recipe.filters[0])
+            return (
+                f"about {_VALUE_SENTINEL} percent of the {theme.subject} "
+                f"belong to the {shown} {noun}."
+            )
+        if kind == "superlative_numeric":
+            _, inner_column = recipe.inner_aggregate
+            inner_measure = self._measure_phrase(inner_column, None)
+            return (
+                f"the {theme.entity_column.noun} with the most "
+                f"{inner_measure} recorded {_VALUE_SENTINEL} {measure}."
+            )
+        if kind == "superlative_text":
+            agg, inner_column = recipe.inner_aggregate
+            inner_measure = self._measure_phrase(inner_column, None)
+            extreme = "most" if agg == "MAX" else "fewest"
+            return (
+                f"{_VALUE_SENTINEL} leads all {theme.subject} with the "
+                f"{extreme} {inner_measure}."
+            )
+        if kind == "group_leader_text":
+            _, inner_column = recipe.inner_aggregate
+            inner_measure = self._measure_phrase(inner_column, None)
+            noun = self._category_noun(recipe.value_column)
+            return (
+                f"the {noun} with the highest combined {inner_measure} is "
+                f"{_VALUE_SENTINEL}."
+            )
+        raise ValueError(f"unknown claim kind {kind!r}")
+
+    def _measure_phrase(
+        self, column_name: str | None, conversion: UnitConversion | None
+    ) -> str:
+        column = self._numeric_column(column_name)
+        if column is None:
+            return "entries"
+        measure = column.measure
+        if conversion is not None and column.unit_kind == conversion.kind:
+            measure = measure.replace(
+                conversion.source_unit, conversion.target_unit
+            )
+        return measure
+
+    def _category_noun(self, column_name: str | None) -> str:
+        for category in self.theme.category_columns:
+            if category.name == column_name:
+                return category.noun
+        return "category"
+
+    def _shown(self, filter_pair: tuple[str, str]) -> str:
+        column, stored = filter_pair
+        try:
+            return vocab_entry_for(self.theme, column, stored).shown
+        except KeyError:
+            return stored
+
+    def _scope_phrase(self, filters: tuple[tuple[str, str], ...]) -> str:
+        if not filters:
+            return f"all {self.theme.subject}"
+        column, _ = filters[0]
+        noun = self._category_noun(column)
+        shown = self._shown(filters[0])
+        return f"the {self.theme.subject} in the {shown} {noun}"
+
+    def _render_context(self, sentence: str) -> str:
+        closer = self.rng.choice(_CLOSERS)
+        return f"{self.theme.narrative} {sentence} {closer}"
+
+    # -- knowledge -----------------------------------------------------------------
+
+    def _build_knowledge(
+        self,
+        claim: Claim,
+        masked_sentence: str,
+        reference_sql: str,
+        recipe: QueryRecipe,
+        kind: str,
+        claim_type: str,
+        conversion: UnitConversion | None,
+        settings: GenerationSettings,
+    ) -> ClaimKnowledge:
+        trap = self._find_trap(recipe, claim.sentence)
+        misread = self._misread_sql(recipe, reference_sql, settings)
+        decomposition = self._decomposition(recipe, conversion)
+        difficulty, ambiguous = self._difficulty(kind, recipe, settings)
+        naive_sql = None
+        unit_factor = 1.0
+        if conversion is not None:
+            naive_sql = build_sql(recipe, self.theme.table_name, None)
+            unit_factor = conversion.factor_for_model
+        return ClaimKnowledge(
+            claim_id=claim.claim_id,
+            masked_sentence=masked_sentence,
+            unmasked_sentence=claim.sentence,
+            reference_sql=reference_sql,
+            claim_value_text=claim.value_text,
+            claim_type=claim_type,
+            difficulty=difficulty,
+            table_name=self.theme.table_name,
+            columns=tuple(self.theme.column_names),
+            lookup_trap=trap,
+            misread_sql=misread,
+            ambiguous=ambiguous,
+            decomposition=decomposition,
+            unit_factor=unit_factor,
+            naive_unit_sql=naive_sql,
+        )
+
+    def _misread_sql(
+        self,
+        recipe: QueryRecipe,
+        reference_sql: str,
+        settings: GenerationSettings,
+    ) -> str | None:
+        """Draw the claim's tempting misinterpretation, if it has one."""
+        if self.rng.random() >= settings.misread_fraction:
+            return None
+        if recipe.kind in ("percent", "count") and recipe.filters:
+            column, value = recipe.filters[0]
+            others = [
+                str(v)
+                for v in self._table.unique_column_values(column)
+                if str(v) != value
+            ]
+            if not others:
+                return None
+            return reference_sql.replace(
+                quote_string(value), quote_string(self.rng.choice(others)), 1
+            )
+        if recipe.value_column and self._numeric_column(recipe.value_column):
+            siblings = [
+                c.name
+                for c in self.theme.numeric_columns
+                if c.name != recipe.value_column
+            ]
+            if not siblings:
+                return None
+            return reference_sql.replace(
+                quote_identifier(recipe.value_column),
+                quote_identifier(self.rng.choice(siblings)),
+                1,
+            )
+        if recipe.kind == "lookup_text":
+            others = [
+                c.name
+                for c in self.theme.extra_categories
+                if c.name != recipe.value_column
+            ]
+            if not others:
+                return None
+            return reference_sql.replace(
+                quote_identifier(recipe.value_column),
+                quote_identifier(self.rng.choice(others)),
+                1,
+            )
+        return None
+
+    def _find_trap(
+        self, recipe: QueryRecipe, sentence: str
+    ) -> LookupTrap | None:
+        for column, stored in recipe.filters:
+            try:
+                entry = vocab_entry_for(self.theme, column, stored)
+            except KeyError:
+                continue
+            if entry.is_trap and entry.shown in sentence:
+                return LookupTrap(
+                    column=column,
+                    wrong_constant=entry.shown,
+                    right_constant=stored,
+                )
+        return None
+
+    def _decomposition(
+        self, recipe: QueryRecipe, conversion: UnitConversion | None
+    ) -> tuple[str, ...]:
+        if recipe.inner_aggregate is None or recipe.kind == "group_leader_text":
+            return ()
+        agg, column = recipe.inner_aggregate
+        table = quote_identifier(self.theme.table_name)
+        inner = f"SELECT {agg}({quote_identifier(column)}) FROM {table}"
+        inner_value = self._execute(inner)
+        value_expression = quote_identifier(recipe.value_column)
+        if conversion is not None:
+            value_expression = conversion.wrap_sql(value_expression)
+        outer = (
+            f"SELECT {value_expression} FROM {table} "
+            f"WHERE {quote_identifier(column)} = "
+            f"{_render_constant(inner_value)}"
+        )
+        return (inner, outer)
+
+    def _difficulty(
+        self, kind: str, recipe: QueryRecipe, settings: GenerationSettings
+    ) -> tuple[float, bool]:
+        if self.rng.random() < settings.hard_fraction:
+            # Ambiguously phrased claim: hard for every method.
+            return self.rng.uniform(0.72, 0.95), True
+        difficulty = BASE_DIFFICULTY[kind]
+        difficulty += 0.06 * max(0, len(recipe.filters) - 1)
+        difficulty += self.rng.uniform(-0.08, 0.08)
+        difficulty += settings.difficulty_shift
+        return min(0.95, max(0.05, difficulty)), False
+
+
+class _RetryGeneration(Exception):
+    """Internal: the current attempt violated an integrity check."""
+
+
+# -- SQL construction ----------------------------------------------------------
+
+
+def build_sql(
+    recipe: QueryRecipe,
+    table_name: str,
+    conversion: UnitConversion | None = None,
+) -> str:
+    """Render a recipe as SQL over a flat (single-table) schema."""
+    table = quote_identifier(table_name)
+    where = _where_clause(recipe)
+    if recipe.kind == "percent":
+        entity = quote_identifier(recipe.value_column)
+        numerator = (
+            f"SELECT COUNT({entity}) FROM {table}{where}"
+        )
+        denominator = f"SELECT COUNT({entity}) FROM {table}"
+        return f"SELECT ({numerator}) * 100.0 / ({denominator})"
+    if recipe.inner_aggregate is not None:
+        agg, column = recipe.inner_aggregate
+        inner_col = quote_identifier(column)
+        if recipe.kind == "group_leader_text":
+            group_col = quote_identifier(recipe.value_column)
+            return (
+                f"SELECT {group_col} FROM {table} GROUP BY {group_col} "
+                f"ORDER BY {agg}({inner_col}) DESC LIMIT 1"
+            )
+        value = _value_expression(recipe, conversion)
+        return (
+            f"SELECT {value} FROM {table} WHERE {inner_col} = "
+            f"(SELECT {agg}({inner_col}) FROM {table})"
+        )
+    value = _value_expression(recipe, conversion)
+    return f"SELECT {value} FROM {table}{where}"
+
+
+def _value_expression(
+    recipe: QueryRecipe, conversion: UnitConversion | None
+) -> str:
+    column = quote_identifier(recipe.value_column)
+    if recipe.aggregate:
+        expression = f"{recipe.aggregate}({column})"
+    else:
+        expression = column
+    if conversion is not None:
+        expression = conversion.wrap_sql(expression)
+    return expression
+
+
+def _where_clause(recipe: QueryRecipe) -> str:
+    predicates = [
+        f"{quote_identifier(column)} = {quote_string(value)}"
+        for column, value in recipe.filters
+    ]
+    if recipe.numeric_filter is not None:
+        column, operator, threshold = recipe.numeric_filter
+        predicates.append(
+            f"{quote_identifier(column)} {operator} "
+            f"{_render_constant(threshold)}"
+        )
+    if not predicates:
+        return ""
+    return " WHERE " + " AND ".join(predicates)
+
+
+def _render_constant(value) -> str:
+    if isinstance(value, str):
+        return quote_string(value)
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _weighted_kind(weights: dict[str, float], rng: random.Random) -> str:
+    total = sum(weights.values())
+    draw = rng.random() * total
+    cumulative = 0.0
+    for kind, weight in weights.items():
+        cumulative += weight
+        if draw <= cumulative:
+            return kind
+    return next(reversed(weights))
+
+
+def _format_number(value: float, decimals: int) -> str:
+    if decimals == 0:
+        return str(int(round(value)))
+    return f"{value:.{decimals}f}"
+
+
+def _perturb(value: float, rng: random.Random) -> float:
+    if value == 0.0:
+        return float(rng.randint(1, 3))
+    if abs(value) < 10 and float(value).is_integer():
+        delta = rng.choice((-2, -1, 1, 2))
+        candidate = value + delta
+        if candidate >= 0 or value < 0:
+            return candidate
+        return value + abs(delta)
+    factor = rng.choice((rng.uniform(0.45, 0.85), rng.uniform(1.2, 2.2)))
+    return value * factor
+
+
+def _place_value(sentence: str, value_text: str) -> tuple[str, Span]:
+    """Substitute the value sentinel and compute the claim span."""
+    tokens = sentence.split()
+    sentinel_index = None
+    for index, token in enumerate(tokens):
+        if _VALUE_SENTINEL in token:
+            sentinel_index = index
+            break
+    if sentinel_index is None:
+        raise ValueError(f"no value sentinel in {sentence!r}")
+    value_tokens = value_text.split()
+    host = tokens[sentinel_index]
+    prefix, suffix = host.split(_VALUE_SENTINEL, 1)
+    substituted = list(value_tokens)
+    substituted[0] = prefix + substituted[0]
+    substituted[-1] = substituted[-1] + suffix
+    final_tokens = tokens[:sentinel_index] + substituted + tokens[sentinel_index + 1:]
+    span = Span(sentinel_index, sentinel_index + len(value_tokens) - 1)
+    return " ".join(final_tokens), span

@@ -1,0 +1,189 @@
+"""JoinBench: claims requiring join queries (paper Section 7.3.2).
+
+Three AggChecker-style flat schemas are normalised into 23 tables; the
+claims (sentences, values, labels) are reused verbatim, but their
+ground-truth queries are rebuilt over the normalised schemas, so correct
+translations now require joins. The paper reports unchanged F1 (100 % on
+both variants) at roughly 3x the verification cost.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+from repro.core.claims import Document
+from repro.llm.world import ClaimWorld
+from repro.sqlengine import Engine
+from repro.sqlengine.ast_nodes import quote_identifier
+from repro.sqlengine.errors import SqlError
+
+from .base import DatasetBundle
+from .claimgen import ClaimGenerator, GenerationSettings, QueryRecipe
+from .normalize import NormalizedNaming, joined_sql, normalize_database
+from .tablegen import generate_database
+from .themes import AIRLINE_SAFETY, DEV_SURVEY, FORMULA_ONE
+
+#: The three flat schemas JoinBench decomposes, with the fact-group sizes
+#: of each normalisation. Tables per schema = facts + 2 dims + 2 bridges:
+#: 4 facts -> 8, 4 facts -> 8, 3 facts -> 7, totalling the paper's 23.
+_SCHEMA_PLAN = (
+    (AIRLINE_SAFETY, (1, 1, 1, 1)),   # 4 facts -> 8 tables
+    (DEV_SURVEY, (1, 1, 1, 1)),       # 4 facts -> 8 tables
+    (FORMULA_ONE, (2, 1, 1)),         # 3 facts -> 7 tables
+)
+
+KIND_WEIGHTS = {
+    "lookup": 0.34,
+    "count": 0.22,
+    "sum": 0.10,
+    "avg": 0.12,
+    "max": 0.08,
+    "percent": 0.08,
+    "superlative_numeric": 0.06,
+}
+
+CLAIMS_PER_DOCUMENT = 8
+INCORRECT_RATE = 0.3
+
+#: Additional difficulty of translating a claim into a join query.
+JOIN_DIFFICULTY_SHIFT = 0.18
+
+EXPECTED_TABLE_TOTAL = 23
+
+
+def build_joinbench(seed: int = 31) -> dict[str, DatasetBundle]:
+    """Build the flat and joined JoinBench variants.
+
+    Returns ``{"flat": bundle, "joined": bundle}``; the joined bundle's
+    ``extras["table_total"]`` records the normalised table count.
+    """
+    rng = random.Random(seed)
+    flat_world = ClaimWorld()
+    joined_world = ClaimWorld()
+    flat_documents: list[Document] = []
+    joined_documents: list[Document] = []
+    table_total = 0
+    settings = GenerationSettings(
+        kind_weights=KIND_WEIGHTS,
+        incorrect_rate=INCORRECT_RATE,
+        # The paper reports 100% F1 on both JoinBench variants: the claim
+        # subset is clean (no ambiguous or misreadable claims).
+        hard_fraction=0.0,
+        misread_fraction=0.0,
+    )
+    for index, (theme, fact_sizes) in enumerate(_SCHEMA_PLAN):
+        doc_id = f"join{index:02d}_{theme.key}"
+        flat_database = generate_database(theme, rng, name=doc_id)
+        generator = ClaimGenerator(theme, flat_database, flat_world, rng, doc_id)
+        generated = [
+            generator.generate(settings) for _ in range(CLAIMS_PER_DOCUMENT)
+        ]
+        flat_claims = [g.claim for g in generated]
+        for claim in flat_claims:
+            claim.metadata["domain"] = "joinbench"
+        flat_documents.append(
+            Document(
+                doc_id=doc_id,
+                claims=flat_claims,
+                data=flat_database,
+                domain="joinbench",
+                title=f"JoinBench flat ({theme.key})",
+            )
+        )
+
+        normalized, naming = normalize_database(
+            theme,
+            flat_database.table(theme.table_name),
+            fact_sizes=fact_sizes,
+            name=f"{doc_id}_norm",
+        )
+        table_total += len(normalized)
+        joined_claims = []
+        for item in generated:
+            joined_claim = copy.deepcopy(item.claim)
+            joined_claim.claim_id = f"{item.claim.claim_id}@join"
+            joined_claim.query = None
+            joined_claim.correct = None
+            recipe: QueryRecipe = joined_claim.metadata["recipe"]
+            join_query = joined_sql(recipe, naming)
+            joined_claim.metadata["reference_sql"] = join_query
+            joined_claims.append(joined_claim)
+            knowledge = copy.deepcopy(item.knowledge)
+            knowledge.claim_id = joined_claim.claim_id
+            knowledge.reference_sql = join_query
+            knowledge.join_required = True
+            knowledge.difficulty = min(
+                0.95, knowledge.difficulty + JOIN_DIFFICULTY_SHIFT
+            )
+            knowledge.table_name = naming.fact_tables[
+                recipe.value_column
+            ] if recipe.value_column in naming.fact_tables else (
+                naming.attributes_table
+            )
+            knowledge.columns = naming.all_columns()
+            knowledge.decomposition = _joined_decomposition(
+                recipe, naming, normalized
+            )
+            joined_world.register(knowledge)
+        joined_documents.append(
+            Document(
+                doc_id=f"{doc_id}@join",
+                claims=joined_claims,
+                data=normalized,
+                domain="joinbench",
+                title=f"JoinBench normalised ({theme.key})",
+            )
+        )
+    flat_bundle = DatasetBundle(
+        name="joinbench_flat",
+        documents=flat_documents,
+        world=flat_world,
+        description="JoinBench claims over the original flat schemas",
+    )
+    joined_bundle = DatasetBundle(
+        name="joinbench_joined",
+        documents=joined_documents,
+        world=joined_world,
+        description=(
+            "JoinBench claims over schemas normalised into "
+            f"{table_total} tables"
+        ),
+        extras={"table_total": table_total},
+    )
+    return {"flat": flat_bundle, "joined": joined_bundle}
+
+
+def _joined_decomposition(
+    recipe: QueryRecipe,
+    naming: NormalizedNaming,
+    database,
+) -> tuple[str, ...]:
+    """Stepwise plan for superlative claims over the normalised schema."""
+    if recipe.kind != "superlative_numeric" or recipe.inner_aggregate is None:
+        return ()
+    _, inner_column = recipe.inner_aggregate
+    inner_fact = naming.fact_tables[inner_column]
+    inner = (
+        f"SELECT MAX({quote_identifier(inner_column)}) FROM "
+        f"{quote_identifier(inner_fact)}"
+    )
+    try:
+        inner_value = Engine(database).execute(inner).first_cell()
+    except SqlError:
+        return ()
+    value_fact = naming.fact_tables[recipe.value_column]
+    value_column = quote_identifier(recipe.value_column)
+    if value_fact == inner_fact:
+        outer = (
+            f"SELECT {value_column} FROM {quote_identifier(inner_fact)} "
+            f"WHERE {quote_identifier(inner_column)} = {inner_value!r}"
+        )
+    else:
+        outer = (
+            f"SELECT v.{value_column} FROM {quote_identifier(value_fact)} v "
+            f"JOIN {quote_identifier(inner_fact)} i "
+            f"ON v.\"row_id\" = i.\"row_id\" "
+            f"WHERE i.{quote_identifier(inner_column)} = {inner_value!r}"
+        )
+    return (inner, outer)

@@ -1,0 +1,302 @@
+"""Schema normalization for JoinBench (paper Section 7.3.2).
+
+JoinBench decomposes flat single-table schemas into normalised schemas so
+that claim queries require joins. The decomposition used here:
+
+* one *dimension* table per category column (``<col>_dim`` with an id and
+  the value),
+* a ``<table>_entities`` table mapping row ids to the entity dimension,
+* a ``<table>_attributes`` table mapping row ids to the remaining
+  category dimensions,
+* one or more *fact* tables holding the numeric columns keyed by row id
+  (the fact split is configurable so the benchmark can hit the paper's
+  23-table total over three schemas).
+
+:func:`joined_sql` rebuilds a claim's ground-truth query over the
+normalised schema from its structured :class:`~.claimgen.QueryRecipe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sqlengine import Database, Table
+from repro.sqlengine.ast_nodes import quote_identifier, quote_string
+
+from .claimgen import QueryRecipe
+from .themes import Theme
+from .units import UnitConversion
+
+
+@dataclass
+class NormalizedNaming:
+    """Name map of one normalised schema."""
+
+    theme: Theme
+    entity_table: str
+    attributes_table: str
+    dim_tables: dict[str, str]     # category column -> dim table name
+    fact_tables: dict[str, str]    # numeric column -> fact table name
+
+    @property
+    def table_count(self) -> int:
+        return (
+            2 + len(self.dim_tables) + len(set(self.fact_tables.values()))
+        )
+
+    def all_columns(self) -> tuple[str, ...]:
+        """Every column name in the normalised schema (for corruption)."""
+        columns = ["row_id"]
+        for category, dim in self.dim_tables.items():
+            columns.extend([f"{category}_id", category])
+        columns.extend(self.fact_tables)
+        seen: set[str] = set()
+        unique = []
+        for column in columns:
+            if column not in seen:
+                seen.add(column)
+                unique.append(column)
+        return tuple(unique)
+
+
+def normalize_database(
+    theme: Theme,
+    flat: Table,
+    fact_split: int = 1,
+    name: str | None = None,
+    fact_sizes: tuple[int, ...] | None = None,
+) -> tuple[Database, NormalizedNaming]:
+    """Decompose a flat theme table into a normalised database.
+
+    ``fact_split`` is the number of numeric columns per fact table
+    (1 = fully vertical split); ``fact_sizes`` overrides it with explicit
+    group sizes (must sum to the number of numeric columns).
+    """
+    if fact_split < 1:
+        raise ValueError("fact_split must be at least 1")
+    if fact_sizes is not None and sum(fact_sizes) != len(
+        theme.numeric_columns
+    ):
+        raise ValueError(
+            "fact_sizes must cover every numeric column exactly once"
+        )
+    base = theme.table_name
+    database = Database(name or f"{base}_normalized")
+    entity = theme.entity_column.name
+    extra_names = [c.name for c in theme.extra_categories]
+
+    # Dimension tables with stable ids per distinct value.
+    dim_tables: dict[str, str] = {}
+    value_ids: dict[str, dict[str, int]] = {}
+    for category in theme.category_columns:
+        dim_name = f"{category.name}_dim"
+        dim_tables[category.name] = dim_name
+        distinct = flat.unique_column_values(category.name)
+        ids = {str(v): i + 1 for i, v in enumerate(distinct)}
+        value_ids[category.name] = ids
+        database.add(
+            Table(
+                dim_name,
+                [f"{category.name}_id", category.name],
+                [(ids[str(v)], v) for v in distinct],
+            )
+        )
+
+    # Entities and attributes bridge tables.
+    entity_rows = []
+    attribute_rows = []
+    for row_index, row in enumerate(flat.rows):
+        row_id = row_index + 1
+        entity_value = row[flat.column_position(entity)]
+        entity_rows.append((row_id, value_ids[entity][str(entity_value)]))
+        attribute_row = [row_id]
+        for extra in extra_names:
+            value = row[flat.column_position(extra)]
+            attribute_row.append(value_ids[extra][str(value)])
+        attribute_rows.append(tuple(attribute_row))
+    entity_table = f"{base}_entities"
+    attributes_table = f"{base}_attributes"
+    database.add(Table(entity_table, ["row_id", f"{entity}_id"], entity_rows))
+    database.add(
+        Table(
+            attributes_table,
+            ["row_id"] + [f"{c}_id" for c in extra_names],
+            attribute_rows,
+        )
+    )
+
+    # Fact tables: numeric columns split into groups.
+    fact_tables: dict[str, str] = {}
+    numeric_names = [c.name for c in theme.numeric_columns]
+    if fact_sizes is not None:
+        groups = []
+        position = 0
+        for size in fact_sizes:
+            groups.append(numeric_names[position:position + size])
+            position += size
+    else:
+        groups = [
+            numeric_names[i:i + fact_split]
+            for i in range(0, len(numeric_names), fact_split)
+        ]
+    for group_index, group in enumerate(groups):
+        fact_name = f"{base}_fact_{group_index}"
+        rows = []
+        for row_index, row in enumerate(flat.rows):
+            fact_row = [row_index + 1]
+            for column in group:
+                fact_row.append(row[flat.column_position(column)])
+            rows.append(tuple(fact_row))
+        database.add(Table(fact_name, ["row_id"] + group, rows))
+        for column in group:
+            fact_tables[column] = fact_name
+
+    naming = NormalizedNaming(
+        theme=theme,
+        entity_table=entity_table,
+        attributes_table=attributes_table,
+        dim_tables=dim_tables,
+        fact_tables=fact_tables,
+    )
+    return database, naming
+
+
+# -- query construction over the normalised schema ---------------------------
+
+
+def joined_sql(
+    recipe: QueryRecipe,
+    naming: NormalizedNaming,
+    conversion: UnitConversion | None = None,
+) -> str:
+    """Rebuild a recipe's ground-truth query over the normalised schema."""
+    kind = recipe.kind
+    if kind == "percent":
+        numerator = _count_query(recipe, naming)
+        denominator = (
+            f"SELECT COUNT(a.\"row_id\") FROM "
+            f"{quote_identifier(naming.attributes_table)} a"
+        )
+        return f"SELECT ({numerator}) * 100.0 / ({denominator})"
+    if kind == "count":
+        return _count_query(recipe, naming)
+    if kind == "superlative_numeric":
+        return _superlative_query(recipe, naming, conversion)
+    return _aggregate_or_lookup_query(recipe, naming, conversion)
+
+
+def _count_query(recipe: QueryRecipe, naming: NormalizedNaming) -> str:
+    attributes = quote_identifier(naming.attributes_table)
+    if recipe.numeric_filter is not None:
+        column, operator, threshold = recipe.numeric_filter
+        fact = quote_identifier(naming.fact_tables[column])
+        threshold_text = (
+            str(int(threshold)) if threshold == int(threshold)
+            else repr(threshold)
+        )
+        return (
+            f"SELECT COUNT(f.\"row_id\") FROM {fact} f "
+            f"WHERE f.{quote_identifier(column)} {operator} {threshold_text}"
+        )
+    joins, predicates = _filter_joins(recipe.filters, naming, "a")
+    return (
+        f"SELECT COUNT(a.\"row_id\") FROM {attributes} a"
+        + joins
+        + _where(predicates)
+    )
+
+
+def _aggregate_or_lookup_query(
+    recipe: QueryRecipe,
+    naming: NormalizedNaming,
+    conversion: UnitConversion | None,
+) -> str:
+    column = recipe.value_column
+    fact = quote_identifier(naming.fact_tables[column])
+    expression = f"f.{quote_identifier(column)}"
+    if recipe.aggregate:
+        expression = f"{recipe.aggregate}({expression})"
+    if conversion is not None:
+        expression = conversion.wrap_sql(expression)
+    joins, predicates = _filter_joins(recipe.filters, naming, "f")
+    return (
+        f"SELECT {expression} FROM {fact} f" + joins + _where(predicates)
+    )
+
+
+def _superlative_query(
+    recipe: QueryRecipe,
+    naming: NormalizedNaming,
+    conversion: UnitConversion | None,
+) -> str:
+    _, inner_column = recipe.inner_aggregate
+    value_fact = naming.fact_tables[recipe.value_column]
+    inner_fact = naming.fact_tables[inner_column]
+    value_expression = f"v.{quote_identifier(recipe.value_column)}"
+    if conversion is not None:
+        value_expression = conversion.wrap_sql(value_expression)
+    inner_select = (
+        f"SELECT MAX(i2.{quote_identifier(inner_column)}) FROM "
+        f"{quote_identifier(inner_fact)} i2"
+    )
+    if value_fact == inner_fact:
+        return (
+            f"SELECT {value_expression.replace('v.', 'i.')} FROM "
+            f"{quote_identifier(inner_fact)} i "
+            f"WHERE i.{quote_identifier(inner_column)} = ({inner_select})"
+        )
+    return (
+        f"SELECT {value_expression} FROM {quote_identifier(value_fact)} v "
+        f"JOIN {quote_identifier(inner_fact)} i "
+        f"ON v.\"row_id\" = i.\"row_id\" "
+        f"WHERE i.{quote_identifier(inner_column)} = ({inner_select})"
+    )
+
+
+def _filter_joins(
+    filters: tuple[tuple[str, str], ...],
+    naming: NormalizedNaming,
+    base_alias: str,
+) -> tuple[str, list[str]]:
+    """Render joins and predicates for category filters.
+
+    ``base_alias`` is the alias of the table carrying ``row_id`` that the
+    bridge tables join against.
+    """
+    entity = naming.theme.entity_column.name
+    joins = ""
+    predicates: list[str] = []
+    bridged: dict[str, str] = {}
+    for index, (column, value) in enumerate(filters):
+        dim = quote_identifier(naming.dim_tables[column])
+        dim_alias = f"d{index}"
+        id_column = quote_identifier(f"{column}_id")
+        if column == entity:
+            bridge_table, bridge_alias = naming.entity_table, "e"
+        else:
+            bridge_table, bridge_alias = naming.attributes_table, "at"
+        if base_alias == "a" and bridge_table == naming.attributes_table:
+            # Counting over the attributes table itself: no bridge needed.
+            bridge_alias = base_alias
+        elif bridge_table not in bridged:
+            joins += (
+                f" JOIN {quote_identifier(bridge_table)} {bridge_alias} "
+                f"ON {base_alias}.\"row_id\" = {bridge_alias}.\"row_id\""
+            )
+            bridged[bridge_table] = bridge_alias
+        else:
+            bridge_alias = bridged[bridge_table]
+        joins += (
+            f" JOIN {dim} {dim_alias} "
+            f"ON {bridge_alias}.{id_column} = {dim_alias}.{id_column}"
+        )
+        predicates.append(
+            f"{dim_alias}.{quote_identifier(column)} = {quote_string(value)}"
+        )
+    return joins, predicates
+
+
+def _where(predicates: list[str]) -> str:
+    if not predicates:
+        return ""
+    return " WHERE " + " AND ".join(predicates)

@@ -1,0 +1,165 @@
+"""TabFact-style benchmark generator (paper Section 7.1).
+
+The paper samples 100 numerical claims over 28 Wikipedia tables from
+TabFact [34]. TabFact tables are small (a few dozen rows) and its claims
+are simple (mostly lookups and counts; Table 3 reports 0.63 aggregates and
+0.09 sub-queries per query on average), which is exactly the regime where
+the TAPEX baseline's table flattening works. Labels follow TabFact's
+entailed/refuted split, which is roughly balanced.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.claims import Document
+from repro.llm.world import ClaimWorld
+
+from .base import DatasetBundle
+from .claimgen import ClaimGenerator, GenerationSettings
+from .tablegen import generate_database
+from .themes import ALL_THEMES
+
+KIND_WEIGHTS = {
+    "lookup": 0.48,
+    "count": 0.26,
+    "max": 0.10,
+    "min": 0.06,
+    "avg": 0.05,
+    "superlative_numeric": 0.05,
+}
+
+TABLE_COUNT = 28
+TOTAL_CLAIMS = 100
+INCORRECT_RATE = 0.40  # TabFact's refuted share is close to half
+
+#: TabFact claims are human-written paraphrases with low lexical overlap
+#: with the table headers (unlike data summaries, which tend to echo
+#: column names). Measure phrases are rewritten through this synonym map
+#: so keyword-matching baselines face the published difficulty.
+PARAPHRASES: dict[str, str] = {
+    "fatal_accidents_85_99": "deadly crashes in the late twentieth century",
+    "fatal_accidents_00_14": "deadly crashes since the millennium",
+    "incidents": "reported mishaps",
+    "avail_seat_km_per_week": "weekly seat-distance flown, in millions",
+    "beer_servings": "yearly glasses of lager per capita",
+    "wine_servings": "yearly glasses from the vineyard per capita",
+    "spirit_servings": "yearly shots of hard liquor per capita",
+    "total_litres_of_pure_alcohol": "ethanol intake per capita",
+    "race_wins": "career victories",
+    "pole_positions": "starts from the front of the grid",
+    "podiums": "top-three finishes",
+    "championships": "world titles",
+    "respondents": "people who answered the questionnaire",
+    "loved_pct": "share of fans among coders",
+    "median_salary": "typical yearly pay in dollars",
+    "years_experience": "typical time in the craft",
+    "violent_crimes": "offences against persons",
+    "property_crimes": "thefts and burglaries",
+    "population_k": "thousands of inhabitants",
+    "officers_per_10k": "patrol staffing per ten thousand residents",
+    "mean_temp_c": "typical warmth through the year",
+    "annual_rainfall_mm": "yearly precipitation depth",
+    "sunny_days": "cloud-free days each year",
+    "elevation_m": "height above the sea",
+    "box_office_millions": "millions earned in theatres",
+    "budget_millions": "millions spent on production",
+    "rating": "reviewer score",
+    "runtime_min": "length of the picture in minutes",
+    "enrollment_k": "thousands of matriculated students",
+    "acceptance_rate": "share of applicants admitted",
+    "endowment_billions": "billions held in the coffers",
+    "founded_year": "year of establishment",
+    "annual_visitors_k": "thousands of tourists each year",
+    "area_km2": "expanse of protected land",
+    "inscription_year": "year of listing",
+    "buffer_zone_km2": "expanse of the surrounding shield",
+    "capacity_mw": "megawatts the station can deliver",
+    "annual_gwh": "yearly output in gigawatt hours",
+    "capacity_factor": "share of the theoretical output achieved",
+    "commissioned_year": "year the switches were first thrown",
+    "league_titles": "domestic crowns",
+    "continental_cups": "international trophies",
+    "stadium_capacity_k": "thousands of seats in the home ground",
+    "squad_value_m": "millions of euros the roster is worth",
+    "calories": "units of food energy per bowl",
+    "sugar_g": "sweetness content per bowl",
+    "fiber_g": "roughage content per bowl",
+    "protein_g": "protein content per bowl",
+}
+
+#: TabFact tables are small; keep generated tables in that regime so the
+#: TAPEX baseline's flattening fits its context window.
+ROW_RANGE = (8, 18)
+
+
+def build_tabfact(
+    seed: int = 11,
+    table_count: int = TABLE_COUNT,
+    total_claims: int = TOTAL_CLAIMS,
+    incorrect_rate: float = INCORRECT_RATE,
+) -> DatasetBundle:
+    """Generate the TabFact-style benchmark."""
+    import dataclasses
+
+    rng = random.Random(seed)
+    world = ClaimWorld()
+    documents: list[Document] = []
+    claim_counts = _spread(total_claims, table_count, rng)
+    settings = GenerationSettings(
+        kind_weights=KIND_WEIGHTS,
+        incorrect_rate=incorrect_rate,
+        # TabFact claims are short and unambiguous over tiny tables.
+        hard_fraction=0.08,
+        misread_fraction=0.10,
+    )
+    for index in range(table_count):
+        theme = _paraphrased(
+            dataclasses.replace(rng.choice(ALL_THEMES), row_range=ROW_RANGE)
+        )
+        doc_id = f"tabfact{index:02d}"
+        database = generate_database(theme, rng, name=doc_id)
+        generator = ClaimGenerator(theme, database, world, rng, doc_id)
+        claims = [
+            generator.generate(settings).claim
+            for _ in range(claim_counts[index])
+        ]
+        for claim in claims:
+            claim.metadata["domain"] = "tabfact"
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                claims=claims,
+                data=database,
+                domain="tabfact",
+                title=f"TabFact table {index} ({theme.key})",
+            )
+        )
+    return DatasetBundle(
+        name="tabfact",
+        documents=documents,
+        world=world,
+        description=(
+            "TabFact-style: 100 numeric claims over 28 small Wikipedia-like "
+            "tables, balanced entailed/refuted labels"
+        ),
+    )
+
+
+def _paraphrased(theme):
+    """Swap measure phrases for their TabFact-style paraphrases."""
+    import dataclasses
+
+    numeric = tuple(
+        dataclasses.replace(c, measure=PARAPHRASES.get(c.name, c.measure))
+        for c in theme.numeric_columns
+    )
+    return dataclasses.replace(theme, numeric_columns=numeric)
+
+
+def _spread(total: int, buckets: int, rng: random.Random) -> list[int]:
+    base, remainder = divmod(total, buckets)
+    counts = [base] * buckets
+    for position in rng.sample(range(buckets), remainder):
+        counts[position] += 1
+    return counts

@@ -1,0 +1,65 @@
+"""Random table instantiation from theme blueprints."""
+
+from __future__ import annotations
+
+import random
+
+from repro.sqlengine import Database, Table
+
+from .themes import Theme, VocabEntry
+
+
+def generate_table(theme: Theme, rng: random.Random) -> Table:
+    """Instantiate a theme's schema with random rows.
+
+    Entity values are sampled without replacement (every row is a distinct
+    entity); extra categories are sampled with replacement. Numeric values
+    are uniform in the column's range with the declared decimal precision.
+    """
+    low, high = theme.row_range
+    entities = list(theme.entity_column.vocabulary)
+    rng.shuffle(entities)
+    row_count = min(rng.randint(low, high), len(entities))
+    names = [entity.stored for entity in entities[:row_count]]
+    filler_low, filler_high = theme.filler_row_range
+    if filler_high > 0:
+        filler_count = rng.randint(filler_low, filler_high)
+        for index in range(filler_count):
+            base = entities[index % len(entities)].stored
+            names.append(f"{base}-{index // len(entities) + 2}")
+    rows = []
+    for name_value in names:
+        row: list = [name_value]
+        for category in theme.extra_categories:
+            row.append(rng.choice(category.vocabulary).stored)
+        for numeric in theme.numeric_columns:
+            row.append(_numeric_value(numeric.low, numeric.high,
+                                      numeric.decimals, rng))
+        rows.append(tuple(row))
+    return Table(theme.table_name, list(theme.column_names), rows)
+
+
+def generate_database(theme: Theme, rng: random.Random,
+                      name: str | None = None) -> Database:
+    """Build a single-table database for a theme."""
+    database = Database(name or theme.key)
+    database.add(generate_table(theme, rng))
+    return database
+
+
+def _numeric_value(low: float, high: float, decimals: int,
+                   rng: random.Random) -> float | int:
+    value = rng.uniform(low, high)
+    if decimals == 0:
+        return int(round(value))
+    return round(value, decimals)
+
+
+def vocab_entry_for(theme: Theme, column: str, stored: str) -> VocabEntry:
+    """Find the vocabulary entry behind a stored value."""
+    for category in theme.category_columns:
+        if category.name == column:
+            for entry in category.vocabulary:
+                if entry.stored == stored:
+                    return entry
+    raise KeyError(f"no vocabulary entry for {column}={stored!r}")

@@ -1,0 +1,530 @@
+"""Theme blueprints for synthetic datasets.
+
+Every generated document follows a *theme*: a table schema with realistic
+column names and vocabularies, plus the phrasing fragments claim templates
+use to render fluent sentences. Themes imitate the sources the paper
+evaluates on (538 and NYT newspaper data, Stack Overflow surveys,
+Wikipedia tables).
+
+Vocabularies are (stored, display) pairs: the value stored in the table
+versus the phrasing a journalist would use in text. Where the two differ
+("USA" vs "United States") a claim filtering on that value carries the
+paper's *lookup trap* (Figure 4) — one-shot models guess the display form
+and miss; agents recover via the unique-values tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VocabEntry:
+    """One category value: how it is stored vs how prose refers to it."""
+
+    stored: str
+    display: str | None = None
+
+    @property
+    def shown(self) -> str:
+        return self.display or self.stored
+
+    @property
+    def is_trap(self) -> bool:
+        return self.display is not None and self.display != self.stored
+
+
+@dataclass(frozen=True)
+class CategoryColumn:
+    """A text column drawing values from a vocabulary."""
+
+    name: str
+    vocabulary: tuple[VocabEntry, ...]
+    noun: str  # how prose refers to one entity ("airline", "country")
+
+
+@dataclass(frozen=True)
+class NumericColumn:
+    """A numeric column with a value range and phrasing for claims."""
+
+    name: str
+    low: float
+    high: float
+    decimals: int  # 0 -> integers
+    measure: str   # prose description ("fatal accidents", "wine servings")
+    unit: str = ""  # unit name for the unit-conversion benchmark
+    unit_kind: str = ""  # key into units.CONVERSIONS ("" = not convertible)
+
+
+@dataclass(frozen=True)
+class Theme:
+    """One document theme: schema plus phrasing."""
+
+    key: str
+    table_name: str
+    entity_column: CategoryColumn
+    extra_categories: tuple[CategoryColumn, ...]
+    numeric_columns: tuple[NumericColumn, ...]
+    subject: str        # collective noun for rows ("airlines", "drivers")
+    narrative: str      # boilerplate sentence template for paragraph filler
+    row_range: tuple[int, int] = (12, 40)
+    #: Extra anonymous rows ("<entity>-<k>") appended beyond the named
+    #: vocabulary. Claims never reference fillers, but aggregates range
+    #: over them and they inflate the table the way real newspaper data
+    #: sets are inflated — which is what breaks table-flattening baselines
+    #: like TAPEX on AggChecker (Section 7.2).
+    filler_row_range: tuple[int, int] = (0, 0)
+
+    @property
+    def category_columns(self) -> tuple[CategoryColumn, ...]:
+        return (self.entity_column,) + self.extra_categories
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(
+            [c.name for c in self.category_columns]
+            + [n.name for n in self.numeric_columns]
+        )
+
+
+def _v(*entries: str | tuple[str, str]) -> tuple[VocabEntry, ...]:
+    result = []
+    for entry in entries:
+        if isinstance(entry, tuple):
+            result.append(VocabEntry(entry[0], entry[1]))
+        else:
+            result.append(VocabEntry(entry))
+    return tuple(result)
+
+
+_COUNTRIES = _v(
+    ("USA", "United States"), ("UK", "United Kingdom"), "France", "Germany",
+    "Italy", "Spain", "Japan", ("UAE", "United Arab Emirates"), "Brazil",
+    "Canada", "Australia", ("S. Korea", "South Korea"), "Mexico", "India",
+    "Portugal", "Argentina", "Chile", "Netherlands", "Sweden", "Norway",
+)
+
+_REGIONS = _v("Asia", "Europe", "North America", "South America", "Africa",
+              "Oceania")
+
+AIRLINE_SAFETY = Theme(
+    key="airline_safety",
+    table_name="airlinesafety",
+    entity_column=CategoryColumn(
+        "airline",
+        _v(
+            "Malaysia Airlines", "KLM", "Lufthansa", "Delta Air Lines",
+            ("United", "United Airlines"), "Qantas", "Air France",
+            "Singapore Airlines", "Emirates", "Aeroflot", "Turkish Airlines",
+            ("ANA", "All Nippon Airways"), "Ryanair", "easyJet",
+            "Air Canada", "LATAM", "Iberia", "Finnair", "Korean Air",
+            ("SWA", "Southwest Airlines"),
+        ),
+        "airline",
+    ),
+    extra_categories=(CategoryColumn("region", _REGIONS, "region"),),
+    numeric_columns=(
+        NumericColumn("fatal_accidents_85_99", 0, 14, 0,
+                      "fatal accidents between 1985 and 1999"),
+        NumericColumn("fatal_accidents_00_14", 0, 8, 0,
+                      "fatal accidents between 2000 and 2014"),
+        NumericColumn("incidents", 0, 60, 0, "safety incidents"),
+        NumericColumn("avail_seat_km_per_week", 100, 7000, 0,
+                      "million available seat kilometers per week"),
+    ),
+    subject="airlines",
+    narrative=(
+        "Aviation safety records vary widely across carriers. Regulators "
+        "publish detailed incident statistics for every major airline."
+    ),
+)
+
+ALCOHOL_CONSUMPTION = Theme(
+    key="alcohol",
+    table_name="drinks",
+    entity_column=CategoryColumn("country", _COUNTRIES, "country"),
+    extra_categories=(CategoryColumn("continent", _REGIONS, "continent"),),
+    numeric_columns=(
+        NumericColumn("beer_servings", 0, 380, 0, "beer servings per person"),
+        NumericColumn("wine_servings", 0, 380, 0, "wine servings per person"),
+        NumericColumn("spirit_servings", 0, 300, 0,
+                      "spirit servings per person"),
+        NumericColumn("total_litres_of_pure_alcohol", 0, 15, 1,
+                      "litres of pure alcohol per person", "litres", "volume"),
+    ),
+    subject="countries",
+    narrative=(
+        "Drinking habits differ across the world. Health agencies track "
+        "per-capita consumption of beer, wine, and spirits annually."
+    ),
+)
+
+FORMULA_ONE = Theme(
+    key="formula_one",
+    table_name="f1_drivers",
+    entity_column=CategoryColumn(
+        "driver",
+        _v(
+            "Lewis Hamilton", "Michael Schumacher", "Max Verstappen",
+            "Sebastian Vettel", "Alain Prost", "Ayrton Senna",
+            "Fernando Alonso", "Nigel Mansell", "Jackie Stewart",
+            "Niki Lauda", "Nelson Piquet", "Jim Clark", "Juan Fangio",
+            "Kimi Raikkonen", "Jenson Button", "Mika Hakkinen",
+        ),
+        "driver",
+    ),
+    extra_categories=(CategoryColumn("nationality", _COUNTRIES, "nationality"),),
+    numeric_columns=(
+        NumericColumn("race_wins", 0, 105, 0, "race wins"),
+        NumericColumn("pole_positions", 0, 104, 0, "pole positions"),
+        NumericColumn("podiums", 0, 200, 0, "podium finishes"),
+        NumericColumn("championships", 0, 7, 0, "world championships"),
+    ),
+    subject="drivers",
+    narrative=(
+        "Formula One statistics are meticulously recorded. Career totals "
+        "for wins, poles, and podiums define the sport's all-time rankings."
+    ),
+)
+
+DEV_SURVEY = Theme(
+    key="dev_survey",
+    table_name="survey_languages",
+    entity_column=CategoryColumn(
+        "language",
+        _v(
+            "Python", ("JS", "JavaScript"), "Rust", "Go",
+            ("C#", "C Sharp"), "Java", "Kotlin", "Swift",
+            ("TS", "TypeScript"), "Ruby", "PHP", "Scala", "Haskell",
+            "Elixir", "Dart", "Julia",
+        ),
+        "language",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "category",
+            _v("systems", "web", "data", "mobile", "scripting"),
+            "category",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("respondents", 200, 60000, 0, "survey respondents"),
+        NumericColumn("loved_pct", 20, 90, 1,
+                      "percent of developers who love the language"),
+        NumericColumn("median_salary", 40000, 160000, 0,
+                      "median annual salary in dollars"),
+        NumericColumn("years_experience", 1, 20, 1,
+                      "median years of experience"),
+    ),
+    subject="languages",
+    narrative=(
+        "The annual developer survey collects responses from programmers "
+        "worldwide. Salary and satisfaction vary strongly by language."
+    ),
+)
+
+CITY_CRIME = Theme(
+    key="city_crime",
+    table_name="city_stats",
+    entity_column=CategoryColumn(
+        "city",
+        _v(
+            ("NYC", "New York City"), ("LA", "Los Angeles"), "Chicago",
+            "Houston", "Phoenix", "Philadelphia", ("SF", "San Francisco"),
+            "Seattle", "Denver", "Boston", "Detroit", "Memphis",
+            "Baltimore", "Atlanta", "Miami", ("DC", "Washington"),
+        ),
+        "city",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "state_region",
+            _v("Northeast", "Midwest", "South", "West"),
+            "region",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("violent_crimes", 500, 30000, 0,
+                      "reported violent crimes"),
+        NumericColumn("property_crimes", 4000, 120000, 0,
+                      "reported property crimes"),
+        NumericColumn("population_k", 300, 8600, 0,
+                      "thousand residents"),
+        NumericColumn("officers_per_10k", 10, 65, 1,
+                      "police officers per ten thousand residents"),
+    ),
+    subject="cities",
+    narrative=(
+        "Crime statistics are reported annually by police departments. "
+        "Rates differ sharply between cities and regions."
+    ),
+)
+
+CLIMATE = Theme(
+    key="climate",
+    table_name="climate_stations",
+    entity_column=CategoryColumn(
+        "station",
+        _v(
+            "Reykjavik", "Nairobi", "Oslo", "Cairo", "Lima", "Mumbai",
+            "Sydney", "Anchorage", "Ushuaia", "Irkutsk", "Honolulu",
+            "Marrakesh", "Kathmandu", "Quito", "Perth", "Tromso",
+        ),
+        "station",
+    ),
+    extra_categories=(
+        CategoryColumn("hemisphere", _v("Northern", "Southern"), "hemisphere"),
+    ),
+    numeric_columns=(
+        NumericColumn("mean_temp_c", -10, 30, 1,
+                      "mean annual temperature in degrees Celsius",
+                      "degrees Celsius", "temperature"),
+        NumericColumn("annual_rainfall_mm", 50, 2500, 0,
+                      "millimetres of annual rainfall",
+                      "millimetres", "length_mm"),
+        NumericColumn("sunny_days", 40, 320, 0, "sunny days per year"),
+        NumericColumn("elevation_m", 0, 3700, 0,
+                      "metres of elevation", "metres", "length_m"),
+    ),
+    subject="stations",
+    narrative=(
+        "Weather stations aggregate decades of measurements. Climate "
+        "normals summarise temperature and rainfall per station."
+    ),
+)
+
+MOVIES = Theme(
+    key="movies",
+    table_name="films",
+    entity_column=CategoryColumn(
+        "title",
+        _v(
+            "The Seventh Voyage", "Crimson Tide Rising", "Paper Lanterns",
+            "Midnight Express II", "The Quiet Harbor", "Steel Horizon",
+            "Garden of Glass", "The Last Cartographer", "Northern Lights",
+            "Echoes of Tomorrow", "The Velvet Hour", "Iron Meridian",
+            "Salt and Smoke", "The Forgotten Coast", "Winterfall",
+            "A Minor Eclipse",
+        ),
+        "film",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "genre",
+            _v("drama", "action", "comedy", "documentary", ("sci-fi", "science fiction")),
+            "genre",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("box_office_millions", 1, 900, 1,
+                      "million dollars at the box office"),
+        NumericColumn("budget_millions", 1, 250, 0,
+                      "million dollars of budget"),
+        NumericColumn("rating", 2, 10, 1, "average critic rating"),
+        NumericColumn("runtime_min", 80, 200, 0, "minutes of runtime"),
+    ),
+    subject="films",
+    narrative=(
+        "Box-office trackers publish revenue and budget figures for every "
+        "wide release. Critics' ratings complete the picture."
+    ),
+)
+
+UNIVERSITIES = Theme(
+    key="universities",
+    table_name="universities",
+    entity_column=CategoryColumn(
+        "university",
+        _v(
+            "Cornell", ("MIT", "Massachusetts Institute of Technology"),
+            "Stanford", "Oxford", "Cambridge", ("ETH", "ETH Zurich"),
+            "Toronto", "Melbourne", "Tokyo", "Heidelberg", "Uppsala",
+            ("NUS", "National University of Singapore"), "McGill",
+            "Edinburgh", "Leiden", "Bologna",
+        ),
+        "university",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "country", _COUNTRIES[:12], "country",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("enrollment_k", 5, 70, 1, "thousand enrolled students"),
+        NumericColumn("acceptance_rate", 4, 70, 1, "percent acceptance rate"),
+        NumericColumn("endowment_billions", 0, 50, 1,
+                      "billion dollars of endowment"),
+        NumericColumn("founded_year", 1088, 1975, 0, "founding year"),
+    ),
+    subject="universities",
+    narrative=(
+        "University league tables compile enrollment, selectivity, and "
+        "endowment data from institutional reports."
+    ),
+)
+
+WORLD_HERITAGE = Theme(
+    key="heritage",
+    table_name="heritage_sites",
+    entity_column=CategoryColumn(
+        "site",
+        _v(
+            "Machu Picchu", "Petra", "Angkor Wat", "Great Barrier Reef",
+            "Serengeti", "Alhambra", "Chichen Itza", "Stonehenge",
+            "Mont Saint-Michel", "Yellowstone", "Galapagos Islands",
+            "Taj Mahal", "Acropolis", "Bagan", "Meteora", "Uluru",
+        ),
+        "site",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "site_type", _v("cultural", "natural", "mixed"), "type",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("annual_visitors_k", 20, 4500, 0,
+                      "thousand annual visitors"),
+        NumericColumn("area_km2", 0, 35000, 1,
+                      "square kilometres of protected area",
+                      "square kilometres", "area"),
+        NumericColumn("inscription_year", 1978, 2019, 0, "inscription year"),
+        NumericColumn("buffer_zone_km2", 0, 5000, 1,
+                      "square kilometres of buffer zone"),
+    ),
+    subject="sites",
+    narrative=(
+        "UNESCO tracks visitor numbers and protected areas for every "
+        "listed World Heritage site."
+    ),
+)
+
+ENERGY = Theme(
+    key="energy",
+    table_name="power_plants",
+    entity_column=CategoryColumn(
+        "plant",
+        _v(
+            "Three Gorges", "Itaipu", "Grand Coulee", "Hoover Dam",
+            "Kashiwazaki", "Bruce Station", "Gravelines", "Taichung",
+            "Belchatow", "Drax", "Topaz Solar", "Hornsea One",
+            "Gansu Wind", "Alta Wind", "Ivanpah", "Geysers Complex",
+        ),
+        "plant",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "fuel",
+            _v("hydro", "nuclear", "coal", "gas", "solar", "wind",
+               "geothermal"),
+            "fuel type",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("capacity_mw", 100, 22500, 0, "megawatts of capacity"),
+        NumericColumn("annual_gwh", 300, 100000, 0,
+                      "gigawatt hours generated annually"),
+        NumericColumn("capacity_factor", 10, 95, 1,
+                      "percent capacity factor"),
+        NumericColumn("commissioned_year", 1936, 2020, 0,
+                      "commissioning year"),
+    ),
+    subject="plants",
+    narrative=(
+        "Grid operators publish capacity and generation statistics for "
+        "major power stations each year."
+    ),
+)
+
+FOOTBALL = Theme(
+    key="football",
+    table_name="football_clubs",
+    entity_column=CategoryColumn(
+        "club",
+        _v(
+            "Real Madrid", "Barcelona", ("Man United", "Manchester United"),
+            "Bayern Munich", "Liverpool", "Juventus", ("PSG",
+            "Paris Saint-Germain"), "Ajax", "Porto", "Celtic",
+            "Boca Juniors", "Flamengo", ("Inter", "Inter Milan"),
+            "Benfica", "Dortmund", "Arsenal",
+        ),
+        "club",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "league",
+            _v("La Liga", "Premier League", "Bundesliga", "Serie A",
+               "Ligue 1", "Eredivisie", "Primeira Liga"),
+            "league",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("league_titles", 0, 36, 0, "league titles"),
+        NumericColumn("continental_cups", 0, 15, 0, "continental cups"),
+        NumericColumn("stadium_capacity_k", 10, 100, 1,
+                      "thousand seats of stadium capacity"),
+        NumericColumn("squad_value_m", 50, 1200, 0,
+                      "million euros of squad value"),
+    ),
+    subject="clubs",
+    narrative=(
+        "Football almanacs record every club's honours and finances. "
+        "Squad valuations are updated after each transfer window."
+    ),
+)
+
+NUTRITION = Theme(
+    key="nutrition",
+    table_name="cereals",
+    entity_column=CategoryColumn(
+        "cereal",
+        _v(
+            "Corn Flakes", "Bran Crunch", "Oat Rings", "Wheat Squares",
+            "Honey Puffs", "Rice Pops", "Fiber Max", "Granola Gold",
+            "Muesli Mix", "Choco Bites", "Fruit Loops", "Nut Clusters",
+            "Barley Flakes", "Protein Crunch", "Maple Oats", "Berry Bran",
+        ),
+        "cereal",
+    ),
+    extra_categories=(
+        CategoryColumn(
+            "manufacturer",
+            _v("Kellogg", "General Mills", "Post", "Quaker", "Nabisco"),
+            "manufacturer",
+        ),
+    ),
+    numeric_columns=(
+        NumericColumn("calories", 50, 160, 0, "calories per serving"),
+        NumericColumn("sugar_g", 0, 15, 1, "grams of sugar per serving",
+                      "grams", "mass_g"),
+        NumericColumn("fiber_g", 0, 14, 1, "grams of fiber per serving",
+                      "grams", "mass_g"),
+        NumericColumn("protein_g", 1, 6, 0, "grams of protein per serving"),
+    ),
+    subject="cereals",
+    narrative=(
+        "Nutrition labels disclose calories and macronutrients per "
+        "serving for every breakfast cereal on the market."
+    ),
+)
+
+#: Themes used by the AggChecker-style generator, mapped to the paper's
+#: source domains for the Figure 7 cross-domain study.
+AGGCHECKER_THEMES: dict[str, tuple[Theme, ...]] = {
+    "538": (AIRLINE_SAFETY, ALCOHOL_CONSUMPTION, FOOTBALL),
+    "stackoverflow": (DEV_SURVEY,),
+    "nytimes": (CITY_CRIME, ENERGY, NUTRITION),
+    "wikipedia": (FORMULA_ONE, UNIVERSITIES, WORLD_HERITAGE, MOVIES, CLIMATE),
+}
+
+ALL_THEMES: tuple[Theme, ...] = (
+    AIRLINE_SAFETY, ALCOHOL_CONSUMPTION, FORMULA_ONE, DEV_SURVEY, CITY_CRIME,
+    CLIMATE, MOVIES, UNIVERSITIES, WORLD_HERITAGE, ENERGY, FOOTBALL, NUTRITION,
+)
+
+
+def theme_by_key(key: str) -> Theme:
+    """Look up a theme by its key."""
+    for theme in ALL_THEMES:
+        if theme.key == key:
+            return theme
+    raise KeyError(f"unknown theme {key!r}")

@@ -1,0 +1,67 @@
+"""Unit conversions for the Section 7.3.1 benchmark.
+
+Some claims state values in units different from the source data (feet vs
+metres, Fahrenheit vs Celsius). A conversion is modelled as an affine map
+``claim_value = scale * data_value + offset`` together with the SQL
+expression wrapper the correct translation must apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UnitConversion:
+    """An affine unit conversion with its SQL rendering."""
+
+    kind: str
+    source_unit: str
+    target_unit: str
+    scale: float
+    offset: float = 0.0
+
+    def convert(self, value: float) -> float:
+        """Map a data-unit value to the claim unit."""
+        return self.scale * value + self.offset
+
+    def wrap_sql(self, column_expression: str) -> str:
+        """Wrap a SQL expression so it yields claim-unit values."""
+        wrapped = f"({column_expression}) * {self.scale!r}"
+        if self.offset:
+            wrapped = f"({wrapped} + {self.offset!r})"
+        return wrapped
+
+    @property
+    def factor_for_model(self) -> float:
+        """Representative multiplicative factor for the simulated LLM.
+
+        Used by the behaviour model to treat the conversion claim as
+        requiring extra skill; affine conversions report their scale.
+        """
+        return self.scale
+
+
+#: Conversions keyed by the ``unit_kind`` declared on numeric theme columns.
+CONVERSIONS: dict[str, UnitConversion] = {
+    "length_m": UnitConversion("length_m", "metres", "feet", 3.28084),
+    "length_mm": UnitConversion("length_mm", "millimetres", "inches",
+                                1.0 / 25.4),
+    "mass_g": UnitConversion("mass_g", "grams", "ounces", 1.0 / 28.3495),
+    "volume": UnitConversion("volume", "litres", "gallons", 1.0 / 3.78541),
+    "temperature": UnitConversion("temperature", "degrees Celsius",
+                                  "degrees Fahrenheit", 9.0 / 5.0, 32.0),
+    "area": UnitConversion("area", "square kilometres", "square miles",
+                           1.0 / 2.58999),
+}
+
+
+def conversion_for(unit_kind: str) -> UnitConversion:
+    """Look up the conversion for a column's unit kind."""
+    try:
+        return CONVERSIONS[unit_kind]
+    except KeyError:
+        raise KeyError(
+            f"no conversion for unit kind {unit_kind!r}; known kinds: "
+            f"{', '.join(sorted(CONVERSIONS))}"
+        ) from None

@@ -1,0 +1,109 @@
+"""Unit-conversion benchmark (paper Section 7.3.1, Figure 6).
+
+20 claims over 8 Wikipedia-like articles, in two parallel variants:
+
+* **aligned** — claim units match the data units;
+* **converted** — the claim states the value in a different unit, so the
+  correct translation must apply the conversion inside the query.
+
+Both variants draw from identically seeded generators over identical
+databases, so each document's claim set is parallel and the per-document
+ΔF1 of Figure 6 is a like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.claims import Document
+from repro.llm.world import ClaimWorld
+
+from .base import DatasetBundle
+from .claimgen import ClaimGenerator, GenerationSettings
+from .tablegen import generate_database
+from .themes import (
+    ALCOHOL_CONSUMPTION,
+    CLIMATE,
+    NUTRITION,
+    Theme,
+    WORLD_HERITAGE,
+)
+
+KIND_WEIGHTS = {
+    "lookup": 0.5,
+    "avg": 0.2,
+    "max": 0.15,
+    "min": 0.15,
+}
+
+DOCUMENT_COUNT = 8
+TOTAL_CLAIMS = 20
+INCORRECT_RATE = 0.5
+
+_THEME_CYCLE: tuple[Theme, ...] = (
+    CLIMATE, ALCOHOL_CONSUMPTION, WORLD_HERITAGE, NUTRITION,
+)
+
+
+def build_units_benchmark(seed: int = 43) -> dict[str, DatasetBundle]:
+    """Build the aligned and converted unit-benchmark variants."""
+    bundles: dict[str, DatasetBundle] = {}
+    for variant, convert in (("aligned", False), ("converted", True)):
+        world = ClaimWorld()
+        documents: list[Document] = []
+        settings = GenerationSettings(
+            kind_weights=KIND_WEIGHTS,
+            incorrect_rate=INCORRECT_RATE,
+            convert_units=convert,
+            restrict_convertible=True,
+            # Small, clean benchmark (the paper reports ~95% F1 aligned).
+            hard_fraction=0.0,
+            misread_fraction=0.05,
+        )
+        claim_counts = _claim_counts()
+        for index in range(DOCUMENT_COUNT):
+            theme = _THEME_CYCLE[index % len(_THEME_CYCLE)]
+            doc_rng = random.Random(f"{seed}/{index}")
+            doc_id = f"units{index:02d}_{variant}"
+            database = generate_database(theme, doc_rng, name=doc_id)
+            generator = ClaimGenerator(theme, database, world, doc_rng, doc_id)
+            claims = []
+            for claim_index in range(claim_counts[index]):
+                # Re-seed per claim so the aligned and converted variants
+                # draw identical templates/labels even though value
+                # formatting consumes different amounts of randomness.
+                generator.rng = random.Random(
+                    f"{seed}/{index}/{claim_index}"
+                )
+                claims.append(generator.generate(settings).claim)
+            for claim in claims:
+                claim.metadata["domain"] = "units"
+                claim.metadata["variant"] = variant
+                claim.metadata["pair_doc"] = f"units{index:02d}"
+            documents.append(
+                Document(
+                    doc_id=doc_id,
+                    claims=claims,
+                    data=database,
+                    domain="units",
+                    title=f"Units benchmark doc {index} ({variant})",
+                )
+            )
+        bundles[variant] = DatasetBundle(
+            name=f"units_{variant}",
+            documents=documents,
+            world=world,
+            description=(
+                f"Unit-conversion benchmark ({variant}): {TOTAL_CLAIMS} "
+                f"claims over {DOCUMENT_COUNT} articles"
+            ),
+        )
+    return bundles
+
+
+def _claim_counts() -> list[int]:
+    base, remainder = divmod(TOTAL_CLAIMS, DOCUMENT_COUNT)
+    counts = [base] * DOCUMENT_COUNT
+    for index in range(remainder):
+        counts[index] += 1
+    return counts

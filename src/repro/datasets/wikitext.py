@@ -1,0 +1,94 @@
+"""WikiText-style benchmark generator (paper Section 7.1).
+
+50 *textual* claims over 14 Wikipedia-like articles: the claimed value is
+a string (an entity, a category) rather than a number, exercising the
+embedding-similarity path of CorrectQuery/CorrectClaim. Query shapes match
+Table 3's WikiText row: occasional GROUP BY (0.22/query), sub-queries via
+superlatives, multi-column queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.claims import Document
+from repro.llm.world import ClaimWorld
+
+from .base import DatasetBundle
+from .claimgen import ClaimGenerator, GenerationSettings
+from .tablegen import generate_database
+from .themes import ALL_THEMES
+
+KIND_WEIGHTS = {
+    "lookup_text": 0.33,
+    "superlative_text": 0.45,
+    "group_leader_text": 0.22,
+}
+
+DOCUMENT_COUNT = 14
+TOTAL_CLAIMS = 50
+INCORRECT_RATE = 0.20
+
+#: Textual claims are harder to translate than numeric lookups (the model
+#: must realise the masked value is an entity); shift difficulty up.
+DIFFICULTY_SHIFT = 0.05
+
+
+def build_wikitext(
+    seed: int = 23,
+    document_count: int = DOCUMENT_COUNT,
+    total_claims: int = TOTAL_CLAIMS,
+    incorrect_rate: float = INCORRECT_RATE,
+) -> DatasetBundle:
+    """Generate the WikiText-style benchmark of textual claims."""
+    rng = random.Random(seed)
+    world = ClaimWorld()
+    documents: list[Document] = []
+    claim_counts = _spread(total_claims, document_count, rng)
+    settings = GenerationSettings(
+        kind_weights=KIND_WEIGHTS,
+        incorrect_rate=incorrect_rate,
+        difficulty_shift=DIFFICULTY_SHIFT,
+        hard_fraction=0.08,
+        misread_fraction=0.18,
+        # Prose refers to entities by abbreviations and partial names far
+        # more often than numeric claims misstate digits.
+        textual_variant_prob=0.8,
+    )
+    for index in range(document_count):
+        theme = rng.choice(ALL_THEMES)
+        doc_id = f"wiki{index:02d}"
+        database = generate_database(theme, rng, name=doc_id)
+        generator = ClaimGenerator(theme, database, world, rng, doc_id)
+        claims = [
+            generator.generate(settings).claim
+            for _ in range(claim_counts[index])
+        ]
+        for claim in claims:
+            claim.metadata["domain"] = "wikitext"
+        documents.append(
+            Document(
+                doc_id=doc_id,
+                claims=claims,
+                data=database,
+                domain="wikitext",
+                title=f"Wikipedia article {index} ({theme.key})",
+            )
+        )
+    return DatasetBundle(
+        name="wikitext",
+        documents=documents,
+        world=world,
+        description=(
+            "WikiText-style: 50 textual claims over 14 Wikipedia-like "
+            "articles"
+        ),
+    )
+
+
+def _spread(total: int, buckets: int, rng: random.Random) -> list[int]:
+    base, remainder = divmod(total, buckets)
+    counts = [base] * buckets
+    for position in rng.sample(range(buckets), remainder):
+        counts[position] += 1
+    return counts

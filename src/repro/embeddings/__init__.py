@@ -1,0 +1,17 @@
+"""Text embeddings for textual-claim similarity (MiniLM-L6 substitute)."""
+
+from .minisim import (
+    EMBEDDING_DIM,
+    MiniSimLM,
+    cosine_similarity,
+    default_model,
+    text_similarity,
+)
+
+__all__ = [
+    "EMBEDDING_DIM",
+    "MiniSimLM",
+    "cosine_similarity",
+    "default_model",
+    "text_similarity",
+]

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+See DESIGN.md for the experiment index (E1-E8) and EXPERIMENTS.md for the
+measured-vs-paper results. Run via ``python -m repro.experiments <name>``.
+"""
+
+from .common import (
+    CedarRunResult,
+    CedarSystem,
+    build_cedar,
+    profile_system,
+    reset_claims,
+    run_cedar,
+    run_single_stage,
+)
+
+__all__ = [
+    "CedarRunResult",
+    "CedarSystem",
+    "build_cedar",
+    "profile_system",
+    "reset_claims",
+    "run_cedar",
+    "run_single_stage",
+]

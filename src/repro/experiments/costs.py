@@ -1,0 +1,118 @@
+"""Experiment E2 — the cost figures of Section 7.2.
+
+At the default 99% accuracy threshold the paper spends $18.12 verifying
+the 392 AggChecker claims, $1.46 on TabFact, and $1.90 on WikiText. The
+absolute scale here is smaller (synthetic prompts are shorter than real
+newspaper articles), so the comparison focuses on the *per-claim cost
+ordering* across datasets and the cost split across methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import build_aggchecker, build_tabfact, build_wikitext
+
+from .common import format_table, run_cedar
+
+#: Paper totals at the 99% threshold.
+PAPER_COSTS = {"AggChecker": 18.12, "TabFact": 1.46, "WikiText": 1.90}
+PAPER_CLAIMS = {"AggChecker": 392, "TabFact": 100, "WikiText": 50}
+
+
+@dataclass
+class CostRow:
+    dataset: str
+    claims: int
+    cost: float
+    llm_calls: int
+    tokens: int
+
+    @property
+    def cost_per_claim(self) -> float:
+        return self.cost / self.claims if self.claims else 0.0
+
+
+@dataclass
+class CostsResult:
+    rows: list[CostRow] = field(default_factory=list)
+
+
+def run_costs(fast: bool = False, seed: int = 0) -> CostsResult:
+    builders = {
+        "AggChecker": build_aggchecker,
+        "TabFact": build_tabfact,
+        "WikiText": build_wikitext,
+    }
+    if fast:
+        builders = {
+            "AggChecker": lambda: build_aggchecker(
+                document_count=10, total_claims=60
+            ),
+            "TabFact": lambda: build_tabfact(table_count=10, total_claims=36),
+            "WikiText": lambda: build_wikitext(
+                document_count=6, total_claims=20
+            ),
+        }
+    result = CostsResult()
+    for name, builder in builders.items():
+        bundle = builder()
+        run = run_cedar(bundle, seed=seed)
+        result.rows.append(
+            CostRow(
+                dataset=name,
+                claims=run.economics.claims,
+                cost=run.economics.cost,
+                llm_calls=run.economics.llm_calls,
+                tokens=run.economics.total_tokens,
+            )
+        )
+    return result
+
+
+def format_costs(result: CostsResult) -> str:
+    lines = ["Section 7.2 — verification costs at the 99% threshold", ""]
+    rows = []
+    for row in result.rows:
+        paper_total = PAPER_COSTS[row.dataset]
+        paper_per_claim = paper_total / PAPER_CLAIMS[row.dataset]
+        rows.append([
+            row.dataset,
+            str(row.claims),
+            f"${row.cost:.3f}",
+            f"${row.cost_per_claim * 100:.3f}",
+            f"${paper_total:.2f}",
+            f"${paper_per_claim * 100:.2f}",
+            str(row.llm_calls),
+            str(row.tokens),
+        ])
+    lines.append(
+        format_table(
+            ["dataset", "claims", "cost", "cents/claim", "paper cost",
+             "paper cents/claim", "LLM calls", "tokens"],
+            rows,
+        )
+    )
+    per_claim = {r.dataset: r.cost_per_claim for r in result.rows}
+    ordering = sorted(per_claim, key=per_claim.get, reverse=True)
+    paper_ordering = sorted(
+        PAPER_COSTS,
+        key=lambda d: PAPER_COSTS[d] / PAPER_CLAIMS[d],
+        reverse=True,
+    )
+    lines.append("")
+    lines.append(
+        f"per-claim cost ordering: {' > '.join(ordering)} "
+        f"(paper: {' > '.join(paper_ordering)})"
+    )
+    return "\n".join(lines)
+
+
+def main(fast: bool = False) -> str:
+    report = format_costs(run_costs(fast=fast))
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Experiment E3 — paper Figure 5.
+
+Cost-quality and throughput-quality trade-offs on the AggChecker data set:
+each verification method run single-stage (one and two tries) versus
+CEDAR's multi-stage verification across accuracy thresholds. The paper's
+claim: CEDAR spans the cost-F1 Pareto frontier, and beats the best
+single-stage configuration (the GPT-4 agent) on cost at comparable F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import build_aggchecker
+
+from .common import format_table, run_cedar, run_single_stage
+
+#: Accuracy thresholds swept for the multi-stage points.
+THRESHOLDS = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of Figure 5: a configuration with its measurements."""
+
+    label: str
+    kind: str  # "single" | "multi"
+    cost_per_claim: float
+    f1: float
+    throughput_claims_per_hour: float
+
+
+@dataclass
+class Figure5Result:
+    points: list[TradeoffPoint]
+
+    def pareto_front(self) -> list[TradeoffPoint]:
+        """Cost-F1 Pareto-optimal points (lower cost, higher F1)."""
+        front = []
+        for point in self.points:
+            dominated = any(
+                other.cost_per_claim <= point.cost_per_claim
+                and other.f1 >= point.f1
+                and (
+                    other.cost_per_claim < point.cost_per_claim
+                    or other.f1 > point.f1
+                )
+                for other in self.points
+            )
+            if not dominated:
+                front.append(point)
+        return sorted(front, key=lambda p: p.cost_per_claim)
+
+
+def run_figure5(fast: bool = False, seed: int = 0) -> Figure5Result:
+    """Measure every Figure 5 configuration."""
+    if fast:
+        bundle = build_aggchecker(document_count=12, total_claims=70)
+    else:
+        bundle = build_aggchecker()
+    points: list[TradeoffPoint] = []
+    method_count = 4
+    for index in range(method_count):
+        for tries in (1, 2):
+            run = run_single_stage(bundle, index, tries=tries, seed=seed)
+            points.append(_point(run.name, "single", run))
+    for threshold in THRESHOLDS:
+        run = run_cedar(bundle, accuracy_threshold=threshold, seed=seed)
+        points.append(
+            _point(f"cedar@{threshold:.2f} [{run.schedule_description}]",
+                   "multi", run)
+        )
+    return Figure5Result(points)
+
+
+def _point(label: str, kind: str, run) -> TradeoffPoint:
+    return TradeoffPoint(
+        label=label,
+        kind=kind,
+        cost_per_claim=run.economics.cost_per_claim,
+        f1=100.0 * run.counts.f1,
+        throughput_claims_per_hour=run.economics.claims_per_hour,
+    )
+
+
+def format_figure5(result: Figure5Result) -> str:
+    lines = ["Figure 5 — cost-quality and throughput-quality trade-offs",
+             "(AggChecker data set; single-stage methods vs CEDAR multi-stage)",
+             ""]
+    rows = [
+        [
+            point.kind,
+            point.label,
+            f"{point.cost_per_claim * 1000:.3f}",
+            f"{point.f1:.1f}",
+            f"{point.throughput_claims_per_hour:.0f}",
+        ]
+        for point in sorted(result.points, key=lambda p: p.cost_per_claim)
+    ]
+    lines.append(
+        format_table(
+            ["kind", "configuration", "$/1k claims... ($/claim x1000)",
+             "F1", "claims/h"],
+            rows,
+        )
+    )
+    lines.append("")
+    front = result.pareto_front()
+    lines.append("Cost-F1 Pareto frontier (paper: spanned by CEDAR):")
+    for point in front:
+        lines.append(
+            f"  {point.kind:6} {point.label}  "
+            f"(${point.cost_per_claim:.5f}/claim, F1 {point.f1:.1f})"
+        )
+    multi_on_front = sum(1 for p in front if p.kind == "multi")
+    lines.append(
+        f"{multi_on_front}/{len(front)} frontier points are multi-stage."
+    )
+    return "\n".join(lines)
+
+
+def main(fast: bool = False) -> str:
+    report = format_figure5(run_figure5(fast=fast))
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

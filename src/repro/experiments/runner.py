@@ -1,0 +1,59 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--fast]
+    python -m repro.experiments all [--fast]
+
+Experiments: table2, costs, figure5, figure6, table3, joinbench,
+figure7, assumptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (assumptions, costs, figure5, figure6, figure7,
+               joinbench_exp, table2, table3)
+
+EXPERIMENTS = {
+    "assumptions": assumptions.main,
+    "table2": table2.main,
+    "costs": costs.main,
+    "figure5": figure5.main,
+    "figure6": figure6.main,
+    "table3": table3.main,
+    "joinbench": joinbench_exp.main,
+    "figure7": figure7.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run on reduced datasets (for smoke testing)",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            print(f"{'=' * 72}\n{name}\n{'=' * 72}")
+            EXPERIMENTS[name](fast=arguments.fast)
+            print()
+    else:
+        EXPERIMENTS[arguments.experiment](fast=arguments.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Experiment E1 — paper Table 2.
+
+Result quality (precision / recall / F1) of CEDAR versus the AggChecker
+system, TAPEX, and the P1/P2 text-to-SQL baselines on the AggChecker,
+TabFact, and WikiText benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import AggCheckerSystem, TapexBaseline, TextToSqlBaseline
+from repro.datasets import (
+    DatasetBundle,
+    build_aggchecker,
+    build_tabfact,
+    build_wikitext,
+)
+from repro.llm import CostLedger, SimulatedLLM
+from repro.metrics import ConfusionCounts, percentage, score_claims
+
+from .common import CedarRunResult, format_table, reset_claims, run_cedar
+
+
+@dataclass
+class Table2Cell:
+    """One system's scores on one dataset."""
+
+    precision: float
+    recall: float
+    f1: float
+    cost: float = 0.0
+    supported: bool = True
+
+
+@dataclass
+class Table2Result:
+    """All cells of Table 2, plus the CEDAR run details."""
+
+    datasets: list[str]
+    systems: list[str]
+    cells: dict[tuple[str, str], Table2Cell] = field(default_factory=dict)
+    cedar_runs: dict[str, CedarRunResult] = field(default_factory=dict)
+
+
+def dataset_builders(fast: bool = False):
+    """The three Table 2 benchmarks (smaller AggChecker in fast mode)."""
+    if fast:
+        return {
+            "AggChecker": lambda: build_aggchecker(
+                document_count=10, total_claims=60
+            ),
+            "TabFact": lambda: build_tabfact(table_count=10, total_claims=36),
+            "WikiText": lambda: build_wikitext(
+                document_count=6, total_claims=20
+            ),
+        }
+    return {
+        "AggChecker": build_aggchecker,
+        "TabFact": build_tabfact,
+        "WikiText": build_wikitext,
+    }
+
+
+def run_table2(fast: bool = False, seed: int = 0) -> Table2Result:
+    """Run every system on every dataset."""
+    builders = dataset_builders(fast)
+    systems = ["CEDAR", "AggC", "TAPEX", "P1", "P2"]
+    result = Table2Result(datasets=list(builders), systems=systems)
+    for dataset_name, builder in builders.items():
+        bundle: DatasetBundle = builder()
+        cedar = run_cedar(bundle, seed=seed)
+        result.cedar_runs[dataset_name] = cedar
+        result.cells[(dataset_name, "CEDAR")] = _cell(
+            cedar.counts, cedar.economics.cost
+        )
+        result.cells[(dataset_name, "AggC")] = _run_baseline(
+            AggCheckerSystem(), bundle, textual=dataset_name == "WikiText"
+        )
+        result.cells[(dataset_name, "TAPEX")] = _run_baseline(
+            TapexBaseline(bundle.world, seed=seed), bundle
+        )
+        for template in ("P1", "P2"):
+            ledger = CostLedger()
+            client = SimulatedLLM(
+                "gpt-3.5-turbo", bundle.world, ledger, seed=seed + 7
+            )
+            baseline = TextToSqlBaseline(client, template)
+            cell = _run_baseline(baseline, bundle)
+            cell.cost = ledger.total_cost
+            result.cells[(dataset_name, template)] = cell
+    return result
+
+
+def _run_baseline(baseline, bundle: DatasetBundle,
+                  textual: bool = False) -> Table2Cell:
+    if textual and not baseline.supports_textual:
+        return Table2Cell(0.0, 0.0, 0.0, supported=False)
+    reset_claims(bundle.documents)
+    baseline.verify_documents(bundle.documents)
+    counts = score_claims(bundle.claims)
+    return _cell(counts)
+
+
+def _cell(counts: ConfusionCounts, cost: float = 0.0) -> Table2Cell:
+    return Table2Cell(
+        precision=percentage(counts.precision),
+        recall=percentage(counts.recall),
+        f1=percentage(counts.f1),
+        cost=cost,
+    )
+
+
+#: What the paper reports (Table 2), for side-by-side comparison.
+PAPER_TABLE2 = {
+    ("AggChecker", "CEDAR"): (59.7, 89.6, 71.7),
+    ("AggChecker", "AggC"): (36.2, 70.8, 47.9),
+    ("AggChecker", "TAPEX"): (0.0, 0.0, 0.0),
+    ("AggChecker", "P1"): (15.0, 64.0, 24.0),
+    ("AggChecker", "P2"): (15.0, 70.0, 24.0),
+    ("TabFact", "CEDAR"): (87.9, 85.3, 86.6),
+    ("TabFact", "AggC"): (50.0, 34.6, 40.9),
+    ("TabFact", "TAPEX"): (88.5, 71.9, 79.3),
+    ("TabFact", "P1"): (45.4, 88.2, 60.0),
+    ("TabFact", "P2"): (41.9, 91.2, 57.4),
+    ("WikiText", "CEDAR"): (33.3, 100.0, 50.0),
+    ("WikiText", "AggC"): (None, None, None),  # unsupported
+    ("WikiText", "TAPEX"): (100.0, 18.0, 30.5),
+    ("WikiText", "P1"): (0.0, 0.0, 0.0),
+    ("WikiText", "P2"): (4.5, 100.0, 28.6),
+}
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the measured Table 2 with the paper's numbers alongside."""
+    lines = ["Table 2 — result quality of CEDAR and baselines",
+             "(each cell: measured, with the paper's value in parentheses)",
+             ""]
+    for metric_index, metric in enumerate(("Precision", "Recall", "F1")):
+        rows = []
+        for dataset in result.datasets:
+            row = [dataset, metric]
+            for system in result.systems:
+                cell = result.cells[(dataset, system)]
+                paper = PAPER_TABLE2.get((dataset, system))
+                if not cell.supported:
+                    row.append("-")
+                    continue
+                measured = (cell.precision, cell.recall, cell.f1)[metric_index]
+                if paper is None or paper[metric_index] is None:
+                    row.append(f"{measured:.1f}")
+                else:
+                    row.append(f"{measured:.1f} ({paper[metric_index]:.1f})")
+            rows.append(row)
+        lines.append(
+            format_table(["Dataset", "Metric"] + result.systems, rows)
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(fast: bool = False) -> str:
+    report = format_table2(run_table2(fast=fast))
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

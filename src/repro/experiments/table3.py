@@ -1,0 +1,104 @@
+"""Experiment E5 — paper Table 3.
+
+Query complexity statistics (per-query average / maximum) of the claims'
+ground-truth queries across the four benchmarks, computed by parsing each
+reference query and walking its AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets import (
+    build_aggchecker,
+    build_joinbench,
+    build_tabfact,
+    build_wikitext,
+)
+from repro.metrics import ComplexityStats, analyse_claims
+
+from .common import format_table
+
+#: Paper Table 3, for side-by-side comparison: (avg, max) per metric.
+PAPER_TABLE3 = {
+    "AggChecker": {"joins": (0, 0), "group_by": (0.01, 1),
+                   "subqueries": (0.54, 2), "aggregates": (0.99, 12),
+                   "columns": (1.3, 2)},
+    "TabFact": {"joins": (0, 0), "group_by": (0, 0),
+                "subqueries": (0.09, 2), "aggregates": (0.63, 1),
+                "columns": (1.05, 2)},
+    "WikiText": {"joins": (0, 0), "group_by": (0.22, 1),
+                 "subqueries": (0.33, 3), "aggregates": (0.51, 3),
+                 "columns": (1.33, 4)},
+    "JoinBench": {"joins": (0.62, 3), "group_by": (0, 0),
+                  "subqueries": (0.52, 2), "aggregates": (0.76, 2),
+                  "columns": (1.5, 2)},
+}
+
+
+@dataclass
+class Table3Result:
+    stats: dict[str, ComplexityStats]
+
+
+def run_table3(fast: bool = False) -> Table3Result:
+    """Analyse the ground-truth queries of every benchmark."""
+    if fast:
+        bundles = {
+            "AggChecker": build_aggchecker(document_count=10,
+                                           total_claims=60),
+            "TabFact": build_tabfact(table_count=10, total_claims=36),
+            "WikiText": build_wikitext(document_count=6, total_claims=20),
+            "JoinBench": build_joinbench()["joined"],
+        }
+    else:
+        bundles = {
+            "AggChecker": build_aggchecker(),
+            "TabFact": build_tabfact(),
+            "WikiText": build_wikitext(),
+            "JoinBench": build_joinbench()["joined"],
+        }
+    return Table3Result(
+        stats={
+            name: analyse_claims(bundle.claims)
+            for name, bundle in bundles.items()
+        }
+    )
+
+
+def format_table3(result: Table3Result) -> str:
+    lines = ["Table 3 — query complexity statistics (avg/max per query)",
+             "(measured, with the paper's values in parentheses)", ""]
+    rows = []
+    for name, stats in result.stats.items():
+        paper = PAPER_TABLE3[name]
+        rows.append([
+            name,
+            _cell(stats.avg_joins, stats.max_joins, paper["joins"]),
+            _cell(stats.avg_group_by, stats.max_group_by, paper["group_by"]),
+            _cell(stats.avg_subqueries, stats.max_subqueries,
+                  paper["subqueries"]),
+            _cell(stats.avg_aggregates, stats.max_aggregates,
+                  paper["aggregates"]),
+            _cell(stats.avg_columns, stats.max_columns, paper["columns"]),
+        ])
+    lines.append(
+        format_table(
+            ["Data set", "Joins", "GroupBy", "SubQ", "Agg", "Cols"], rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def _cell(avg: float, maximum: int, paper: tuple[float, float]) -> str:
+    return f"{avg:.2f}/{maximum} ({paper[0]}/{paper[1]})"
+
+
+def main(fast: bool = False) -> str:
+    report = format_table3(run_table3(fast=fast))
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""LLM service layer: client abstraction, pricing, cost ledger, simulation."""
+
+from .base import ChatResponse, ChatUsage, LLMClient, ScriptedLLM, extract_sql_block
+from .corruption import cheat_query, corrupt_query, trap_query
+from .ledger import CostLedger, LedgerEntry, LedgerTotals
+from .openai_client import OpenAIChatClient, RecordingTransport, TransportError
+from .pricing import (
+    GPT_35_TURBO,
+    GPT_4_TURBO,
+    GPT_4O,
+    GPT_4O_MINI,
+    MODEL_SPECS,
+    ModelSpec,
+    model_spec,
+)
+from .simulated import (
+    AGENT_PROMPT_MARKER,
+    BEHAVIOURS,
+    QUESTION_MARKER,
+    SAMPLE_MARKER,
+    ModelBehaviour,
+    SimulatedLLM,
+)
+from .tokenizer import count_tokens, truncate_to_tokens
+from .world import ClaimKnowledge, ClaimWorld, LookupTrap
+
+__all__ = [
+    "AGENT_PROMPT_MARKER",
+    "BEHAVIOURS",
+    "ChatResponse",
+    "ChatUsage",
+    "ClaimKnowledge",
+    "ClaimWorld",
+    "CostLedger",
+    "GPT_35_TURBO",
+    "GPT_4O",
+    "GPT_4O_MINI",
+    "GPT_4_TURBO",
+    "LLMClient",
+    "LedgerEntry",
+    "LedgerTotals",
+    "LookupTrap",
+    "MODEL_SPECS",
+    "OpenAIChatClient",
+    "RecordingTransport",
+    "ModelBehaviour",
+    "ModelSpec",
+    "QUESTION_MARKER",
+    "SAMPLE_MARKER",
+    "ScriptedLLM",
+    "SimulatedLLM",
+    "TransportError",
+    "cheat_query",
+    "corrupt_query",
+    "count_tokens",
+    "extract_sql_block",
+    "model_spec",
+    "trap_query",
+    "truncate_to_tokens",
+]

@@ -1,0 +1,132 @@
+"""LLM client abstraction.
+
+Everything above this layer (one-shot translation, agents, baselines) talks
+to a :class:`LLMClient` and never knows whether the model behind it is a
+hosted API or the offline simulation. Responses carry token usage, dollar
+cost, and simulated latency so callers can account costs per claim.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from .ledger import CostLedger
+from .pricing import ModelSpec, model_spec
+from .tokenizer import count_tokens
+
+
+@dataclass(frozen=True)
+class ChatUsage:
+    """Token counts of one call."""
+
+    prompt_tokens: int
+    completion_tokens: int
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class ChatResponse:
+    """One model reply with its accounting metadata."""
+
+    text: str
+    model: str
+    usage: ChatUsage
+    cost: float
+    latency_seconds: float
+
+
+class LLMClient(ABC):
+    """A chat-completion client bound to one model.
+
+    Subclasses implement :meth:`_generate`; this base class handles token
+    accounting, pricing, latency simulation, and ledger recording so every
+    implementation bills identically.
+    """
+
+    def __init__(self, model_name: str, ledger: CostLedger | None = None):
+        self.spec: ModelSpec = model_spec(model_name)
+        self.ledger = ledger if ledger is not None else CostLedger()
+
+    @property
+    def model_name(self) -> str:
+        return self.spec.name
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> ChatResponse:
+        """Send a prompt and return the model's reply, recording costs."""
+        if not 0.0 <= temperature <= 2.0:
+            raise ValueError(f"temperature {temperature} out of range [0, 2]")
+        text = self._generate(prompt, temperature)
+        usage = ChatUsage(count_tokens(prompt), count_tokens(text))
+        cost = self.spec.cost(usage.prompt_tokens, usage.completion_tokens)
+        latency = self.spec.latency(
+            usage.prompt_tokens, usage.completion_tokens
+        )
+        response = ChatResponse(text, self.model_name, usage, cost, latency)
+        self.ledger.record(
+            model=self.model_name,
+            prompt_tokens=usage.prompt_tokens,
+            completion_tokens=usage.completion_tokens,
+            cost=cost,
+            latency_seconds=latency,
+        )
+        return response
+
+    @abstractmethod
+    def _generate(self, prompt: str, temperature: float) -> str:
+        """Produce the raw completion text for a prompt."""
+
+
+class ScriptedLLM(LLMClient):
+    """A client replaying canned responses, for tests.
+
+    Responses are served in order; the last one repeats once the script is
+    exhausted (so retry loops in code under test terminate deterministically).
+    """
+
+    def __init__(
+        self,
+        responses: list[str],
+        model_name: str = "gpt-3.5-turbo",
+        ledger: CostLedger | None = None,
+    ) -> None:
+        super().__init__(model_name, ledger)
+        if not responses:
+            raise ValueError("ScriptedLLM needs at least one response")
+        self._responses = list(responses)
+        self.calls: list[tuple[str, float]] = []
+
+    def _generate(self, prompt: str, temperature: float) -> str:
+        self.calls.append((prompt, temperature))
+        index = min(len(self.calls) - 1, len(self._responses) - 1)
+        return self._responses[index]
+
+
+def extract_sql_block(text: str) -> str | None:
+    """Extract the first SQL statement from a model reply.
+
+    Primary format is a fenced block (```sql … ``` or ``` … ```), as the
+    Figure 3 prompt instructs. Falls back to scanning for a line starting
+    with SELECT, since weaker models sometimes ignore the fencing
+    instruction. Returns None when no candidate is found.
+    """
+    lowered = text.lower()
+    for fence in ("```sql", "```"):
+        start = lowered.find(fence)
+        if start < 0:
+            continue
+        body_start = start + len(fence)
+        end = text.find("```", body_start)
+        if end < 0:
+            continue
+        candidate = text[body_start:end].strip()
+        if candidate:
+            return candidate
+    index = lowered.find("select ")
+    if index >= 0:
+        candidate = text[index:].split("\n\n", 1)[0].strip()
+        return candidate or None
+    return None

@@ -1,0 +1,130 @@
+"""Cost ledger: the accounting substrate for every experiment.
+
+All LLM calls record an entry here. The ledger supports nested *tags*
+(document, claim, verification method) via a context manager, so the
+experiment harness can attribute spending to individual claims and methods
+— which is what the profiling stage (Section 6) and the cost columns of the
+evaluation (Section 7) consume.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded LLM call."""
+
+    model: str
+    prompt_tokens: int
+    completion_tokens: int
+    cost: float
+    latency_seconds: float
+    tags: tuple[str, ...] = ()
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass
+class LedgerTotals:
+    """Aggregated spending over a set of entries."""
+
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost: float = 0.0
+    latency_seconds: float = 0.0
+
+    def add(self, entry: LedgerEntry) -> None:
+        self.calls += 1
+        self.prompt_tokens += entry.prompt_tokens
+        self.completion_tokens += entry.completion_tokens
+        self.cost += entry.cost
+        self.latency_seconds += entry.latency_seconds
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+class CostLedger:
+    """Append-only record of LLM spending with tag attribution."""
+
+    def __init__(self) -> None:
+        self.entries: list[LedgerEntry] = []
+        self._tag_stack: list[str] = []
+
+    def record(
+        self,
+        model: str,
+        prompt_tokens: int,
+        completion_tokens: int,
+        cost: float,
+        latency_seconds: float,
+    ) -> None:
+        """Record one call under the currently active tags."""
+        self.entries.append(
+            LedgerEntry(
+                model=model,
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
+                cost=cost,
+                latency_seconds=latency_seconds,
+                tags=tuple(self._tag_stack),
+            )
+        )
+
+    @contextmanager
+    def tagged(self, tag: str):
+        """Attribute all calls inside the block to ``tag`` (nestable)."""
+        self._tag_stack.append(tag)
+        try:
+            yield self
+        finally:
+            self._tag_stack.pop()
+
+    def totals(self, tag: str | None = None) -> LedgerTotals:
+        """Aggregate all entries, optionally restricted to one tag."""
+        totals = LedgerTotals()
+        for entry in self.entries:
+            if tag is None or tag in entry.tags:
+                totals.add(entry)
+        return totals
+
+    def totals_by_tag_prefix(self, prefix: str) -> dict[str, LedgerTotals]:
+        """Aggregate entries per tag, over tags starting with ``prefix``.
+
+        E.g. ``totals_by_tag_prefix("method:")`` returns per-method totals.
+        """
+        grouped: dict[str, LedgerTotals] = {}
+        for entry in self.entries:
+            for tag in entry.tags:
+                if tag.startswith(prefix):
+                    grouped.setdefault(tag, LedgerTotals()).add(entry)
+        return grouped
+
+    def checkpoint(self) -> int:
+        """Return a marker for :meth:`totals_since`."""
+        return len(self.entries)
+
+    def totals_since(self, checkpoint: int) -> LedgerTotals:
+        """Aggregate entries recorded after a checkpoint."""
+        totals = LedgerTotals()
+        for entry in self.entries[checkpoint:]:
+            totals.add(entry)
+        return totals
+
+    @property
+    def total_cost(self) -> float:
+        return sum(e.cost for e in self.entries)
+
+    @property
+    def total_latency_seconds(self) -> float:
+        return sum(e.latency_seconds for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,124 @@
+"""Adapter for a real OpenAI-compatible chat API.
+
+The rest of the library only sees :class:`~repro.llm.base.LLMClient`, so
+swapping the offline simulation for a hosted model means constructing one
+of these instead of a :class:`~repro.llm.simulated.SimulatedLLM`. The
+HTTP transport is injected, which keeps the adapter testable offline and
+lets callers plug in any client (``requests``, ``httpx``, a corporate
+proxy) without this package importing one.
+
+Example::
+
+    import json
+    import urllib.request
+
+    def transport(payload: dict, api_key: str) -> dict:
+        request = urllib.request.Request(
+            "https://api.openai.com/v1/chat/completions",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "Authorization": f"Bearer {api_key}",
+            },
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.load(response)
+
+    client = OpenAIChatClient("gpt-4o", transport, api_key="sk-...")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from .base import LLMClient
+from .ledger import CostLedger
+
+#: A transport takes the chat-completions payload and returns the parsed
+#: JSON response body.
+Transport = Callable[[dict, str], dict]
+
+
+class TransportError(RuntimeError):
+    """Raised when the transport response lacks the expected structure."""
+
+
+class OpenAIChatClient(LLMClient):
+    """An :class:`LLMClient` backed by an OpenAI-compatible endpoint."""
+
+    def __init__(
+        self,
+        model_name: str,
+        transport: Transport,
+        api_key: str = "",
+        ledger: CostLedger | None = None,
+        system_prompt: str | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        super().__init__(model_name, ledger)
+        self._transport = transport
+        self._api_key = api_key
+        self._system_prompt = system_prompt
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._max_retries = max_retries
+
+    def _generate(self, prompt: str, temperature: float) -> str:
+        messages = []
+        if self._system_prompt:
+            messages.append({"role": "system", "content": self._system_prompt})
+        messages.append({"role": "user", "content": prompt})
+        payload = {
+            "model": self.model_name,
+            "messages": messages,
+            "temperature": temperature,
+        }
+        last_error: Exception | None = None
+        for _ in range(self._max_retries + 1):
+            try:
+                body = self._transport(payload, self._api_key)
+                return _extract_content(body)
+            except TransportError:
+                raise
+            except Exception as error:  # transient transport failure
+                last_error = error
+        raise RuntimeError(
+            f"transport failed after {self._max_retries + 1} attempts"
+        ) from last_error
+
+
+def _extract_content(body: dict) -> str:
+    try:
+        choices = body["choices"]
+        message = choices[0]["message"]
+        content = message["content"]
+    except (KeyError, IndexError, TypeError) as error:
+        raise TransportError(
+            f"malformed chat-completions response: {body!r}"
+        ) from error
+    if not isinstance(content, str):
+        raise TransportError(
+            f"non-text completion content: {content!r}"
+        )
+    return content
+
+
+class RecordingTransport:
+    """A transport double for tests: replays canned responses.
+
+    Records every payload it receives; serves responses in order, raising
+    the configured exceptions in place (to exercise retry paths).
+    """
+
+    def __init__(self, responses: list[str | Exception]) -> None:
+        self._responses = list(responses)
+        self.payloads: list[dict] = []
+
+    def __call__(self, payload: dict, api_key: str) -> dict:
+        self.payloads.append(payload)
+        if not self._responses:
+            raise RuntimeError("transport script exhausted")
+        item = self._responses.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return {"choices": [{"message": {"content": item}}]}

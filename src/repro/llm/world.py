@@ -1,0 +1,130 @@
+"""The claim world: what the simulated LLM "understands" about claims.
+
+A real LLM reads a masked claim plus a schema and produces SQL from its
+language understanding. Offline, that understanding is supplied by a
+:class:`ClaimWorld` — a registry mapping each claim's masked sentence to a
+:class:`ClaimKnowledge` record holding the reference translation and the
+claim's difficulty features. Dataset generators populate the world as they
+generate claims; the simulated model consults it (with noise) when asked.
+
+CEDAR's own verification code never touches this module: the world is part
+of the LLM substitute, not of the system under test.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LookupTrap:
+    """A constant-mismatch hazard (paper Figure 4's 'United States' vs 'USA').
+
+    The natural phrasing of the claim suggests ``wrong_constant`` for
+    ``column``, but the data actually stores ``right_constant``. One-shot
+    models mostly fall into the trap; agents can escape it through the
+    ``unique_column_values`` tool.
+    """
+
+    column: str
+    wrong_constant: str
+    right_constant: str
+
+
+@dataclass
+class ClaimKnowledge:
+    """Everything the simulated LLM could know about one claim."""
+
+    claim_id: str
+    masked_sentence: str
+    unmasked_sentence: str
+    reference_sql: str
+    claim_value_text: str
+    claim_type: str  # "numeric" | "text"
+    difficulty: float
+    table_name: str
+    columns: tuple[str, ...]
+    lookup_trap: LookupTrap | None = None
+    #: A specific wrong-but-tempting translation (e.g. a sibling column
+    #: whose name also fits the claim's phrasing). When set, models tend
+    #: to produce *this* query rather than an independent random error —
+    #: retries are correlated, which is exactly the deviation from
+    #: Assumption 1/2 the paper discusses in Section 6.4.
+    misread_sql: str | None = None
+    #: True for claims whose phrasing genuinely under-determines the query
+    #: (the hard tail every real document contains). For these, failure is
+    #: a property of the claim, not a coin flip retries can fix.
+    ambiguous: bool = False
+    decomposition: tuple[str, ...] = ()
+    unit_factor: float = 1.0
+    naive_unit_sql: str | None = None
+    join_required: bool = False
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(f"difficulty {self.difficulty} out of [0, 1]")
+        if self.claim_type not in ("numeric", "text"):
+            raise ValueError(f"unknown claim type {self.claim_type!r}")
+
+    @property
+    def needs_unit_conversion(self) -> bool:
+        """True when claim units differ from data units (Section 7.3.1)."""
+        return self.unit_factor != 1.0
+
+
+_CLAIM_PATTERN = re.compile(r'the claim\s+"((?:[^"\\]|\\.)*)"', re.IGNORECASE)
+
+
+class ClaimWorld:
+    """Registry of claim knowledge keyed by (masked and unmasked) sentence."""
+
+    def __init__(self) -> None:
+        self._by_sentence: dict[str, ClaimKnowledge] = {}
+        self._by_id: dict[str, ClaimKnowledge] = {}
+
+    def register(self, knowledge: ClaimKnowledge) -> None:
+        """Add one claim; masked and unmasked sentences both become keys."""
+        if knowledge.claim_id in self._by_id:
+            raise ValueError(f"duplicate claim id {knowledge.claim_id!r}")
+        self._by_id[knowledge.claim_id] = knowledge
+        self._by_sentence[knowledge.masked_sentence] = knowledge
+        self._by_sentence[knowledge.unmasked_sentence] = knowledge
+
+    def by_id(self, claim_id: str) -> ClaimKnowledge:
+        return self._by_id[claim_id]
+
+    def has_sentence(self, sentence: str) -> bool:
+        """True when a claim with this (masked or unmasked) sentence exists.
+
+        Dataset generators use this to keep sentences unique: the sentence
+        is the key the simulated model recognises claims by, so two claims
+        may never share one.
+        """
+        return sentence in self._by_sentence
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def recognise(self, prompt: str) -> tuple[ClaimKnowledge, bool] | None:
+        """Find the claim a prompt is about.
+
+        Returns ``(knowledge, value_visible)`` where ``value_visible`` is
+        True when the prompt contains the *unmasked* sentence — i.e. the
+        caller failed to obfuscate the claim value, which tempts the model
+        into the Figure 2 cheat. Returns None for unrecognised prompts.
+
+        Fast path: extract the quoted sentence after 'the claim "…"' (the
+        Figure 3 phrasing); slow path: substring scan over all keys.
+        """
+        for match in _CLAIM_PATTERN.finditer(prompt):
+            knowledge = self._by_sentence.get(match.group(1))
+            if knowledge is not None:
+                visible = knowledge.unmasked_sentence in prompt
+                return knowledge, visible
+        for sentence, knowledge in self._by_sentence.items():
+            if sentence and sentence in prompt:
+                visible = knowledge.unmasked_sentence in prompt
+                return knowledge, visible
+        return None

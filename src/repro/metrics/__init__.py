@@ -1,0 +1,23 @@
+"""Evaluation metrics: detection quality, economics, query complexity."""
+
+from .classification import ConfusionCounts, percentage, score_claims
+from .complexity import (
+    ComplexityStats,
+    QueryComplexity,
+    analyse_claims,
+    analyse_query,
+)
+from .economics import RunEconomics, economics_from_totals, economics_since
+
+__all__ = [
+    "ComplexityStats",
+    "ConfusionCounts",
+    "QueryComplexity",
+    "RunEconomics",
+    "analyse_claims",
+    "analyse_query",
+    "economics_from_totals",
+    "economics_since",
+    "percentage",
+    "score_claims",
+]

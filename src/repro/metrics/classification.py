@@ -1,0 +1,88 @@
+"""Verification quality metrics (paper Section 7.1).
+
+Following prior work [14], quality is measured on the *incorrect-claim
+detection* task: recall is the share of incorrect claims identified,
+precision the share of claims flagged incorrect that really are incorrect,
+and F1 their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.claims import Claim
+from repro.core.profiling import LABEL_KEY
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Confusion matrix of incorrect-claim detection.
+
+    "Positive" means *flagged incorrect*: tp counts incorrect claims
+    flagged incorrect, fp correct claims flagged incorrect, fn incorrect
+    claims missed, tn correct claims passed through.
+    """
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def precision(self) -> float:
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        incorrect = self.tp + self.fn
+        return self.tp / incorrect if incorrect else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.tp + other.tp,
+            self.fp + other.fp,
+            self.fn + other.fn,
+            self.tn + other.tn,
+        )
+
+
+def score_claims(claims: list[Claim]) -> ConfusionCounts:
+    """Score verified claims against their ground-truth labels.
+
+    Every claim must carry a verdict (``claim.correct``) and a label in
+    ``claim.metadata["label_correct"]``.
+    """
+    tp = fp = fn = tn = 0
+    for claim in claims:
+        if claim.correct is None:
+            raise ValueError(f"claim {claim.claim_id} has no verdict")
+        if LABEL_KEY not in claim.metadata:
+            raise ValueError(f"claim {claim.claim_id} has no label")
+        flagged = not claim.correct
+        actually_incorrect = not claim.metadata[LABEL_KEY]
+        if flagged and actually_incorrect:
+            tp += 1
+        elif flagged:
+            fp += 1
+        elif actually_incorrect:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionCounts(tp, fp, fn, tn)
+
+
+def percentage(fraction: float, digits: int = 1) -> float:
+    """Render a fraction as a rounded percentage (for report tables)."""
+    return round(100.0 * fraction, digits)

@@ -1,0 +1,98 @@
+"""Query complexity statistics (paper Table 3).
+
+For each dataset the paper reports per-query average/maximum counts of
+joins, GROUP BY expressions, sub-queries, aggregate calls, and referenced
+columns over the claims' ground-truth queries. The analyser here parses
+each query with the engine's parser and walks the AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.claims import Claim
+from repro.sqlengine import parse_select
+from repro.sqlengine import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class QueryComplexity:
+    """Structural counts of one query."""
+
+    joins: int
+    group_by: int
+    subqueries: int
+    aggregates: int
+    columns: int
+
+
+@dataclass(frozen=True)
+class ComplexityStats:
+    """Average/maximum complexity over a set of queries (one Table 3 row)."""
+
+    queries: int
+    avg_joins: float
+    max_joins: int
+    avg_group_by: float
+    max_group_by: int
+    avg_subqueries: float
+    max_subqueries: int
+    avg_aggregates: float
+    max_aggregates: int
+    avg_columns: float
+    max_columns: int
+
+
+def analyse_query(sql: str) -> QueryComplexity:
+    """Measure one query's structural complexity."""
+    statement = parse_select(sql)
+    statements = [statement] + list(ast.walk_subqueries(statement))
+    joins = sum(len(s.joins) for s in statements)
+    group_by = sum(len(s.group_by) for s in statements)
+    subqueries = len(statements) - 1
+    aggregates = 0
+    columns: set[str] = set()
+    for nested in statements:
+        for node in ast.walk_expressions(nested):
+            if isinstance(node, ast.AggregateCall):
+                aggregates += 1
+            elif isinstance(node, ast.ColumnRef):
+                columns.add(node.name.lower())
+    return QueryComplexity(
+        joins=joins,
+        group_by=group_by,
+        subqueries=subqueries,
+        aggregates=aggregates,
+        columns=len(columns),
+    )
+
+
+def analyse_claims(claims: list[Claim]) -> ComplexityStats:
+    """Aggregate complexity over the claims' ground-truth queries."""
+    measurements = [
+        analyse_query(claim.metadata["reference_sql"]) for claim in claims
+    ]
+    if not measurements:
+        raise ValueError("no claims to analyse")
+
+    def stats(values: list[int]) -> tuple[float, int]:
+        return sum(values) / len(values), max(values)
+
+    avg_joins, max_joins = stats([m.joins for m in measurements])
+    avg_group, max_group = stats([m.group_by for m in measurements])
+    avg_sub, max_sub = stats([m.subqueries for m in measurements])
+    avg_agg, max_agg = stats([m.aggregates for m in measurements])
+    avg_cols, max_cols = stats([m.columns for m in measurements])
+    return ComplexityStats(
+        queries=len(measurements),
+        avg_joins=avg_joins,
+        max_joins=max_joins,
+        avg_group_by=avg_group,
+        max_group_by=max_group,
+        avg_subqueries=avg_sub,
+        max_subqueries=max_sub,
+        avg_aggregates=avg_agg,
+        max_aggregates=max_agg,
+        avg_columns=avg_cols,
+        max_columns=max_cols,
+    )

@@ -1,0 +1,67 @@
+"""A small in-memory relational engine (the repo's DuckDB substitute).
+
+Public surface::
+
+    from repro.sqlengine import Database, Table, Engine, parse_select
+
+    db = Database("demo")
+    db.add(Table("airlines", ["airline", "fatal_accidents_00_14"],
+                 [("Malaysia Airlines", 2), ("KLM", 0)]))
+    Engine(db).execute_scalar(
+        'SELECT "fatal_accidents_00_14" FROM airlines '
+        "WHERE airline = 'Malaysia Airlines'"
+    )  # -> 2
+"""
+
+from .ast_nodes import SelectStatement, walk_expressions, walk_subqueries
+from .errors import (
+    EmptyResultError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    SqlError,
+    TokenizeError,
+)
+from .executor import Engine, QueryResult
+from .formatting import (
+    create_table_select_3_text,
+    create_table_text,
+    markdown_table_text,
+    prompt_schema_text,
+    schema_text,
+)
+from .io import dump_csv, dump_database, load_csv, load_csv_directory
+from .parser import parse_select
+from .table import Column, Database, Table
+from .values import SqlValue, coerce_numeric, is_numeric, to_text
+
+__all__ = [
+    "Column",
+    "Database",
+    "EmptyResultError",
+    "Engine",
+    "ExecutionError",
+    "ParseError",
+    "PlanError",
+    "QueryResult",
+    "SelectStatement",
+    "SqlError",
+    "SqlValue",
+    "Table",
+    "TokenizeError",
+    "coerce_numeric",
+    "create_table_select_3_text",
+    "dump_csv",
+    "dump_database",
+    "create_table_text",
+    "is_numeric",
+    "load_csv",
+    "load_csv_directory",
+    "markdown_table_text",
+    "parse_select",
+    "prompt_schema_text",
+    "schema_text",
+    "to_text",
+    "walk_expressions",
+    "walk_subqueries",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the SQL engine.
+
+All engine failures derive from :class:`SqlError` so that callers (in
+particular the agent's database-querying tool, which must surface engine
+failures to the LLM as observations) can catch one exception type.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all SQL engine errors."""
+
+
+class TokenizeError(SqlError):
+    """Raised when the raw SQL text cannot be split into tokens."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when a token stream does not form a valid statement."""
+
+
+class PlanError(SqlError):
+    """Raised when a parsed statement cannot be bound to the database.
+
+    Examples: unknown table, unknown column, ambiguous column reference.
+    """
+
+
+class ExecutionError(SqlError):
+    """Raised when a bound query fails at runtime.
+
+    Examples: division by zero, type mismatch in a comparison, a scalar
+    sub-query returning more than one row.
+    """
+
+
+class EmptyResultError(ExecutionError):
+    """Raised when a single-cell result is requested from an empty result.
+
+    The message mirrors the numpy-style error shown in the paper's Figure 4
+    ("index 0 is out of bounds for axis 0 with size 0") because the agent
+    relies on this signal to detect wrong constants in predicates.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("index 0 is out of bounds for axis 0 with size 0")

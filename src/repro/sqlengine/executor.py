@@ -1,0 +1,394 @@
+"""Query executor: binds a parsed SELECT to a database and runs it.
+
+The execution strategy is straightforward (nested-loop joins, dictionary
+grouping over small in-memory tables) — the paper's workloads are at most a
+few thousand rows per table, where clarity beats cleverness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast_nodes as ast
+from .errors import EmptyResultError, ExecutionError, PlanError
+from .expressions import ColumnInfo, Evaluator, GroupContext, Scope, _truthy
+from .parser import parse_select
+from .table import Database, Table
+from .values import SqlValue, to_text
+
+
+@dataclass
+class QueryResult:
+    """Rows produced by a query, with display column names."""
+
+    columns: list[str]
+    rows: list[tuple[SqlValue, ...]]
+
+    def scalar(self) -> SqlValue:
+        """Return the single cell of a single-cell result.
+
+        Raises :class:`EmptyResultError` when the result has no rows (this
+        is the error the paper's agent observes for wrong constants, see
+        Figure 4) and :class:`ExecutionError` when the result is not a
+        single cell.
+        """
+        if not self.rows:
+            raise EmptyResultError()
+        if len(self.rows) > 1 or len(self.columns) > 1:
+            raise ExecutionError(
+                f"expected a single cell, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns"
+            )
+        return self.rows[0][0]
+
+    def first_cell(self) -> SqlValue:
+        """Return the top-left cell, raising only on empty results."""
+        if not self.rows:
+            raise EmptyResultError()
+        return self.rows[0][0]
+
+    def to_text_table(self, limit: int = 20) -> str:
+        """Render the result as an aligned text table (for agent prompts)."""
+        header = [self.columns]
+        body = [[to_text(v) for v in row] for row in self.rows[:limit]]
+        table = header + body
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(self.columns))
+        ]
+        lines = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in table
+        ]
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+class _Relation:
+    """An intermediate relation: column metadata plus rows."""
+
+    def __init__(self, columns: list[ColumnInfo],
+                 rows: list[tuple[SqlValue, ...]]):
+        self.columns = columns
+        self.rows = rows
+
+
+class Engine:
+    """Executes SELECT statements against a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._evaluator = Evaluator(self)
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute SQL text."""
+        return self.execute_statement(parse_select(sql), [])
+
+    def execute_scalar(self, sql: str) -> SqlValue:
+        """Execute SQL text expected to produce a single cell."""
+        return self.execute(sql).scalar()
+
+    def execute_statement(
+        self, statement: ast.SelectStatement, outer_scopes: list[Scope]
+    ) -> QueryResult:
+        """Execute a parsed statement; ``outer_scopes`` enables correlation."""
+        relation = self._build_from(statement, outer_scopes)
+        if statement.where is not None:
+            relation = self._filter(relation, statement.where, outer_scopes)
+        if self._is_aggregate_query(statement):
+            names, tagged = self._execute_grouped(
+                statement, relation, outer_scopes
+            )
+        else:
+            names, tagged = self._execute_plain(
+                statement, relation, outer_scopes
+            )
+        if statement.distinct:
+            tagged = _dedupe_tagged(tagged)
+        if statement.order_by:
+            tagged.sort(key=lambda pair: pair[1])
+        rows = [row for row, _ in tagged]
+        if statement.offset is not None:
+            rows = rows[statement.offset:]
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return QueryResult(names, rows)
+
+    # -- FROM clause -------------------------------------------------------
+
+    def _build_from(
+        self, statement: ast.SelectStatement, outer_scopes: list[Scope]
+    ) -> _Relation:
+        if statement.from_table is None:
+            return _Relation([], [()])
+        relation = self._scan(statement.from_table)
+        for join in statement.joins:
+            right = self._scan(join.table)
+            relation = self._join(relation, right, join, outer_scopes)
+        return relation
+
+    def _scan(self, ref: ast.TableRef) -> _Relation:
+        table: Table = self.database.table(ref.name)
+        alias = ref.effective_alias().lower()
+        columns = [
+            ColumnInfo(alias, name.lower(), name) for name in table.column_names
+        ]
+        return _Relation(columns, list(table.rows))
+
+    def _join(
+        self,
+        left: _Relation,
+        right: _Relation,
+        join: ast.Join,
+        outer_scopes: list[Scope],
+    ) -> _Relation:
+        columns = left.columns + right.columns
+        rows: list[tuple[SqlValue, ...]] = []
+        null_right = (None,) * len(right.columns)
+        for left_row in left.rows:
+            matched = False
+            for right_row in right.rows:
+                combined = left_row + right_row
+                if join.kind == "CROSS" or join.condition is None:
+                    keep = True
+                else:
+                    scope = Scope(columns, combined)
+                    value = self._evaluator.evaluate(
+                        join.condition, [scope] + outer_scopes
+                    )
+                    keep = value is not None and _truthy(value)
+                if keep:
+                    matched = True
+                    rows.append(combined)
+            if join.kind == "LEFT" and not matched:
+                rows.append(left_row + null_right)
+        return _Relation(columns, rows)
+
+    def _filter(
+        self,
+        relation: _Relation,
+        condition: ast.Expression,
+        outer_scopes: list[Scope],
+    ) -> _Relation:
+        kept: list[tuple[SqlValue, ...]] = []
+        for row in relation.rows:
+            scope = Scope(relation.columns, row)
+            value = self._evaluator.evaluate(condition, [scope] + outer_scopes)
+            if value is not None and _truthy(value):
+                kept.append(row)
+        return _Relation(relation.columns, kept)
+
+    # -- projection --------------------------------------------------------
+
+    def _is_aggregate_query(self, statement: ast.SelectStatement) -> bool:
+        if statement.group_by:
+            return True
+        candidates: list[object] = [i.expression for i in statement.items]
+        if statement.having is not None:
+            candidates.append(statement.having)
+        for candidate in candidates:
+            for node in ast.walk_expressions(candidate):
+                if isinstance(node, ast.AggregateCall):
+                    return True
+        return False
+
+    def _expand_items(
+        self, statement: ast.SelectStatement, relation: _Relation
+    ) -> list[ast.SelectItem]:
+        expanded: list[ast.SelectItem] = []
+        for item in statement.items:
+            if isinstance(item.expression, ast.Star):
+                table = item.expression.table
+                table_lower = table.lower() if table else None
+                selected = [
+                    info
+                    for info in relation.columns
+                    if table_lower is None or info.table == table_lower
+                ]
+                if table_lower is not None and not selected:
+                    raise PlanError(f"unknown table in {table}.*")
+                for info in selected:
+                    expanded.append(
+                        ast.SelectItem(
+                            ast.ColumnRef(info.display, info.table), info.display
+                        )
+                    )
+            else:
+                expanded.append(item)
+        return expanded
+
+    def _order_expressions(
+        self, statement: ast.SelectStatement, items: list[ast.SelectItem]
+    ) -> list[ast.OrderItem]:
+        """Resolve ORDER BY aliases and 1-based ordinals to expressions."""
+        aliases = {
+            item.alias.lower(): item.expression
+            for item in items
+            if item.alias
+        }
+        resolved: list[ast.OrderItem] = []
+        for order in statement.order_by:
+            expression = order.expression
+            if isinstance(expression, ast.Literal) and isinstance(
+                expression.value, int
+            ):
+                position = expression.value - 1
+                if not 0 <= position < len(items):
+                    raise PlanError(
+                        f"ORDER BY position {expression.value} out of range"
+                    )
+                expression = items[position].expression
+            elif (
+                isinstance(expression, ast.ColumnRef)
+                and expression.table is None
+                and expression.name.lower() in aliases
+            ):
+                expression = aliases[expression.name.lower()]
+            resolved.append(ast.OrderItem(expression, order.descending))
+        return resolved
+
+    def _execute_plain(
+        self,
+        statement: ast.SelectStatement,
+        relation: _Relation,
+        outer_scopes: list[Scope],
+    ) -> tuple[list[str], list[tuple[tuple[SqlValue, ...], tuple]]]:
+        items = self._expand_items(statement, relation)
+        order_items = self._order_expressions(statement, items)
+        names = [_output_name(item) for item in items]
+        tagged: list[tuple[tuple[SqlValue, ...], tuple]] = []
+        for row in relation.rows:
+            scope = Scope(relation.columns, row)
+            scopes = [scope] + outer_scopes
+            output = tuple(
+                self._evaluator.evaluate(item.expression, scopes)
+                for item in items
+            )
+            keys = tuple(
+                _sort_key(
+                    self._evaluator.evaluate(order.expression, scopes),
+                    order.descending,
+                )
+                for order in order_items
+            )
+            tagged.append((output, keys))
+        return names, tagged
+
+    def _execute_grouped(
+        self,
+        statement: ast.SelectStatement,
+        relation: _Relation,
+        outer_scopes: list[Scope],
+    ) -> tuple[list[str], list[tuple[tuple[SqlValue, ...], tuple]]]:
+        if any(isinstance(i.expression, ast.Star) for i in statement.items):
+            raise PlanError("'*' cannot appear in an aggregate select list")
+        items = list(statement.items)
+        order_items = self._order_expressions(statement, items)
+        groups = self._group_rows(statement, relation, outer_scopes)
+        names = [_output_name(item) for item in items]
+        tagged: list[tuple[tuple[SqlValue, ...], tuple]] = []
+        for group_rows in groups:
+            context = GroupContext(relation.columns, group_rows)
+            representative = (
+                [Scope(relation.columns, group_rows[0])] if group_rows else []
+            )
+            scopes = representative + outer_scopes
+            if statement.having is not None:
+                value = self._evaluator.evaluate(
+                    statement.having, scopes, context
+                )
+                if value is None or not _truthy(value):
+                    continue
+            output = tuple(
+                self._evaluator.evaluate(item.expression, scopes, context)
+                for item in items
+            )
+            keys = tuple(
+                _sort_key(
+                    self._evaluator.evaluate(
+                        order.expression, scopes, context
+                    ),
+                    order.descending,
+                )
+                for order in order_items
+            )
+            tagged.append((output, keys))
+        return names, tagged
+
+    def _group_rows(
+        self,
+        statement: ast.SelectStatement,
+        relation: _Relation,
+        outer_scopes: list[Scope],
+    ) -> list[list[tuple[SqlValue, ...]]]:
+        if not statement.group_by:
+            # A single group covering the whole relation (global aggregate).
+            return [relation.rows]
+        buckets: dict[tuple[SqlValue, ...], list[tuple[SqlValue, ...]]] = {}
+        for row in relation.rows:
+            scope = Scope(relation.columns, row)
+            scopes = [scope] + outer_scopes
+            key = tuple(
+                self._evaluator.evaluate(expr, scopes)
+                for expr in statement.group_by
+            )
+            buckets.setdefault(key, []).append(row)
+        return list(buckets.values())
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, ast.ColumnRef):
+        return item.expression.name
+    return item.expression.to_sql()
+
+
+def _dedupe_tagged(
+    tagged: list[tuple[tuple[SqlValue, ...], tuple]]
+) -> list[tuple[tuple[SqlValue, ...], tuple]]:
+    seen: set[tuple[SqlValue, ...]] = set()
+    unique: list[tuple[tuple[SqlValue, ...], tuple]] = []
+    for output, keys in tagged:
+        if output not in seen:
+            seen.add(output)
+            unique.append((output, keys))
+    return unique
+
+
+_TYPE_RANK = {bool: 1, int: 2, float: 2, str: 3}
+
+
+def _sort_key(value: SqlValue, descending: bool):
+    """Build a totally-ordered sort key.
+
+    NULLs sort after non-NULL values in ascending order and before them in
+    descending order (both reduce to "NULLs are largest").
+    """
+    if value is None:
+        return (0, 0, 0) if descending else (1, 0, 0)
+    rank = _TYPE_RANK.get(type(value), 4)
+    key: object = int(value) if isinstance(value, bool) else value
+    if descending:
+        if isinstance(key, (int, float)):
+            return (0, rank, -key)
+        return (0, rank, _Reversed(key))
+    return (0, rank, key)
+
+
+class _Reversed:
+    """Wrapper inverting comparisons, for descending string sorts."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(self.value)

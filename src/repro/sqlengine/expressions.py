@@ -1,0 +1,325 @@
+"""Expression evaluation over row scopes.
+
+The evaluator resolves column references against a chain of scopes
+(innermost first, enabling correlated sub-queries), applies three-valued
+logic for NULL handling, and supports a grouped mode in which aggregate
+calls reduce over the rows of the current group.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from . import ast_nodes as ast
+from .errors import ExecutionError, PlanError
+from .functions import aggregate, call_scalar
+from .values import (
+    SqlValue,
+    cast_value,
+    coerce_numeric,
+    compare_values,
+    to_text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import Engine
+
+
+@dataclass(frozen=True)
+class ColumnInfo:
+    """Metadata for one column of an intermediate relation."""
+
+    table: str | None  # lower-cased table alias, or None
+    name: str          # lower-cased column name
+    display: str       # original-cased name for output headers
+
+
+class Scope:
+    """One level of column bindings: a row plus its column metadata."""
+
+    def __init__(self, columns: list[ColumnInfo], row: tuple[SqlValue, ...]):
+        self.columns = columns
+        self.row = row
+
+    def resolve(self, name: str, table: str | None) -> tuple[bool, SqlValue]:
+        """Look up a column; returns (found, value).
+
+        Raises :class:`PlanError` when an unqualified name is ambiguous
+        within this scope.
+        """
+        name_lower = name.lower()
+        table_lower = table.lower() if table else None
+        matches = [
+            index
+            for index, info in enumerate(self.columns)
+            if info.name == name_lower
+            and (table_lower is None or info.table == table_lower)
+        ]
+        if not matches:
+            return False, None
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column reference {name!r}")
+        return True, self.row[matches[0]]
+
+
+class GroupContext:
+    """The rows of one group, for evaluating aggregate calls."""
+
+    def __init__(self, columns: list[ColumnInfo],
+                 rows: list[tuple[SqlValue, ...]]):
+        self.columns = columns
+        self.rows = rows
+
+
+class Evaluator:
+    """Evaluates expressions; owns a back-reference to the engine so that
+    sub-queries can be executed with the current scopes for correlation."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+
+    def evaluate(
+        self,
+        expression: ast.Expression,
+        scopes: list[Scope],
+        group: GroupContext | None = None,
+    ) -> SqlValue:
+        """Evaluate an expression to a single SQL value."""
+        method: Callable = _DISPATCH.get(type(expression), _unsupported)
+        return method(self, expression, scopes, group)
+
+    # -- node handlers ----------------------------------------------------
+
+    def _literal(self, node: ast.Literal, scopes, group) -> SqlValue:
+        return node.value
+
+    def _column(self, node: ast.ColumnRef, scopes, group) -> SqlValue:
+        for scope in scopes:
+            found, value = scope.resolve(node.name, node.table)
+            if found:
+                return value
+        qualifier = f"{node.table}." if node.table else ""
+        raise PlanError(f"unknown column {qualifier}{node.name!r}")
+
+    def _star(self, node: ast.Star, scopes, group) -> SqlValue:
+        raise ExecutionError("'*' is only valid in a select list or COUNT(*)")
+
+    def _unary(self, node: ast.UnaryOp, scopes, group) -> SqlValue:
+        value = self.evaluate(node.operand, scopes, group)
+        if node.op == "NOT":
+            if value is None:
+                return None
+            return not _truthy(value)
+        if node.op == "-":
+            if value is None:
+                return None
+            number = coerce_numeric(value)
+            if number is None:
+                raise ExecutionError(f"cannot negate {value!r}")
+            return -number
+        raise ExecutionError(f"unknown unary operator {node.op}")
+
+    def _binary(self, node: ast.BinaryOp, scopes, group) -> SqlValue:
+        op = node.op
+        if op == "AND":
+            left = self.evaluate(node.left, scopes, group)
+            if left is not None and not _truthy(left):
+                return False
+            right = self.evaluate(node.right, scopes, group)
+            if right is not None and not _truthy(right):
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.evaluate(node.left, scopes, group)
+            if left is not None and _truthy(left):
+                return True
+            right = self.evaluate(node.right, scopes, group)
+            if right is not None and _truthy(right):
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.evaluate(node.left, scopes, group)
+        right = self.evaluate(node.right, scopes, group)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            if left is None or right is None:
+                return None
+            comparison = compare_values(left, right)
+            return {
+                "=": comparison == 0,
+                "<>": comparison != 0,
+                "<": comparison < 0,
+                "<=": comparison <= 0,
+                ">": comparison > 0,
+                ">=": comparison >= 0,
+            }[op]
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return to_text(left) + to_text(right)
+        if left is None or right is None:
+            return None
+        left_num = coerce_numeric(left)
+        right_num = coerce_numeric(right)
+        if left_num is None or right_num is None:
+            raise ExecutionError(
+                f"arithmetic {op} requires numbers, got {left!r} and {right!r}"
+            )
+        if op == "+":
+            return left_num + right_num
+        if op == "-":
+            return left_num - right_num
+        if op == "*":
+            return left_num * right_num
+        if op == "/":
+            if right_num == 0:
+                raise ExecutionError("division by zero")
+            result = left_num / right_num
+            return result
+        if op == "%":
+            if right_num == 0:
+                raise ExecutionError("modulo by zero")
+            return left_num % right_num
+        raise ExecutionError(f"unknown operator {op}")
+
+    def _function(self, node: ast.FunctionCall, scopes, group) -> SqlValue:
+        args = [self.evaluate(a, scopes, group) for a in node.args]
+        return call_scalar(node.name.upper(), args)
+
+    def _aggregate(self, node: ast.AggregateCall, scopes, group) -> SqlValue:
+        if group is None:
+            raise ExecutionError(
+                f"aggregate {node.name} used outside of an aggregate query"
+            )
+        if isinstance(node.argument, ast.Star):
+            if node.name != "COUNT":
+                raise ExecutionError(f"{node.name}(*) is not valid")
+            return len(group.rows)
+        values: list[SqlValue] = []
+        for row in group.rows:
+            row_scope = Scope(group.columns, row)
+            values.append(self.evaluate(node.argument, [row_scope] + scopes))
+        return aggregate(node.name, values, node.distinct)
+
+    def _in(self, node: ast.InExpr, scopes, group) -> SqlValue:
+        operand = self.evaluate(node.operand, scopes, group)
+        if operand is None:
+            return None
+        if node.subquery is not None:
+            result = self._engine.execute_statement(node.subquery, scopes)
+            candidates = [row[0] for row in result.rows]
+        else:
+            candidates = [
+                self.evaluate(item, scopes, group) for item in node.items or ()
+            ]
+        saw_null = False
+        for candidate in candidates:
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(operand, candidate) == 0:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _between(self, node: ast.BetweenExpr, scopes, group) -> SqlValue:
+        operand = self.evaluate(node.operand, scopes, group)
+        low = self.evaluate(node.low, scopes, group)
+        high = self.evaluate(node.high, scopes, group)
+        if operand is None or low is None or high is None:
+            return None
+        inside = (
+            compare_values(operand, low) >= 0
+            and compare_values(operand, high) <= 0
+        )
+        return inside != node.negated
+
+    def _like(self, node: ast.LikeExpr, scopes, group) -> SqlValue:
+        operand = self.evaluate(node.operand, scopes, group)
+        pattern = self.evaluate(node.pattern, scopes, group)
+        if operand is None or pattern is None:
+            return None
+        regex = _like_to_regex(to_text(pattern))
+        matched = regex.fullmatch(to_text(operand)) is not None
+        return matched != node.negated
+
+    def _is_null(self, node: ast.IsNullExpr, scopes, group) -> SqlValue:
+        value = self.evaluate(node.operand, scopes, group)
+        return (value is None) != node.negated
+
+    def _case(self, node: ast.CaseExpr, scopes, group) -> SqlValue:
+        for condition, result in node.branches:
+            value = self.evaluate(condition, scopes, group)
+            if value is not None and _truthy(value):
+                return self.evaluate(result, scopes, group)
+        if node.default is not None:
+            return self.evaluate(node.default, scopes, group)
+        return None
+
+    def _cast(self, node: ast.CastExpr, scopes, group) -> SqlValue:
+        value = self.evaluate(node.operand, scopes, group)
+        return cast_value(value, node.type_name)
+
+    def _scalar_subquery(self, node: ast.ScalarSubquery, scopes, group) -> SqlValue:
+        result = self._engine.execute_statement(node.query, scopes)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise ExecutionError(
+                f"scalar sub-query returned {len(result.rows)} rows"
+            )
+        return result.rows[0][0]
+
+    def _exists(self, node: ast.ExistsExpr, scopes, group) -> SqlValue:
+        result = self._engine.execute_statement(node.query, scopes)
+        return bool(result.rows) != node.negated
+
+
+def _unsupported(evaluator, node, scopes, group):
+    raise ExecutionError(f"unsupported expression node {type(node).__name__}")
+
+
+def _truthy(value: SqlValue) -> bool:
+    """Interpret a non-NULL value as a boolean condition."""
+    if isinstance(value, bool):
+        return value
+    number = coerce_numeric(value)
+    if number is not None:
+        return number != 0
+    return bool(value)
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+_DISPATCH = {
+    ast.Literal: Evaluator._literal,
+    ast.ColumnRef: Evaluator._column,
+    ast.Star: Evaluator._star,
+    ast.UnaryOp: Evaluator._unary,
+    ast.BinaryOp: Evaluator._binary,
+    ast.FunctionCall: Evaluator._function,
+    ast.AggregateCall: Evaluator._aggregate,
+    ast.InExpr: Evaluator._in,
+    ast.BetweenExpr: Evaluator._between,
+    ast.LikeExpr: Evaluator._like,
+    ast.IsNullExpr: Evaluator._is_null,
+    ast.CaseExpr: Evaluator._case,
+    ast.CastExpr: Evaluator._cast,
+    ast.ScalarSubquery: Evaluator._scalar_subquery,
+    ast.ExistsExpr: Evaluator._exists,
+}

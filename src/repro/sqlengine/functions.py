@@ -1,0 +1,186 @@
+"""Aggregate and scalar function implementations.
+
+Aggregates follow standard SQL semantics: NULLs are skipped, ``COUNT(*)``
+counts rows, empty inputs yield NULL for SUM/AVG/MIN/MAX and 0 for COUNT.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .errors import ExecutionError
+from .values import (
+    SqlValue,
+    coerce_numeric,
+    compare_values,
+    is_null,
+    to_text,
+)
+
+
+def aggregate(name: str, values: Sequence[SqlValue], distinct: bool) -> SqlValue:
+    """Apply the named aggregate to a sequence of values.
+
+    ``values`` already excludes NULLs for everything except COUNT(*), whose
+    caller passes row markers instead.
+    """
+    items = [v for v in values if not is_null(v)]
+    if distinct:
+        seen: set[SqlValue] = set()
+        deduped: list[SqlValue] = []
+        for value in items:
+            if value not in seen:
+                seen.add(value)
+                deduped.append(value)
+        items = deduped
+    if name == "COUNT":
+        return len(items)
+    if not items:
+        return None
+    if name == "SUM":
+        return _numeric_sum(items)
+    if name == "AVG":
+        total = _numeric_sum(items)
+        return total / len(items)
+    if name == "MIN":
+        return _extreme(items, want_max=False)
+    if name == "MAX":
+        return _extreme(items, want_max=True)
+    raise ExecutionError(f"unknown aggregate function {name}")
+
+
+def _numeric_sum(items: list[SqlValue]) -> int | float:
+    total: int | float = 0
+    for value in items:
+        number = coerce_numeric(value)
+        if number is None:
+            raise ExecutionError(f"cannot sum non-numeric value {value!r}")
+        total += number
+    return total
+
+
+def _extreme(items: list[SqlValue], want_max: bool) -> SqlValue:
+    best = items[0]
+    for value in items[1:]:
+        comparison = compare_values(value, best)
+        if (want_max and comparison > 0) or (not want_max and comparison < 0):
+            best = value
+    return best
+
+
+def call_scalar(name: str, args: list[SqlValue]) -> SqlValue:
+    """Dispatch a scalar function call by (upper-cased) name."""
+    handler = _SCALAR_FUNCTIONS.get(name)
+    if handler is None:
+        raise ExecutionError(f"unknown function {name}")
+    return handler(args)
+
+
+def _require_args(name: str, args: list[SqlValue], minimum: int,
+                  maximum: int | None = None) -> None:
+    maximum = minimum if maximum is None else maximum
+    if not minimum <= len(args) <= maximum:
+        raise ExecutionError(
+            f"{name} expects between {minimum} and {maximum} arguments, "
+            f"got {len(args)}"
+        )
+
+
+def _fn_abs(args: list[SqlValue]) -> SqlValue:
+    _require_args("ABS", args, 1)
+    if args[0] is None:
+        return None
+    number = coerce_numeric(args[0])
+    if number is None:
+        raise ExecutionError(f"ABS expects a number, got {args[0]!r}")
+    return abs(number)
+
+
+def _fn_round(args: list[SqlValue]) -> SqlValue:
+    _require_args("ROUND", args, 1, 2)
+    if args[0] is None:
+        return None
+    number = coerce_numeric(args[0])
+    if number is None:
+        raise ExecutionError(f"ROUND expects a number, got {args[0]!r}")
+    digits = 0
+    if len(args) == 2:
+        digits_value = coerce_numeric(args[1])
+        if digits_value is None:
+            raise ExecutionError("ROUND digits argument must be a number")
+        digits = int(digits_value)
+    result = round(float(number), digits)
+    return int(result) if digits <= 0 else result
+
+
+def _fn_lower(args: list[SqlValue]) -> SqlValue:
+    _require_args("LOWER", args, 1)
+    return None if args[0] is None else to_text(args[0]).lower()
+
+
+def _fn_upper(args: list[SqlValue]) -> SqlValue:
+    _require_args("UPPER", args, 1)
+    return None if args[0] is None else to_text(args[0]).upper()
+
+
+def _fn_length(args: list[SqlValue]) -> SqlValue:
+    _require_args("LENGTH", args, 1)
+    return None if args[0] is None else len(to_text(args[0]))
+
+
+def _fn_coalesce(args: list[SqlValue]) -> SqlValue:
+    if not args:
+        raise ExecutionError("COALESCE expects at least one argument")
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_nullif(args: list[SqlValue]) -> SqlValue:
+    _require_args("NULLIF", args, 2)
+    if args[0] is None:
+        return None
+    if args[1] is not None and compare_values(args[0], args[1]) == 0:
+        return None
+    return args[0]
+
+
+def _fn_substr(args: list[SqlValue]) -> SqlValue:
+    _require_args("SUBSTR", args, 2, 3)
+    if args[0] is None:
+        return None
+    text = to_text(args[0])
+    start_value = coerce_numeric(args[1])
+    if start_value is None:
+        raise ExecutionError("SUBSTR start must be a number")
+    start = max(int(start_value) - 1, 0)  # SQL is 1-based
+    if len(args) == 3:
+        length_value = coerce_numeric(args[2])
+        if length_value is None:
+            raise ExecutionError("SUBSTR length must be a number")
+        return text[start:start + int(length_value)]
+    return text[start:]
+
+
+def _fn_trim(args: list[SqlValue]) -> SqlValue:
+    _require_args("TRIM", args, 1)
+    return None if args[0] is None else to_text(args[0]).strip()
+
+
+_SCALAR_FUNCTIONS = {
+    "ABS": _fn_abs,
+    "ROUND": _fn_round,
+    "LOWER": _fn_lower,
+    "UPPER": _fn_upper,
+    "LENGTH": _fn_length,
+    "LEN": _fn_length,
+    "COALESCE": _fn_coalesce,
+    "IFNULL": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+    "TRIM": _fn_trim,
+}
+
+SCALAR_FUNCTION_NAMES = frozenset(_SCALAR_FUNCTIONS)

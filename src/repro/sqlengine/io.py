@@ -1,0 +1,110 @@
+"""CSV import/export for tables and databases.
+
+The paper's corpora ship as CSV files next to the articles; a downstream
+user of this library will want to point CEDAR at their own CSVs. Values
+are type-sniffed column-wise the way the paper's loader (pandas) would:
+a column whose every non-empty cell parses as a number becomes numeric.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .errors import PlanError
+from .table import Database, Table
+from .values import SqlValue, to_text
+
+
+def load_csv(
+    path: str | Path,
+    table_name: str | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load one CSV file (header row required) into a :class:`Table`."""
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        raise PlanError(f"{path} is empty; a header row is required")
+    header, *body = rows
+    width = len(header)
+    for line_number, row in enumerate(body, start=2):
+        if len(row) != width:
+            raise PlanError(
+                f"{path}:{line_number} has {len(row)} fields, "
+                f"expected {width}"
+            )
+    columns = list(zip(*body)) if body else [[] for _ in header]
+    converted_columns = [_sniff_column(list(col)) for col in columns]
+    data = list(zip(*converted_columns)) if body else []
+    return Table(table_name or path.stem, header, data)
+
+
+def load_csv_directory(
+    directory: str | Path,
+    name: str | None = None,
+    delimiter: str = ",",
+) -> Database:
+    """Load every ``*.csv`` in a directory into one database.
+
+    Table names are the file stems, matching how the paper's datasets
+    associate each article with its data files.
+    """
+    directory = Path(directory)
+    database = Database(name or directory.name)
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise PlanError(f"no CSV files found in {directory}")
+    for path in files:
+        database.add(load_csv(path, delimiter=delimiter))
+    return database
+
+
+def dump_csv(table: Table, path: str | Path, delimiter: str = ",") -> None:
+    """Write a table back out as CSV (NULL becomes the empty field)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for row in table.rows:
+            writer.writerow(["" if v is None else to_text(v) for v in row])
+
+
+def dump_database(database: Database, directory: str | Path) -> list[Path]:
+    """Write every table of a database as ``<table>.csv`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for table in database.tables():
+        target = directory / f"{table.name}.csv"
+        dump_csv(table, target)
+        written.append(target)
+    return written
+
+
+def _sniff_column(cells: list[str]) -> list[SqlValue]:
+    """Column-wise type sniffing: all-numeric columns become numbers."""
+    non_empty = [c for c in cells if c.strip() != ""]
+    if non_empty and all(_is_int(c) for c in non_empty):
+        return [int(c) if c.strip() != "" else None for c in cells]
+    if non_empty and all(_is_float(c) for c in non_empty):
+        return [float(c) if c.strip() != "" else None for c in cells]
+    return [c if c.strip() != "" else None for c in cells]
+
+
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_float(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,433 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informally)::
+
+    select     := SELECT [DISTINCT] items [FROM table (join)*]
+                  [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                  [ORDER BY order_items] [LIMIT n [OFFSET n]]
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive (comparison | IN | BETWEEN | LIKE | IS NULL)?
+    additive   := term (('+'|'-'|'||') term)*
+    term       := factor (('*'|'/'|'%') factor)*
+    factor     := '-' factor | primary
+    primary    := literal | column | function | aggregate | CASE | CAST
+                | EXISTS '(' select ')' | '(' select ')' | '(' expr ')' | '*'
+
+Aggregate names (COUNT/SUM/AVG/MIN/MAX) are recognised at the call site so
+that any other name parses as a scalar function call.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .tokens import Token, TokenType, tokenize
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def parse_select(sql: str) -> ast.SelectStatement:
+    """Parse one SELECT statement from SQL text.
+
+    Raises :class:`ParseError` (or :class:`TokenizeError`) on invalid input.
+    Trailing tokens after a complete statement are rejected so that
+    hallucinated multi-statement LLM output fails loudly.
+    """
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_select()
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    """Stateful cursor over a token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token stream helpers -------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _match_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, name: str) -> None:
+        token = self._peek()
+        if not token.is_keyword(name):
+            raise ParseError(f"expected {name}, found {token.value!r}")
+        self._advance()
+
+    def _match_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        token = self._peek()
+        if token.type is not TokenType.PUNCTUATION or token.value != value:
+            raise ParseError(f"expected {value!r}, found {token.value!r}")
+        self._advance()
+
+    def _match_operator(self, *values: str) -> str | None:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in values:
+            self._advance()
+            return token.value
+        return None
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input starting at {token.value!r}"
+            )
+
+    # -- statements ------------------------------------------------------
+
+    def parse_select(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        if not distinct:
+            self._match_keyword("ALL")
+        items = [self._parse_select_item()]
+        while self._match_punct(","):
+            items.append(self._parse_select_item())
+
+        from_table: ast.TableRef | None = None
+        joins: list[ast.Join] = []
+        if self._match_keyword("FROM"):
+            from_table = self._parse_table_ref()
+            while True:
+                join = self._parse_join_step()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = self._parse_expression() if self._match_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expression())
+            while self._match_punct(","):
+                group_by.append(self._parse_expression())
+
+        having = self._parse_expression() if self._match_keyword("HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._match_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self._match_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._match_keyword("OFFSET"):
+                offset = self._parse_nonnegative_int("OFFSET")
+
+        return ast.SelectStatement(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(f"{clause} requires an integer literal")
+        self._advance()
+        try:
+            return int(token.value)
+        except ValueError:
+            raise ParseError(f"{clause} requires an integer literal") from None
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expression = self._parse_expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expression, alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_identifier("table name")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _parse_join_step(self) -> ast.Join | None:
+        token = self._peek()
+        if self._match_punct(","):
+            # Comma join is a cross join; the WHERE clause supplies predicates.
+            return ast.Join("CROSS", self._parse_table_ref())
+        if token.is_keyword("CROSS"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            return ast.Join("CROSS", self._parse_table_ref())
+        kind = "INNER"
+        if token.is_keyword("JOIN"):
+            self._advance()
+        elif token.is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+        elif token.is_keyword("LEFT"):
+            self._advance()
+            self._match_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            kind = "LEFT"
+        else:
+            return None
+        table = self._parse_table_ref()
+        condition = None
+        if self._match_keyword("ON"):
+            condition = self._parse_expression()
+        return ast.Join(kind, table, condition)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        else:
+            self._match_keyword("ASC")
+        return ast.OrderItem(expression, descending)
+
+    def _expect_identifier(self, what: str) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(f"expected {what}, found {token.value!r}")
+        self._advance()
+        return token.value
+
+    # -- expressions -----------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_additive()
+        operator = self._match_operator("=", "<>", "!=", "<", "<=", ">", ">=")
+        if operator is not None:
+            if operator == "!=":
+                operator = "<>"
+            return ast.BinaryOp(operator, left, self._parse_additive())
+        negated = False
+        if self._peek().is_keyword("NOT") and self._peek(1).is_keyword(
+            "IN", "BETWEEN", "LIKE"
+        ):
+            self._advance()
+            negated = True
+        if self._match_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.BetweenExpr(left, low, high, negated)
+        if self._match_keyword("LIKE"):
+            return ast.LikeExpr(left, self._parse_additive(), negated)
+        if self._match_keyword("IS"):
+            is_negated = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNullExpr(left, is_negated)
+        if negated:
+            raise ParseError("dangling NOT in predicate")
+        return left
+
+    def _parse_in_tail(
+        self, operand: ast.Expression, negated: bool
+    ) -> ast.Expression:
+        self._expect_punct("(")
+        if self._peek().is_keyword("SELECT"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.InExpr(operand, None, subquery, negated)
+        items = [self._parse_expression()]
+        while self._match_punct(","):
+            items.append(self._parse_expression())
+        self._expect_punct(")")
+        return ast.InExpr(operand, tuple(items), None, negated)
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_term()
+        while True:
+            operator = self._match_operator("+", "-", "||")
+            if operator is None:
+                return left
+            left = ast.BinaryOp(operator, left, self._parse_term())
+
+    def _parse_term(self) -> ast.Expression:
+        left = self._parse_factor()
+        while True:
+            operator = self._match_operator("*", "/", "%")
+            if operator is None:
+                return left
+            left = ast.BinaryOp(operator, left, self._parse_factor())
+
+    def _parse_factor(self) -> ast.Expression:
+        if self._match_operator("-"):
+            return ast.UnaryOp("-", self._parse_factor())
+        if self._match_operator("+"):
+            return self._parse_factor()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(_parse_number(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            query = self.parse_select()
+            self._expect_punct(")")
+            return ast.ExistsExpr(query)
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.Star()
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                query = self.parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(query)
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+        raise ParseError(f"unexpected token {token.value!r} in expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._advance().value
+        next_token = self._peek()
+        if next_token.type is TokenType.PUNCTUATION and next_token.value == "(":
+            return self._parse_call(name)
+        if next_token.type is TokenType.PUNCTUATION and next_token.value == ".":
+            self._advance()
+            after = self._peek()
+            if after.type is TokenType.OPERATOR and after.value == "*":
+                self._advance()
+                return ast.Star(table=name)
+            column = self._expect_identifier("column name")
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)
+
+    def _parse_call(self, name: str) -> ast.Expression:
+        self._expect_punct("(")
+        upper = name.upper()
+        if upper in AGGREGATE_NAMES:
+            distinct = self._match_keyword("DISTINCT")
+            if (
+                upper == "COUNT"
+                and self._peek().type is TokenType.OPERATOR
+                and self._peek().value == "*"
+            ):
+                self._advance()
+                self._expect_punct(")")
+                return ast.AggregateCall("COUNT", ast.Star(), distinct=False)
+            argument = self._parse_expression()
+            self._expect_punct(")")
+            return ast.AggregateCall(upper, argument, distinct)
+        args: list[ast.Expression] = []
+        if not self._match_punct(")"):
+            args.append(self._parse_expression())
+            while self._match_punct(","):
+                args.append(self._parse_expression())
+            self._expect_punct(")")
+        return ast.FunctionCall(upper, tuple(args))
+
+    def _parse_case(self) -> ast.Expression:
+        self._expect_keyword("CASE")
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._match_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            branches.append((condition, self._parse_expression()))
+        if not branches:
+            raise ParseError("CASE requires at least one WHEN branch")
+        default = None
+        if self._match_keyword("ELSE"):
+            default = self._parse_expression()
+        self._expect_keyword("END")
+        return ast.CaseExpr(tuple(branches), default)
+
+    def _parse_cast(self) -> ast.Expression:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        operand = self._parse_expression()
+        self._expect_keyword("AS")
+        type_name = self._expect_identifier("type name")
+        self._expect_punct(")")
+        return ast.CastExpr(operand, type_name)
+
+
+def _parse_number(text: str) -> int | float:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)

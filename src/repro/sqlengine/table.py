@@ -1,0 +1,144 @@
+"""In-memory relational tables and databases.
+
+A :class:`Table` is a named list of columns plus row tuples; a
+:class:`Database` is a case-insensitive collection of tables. These are the
+storage substrate under the SQL executor and are also used directly by the
+dataset generators and by the agent's ``unique_column_values`` tool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from .errors import PlanError
+from .values import SqlValue, infer_column_type
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column with a name and an inferred display type."""
+
+    name: str
+    type_name: str = "TEXT"
+
+
+class Table:
+    """An immutable, ordered collection of rows with named columns."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[SqlValue]],
+    ) -> None:
+        self.name = name
+        self.column_names = [str(c) for c in columns]
+        lowered = [c.lower() for c in self.column_names]
+        if len(set(lowered)) != len(lowered):
+            raise PlanError(f"duplicate column names in table {name!r}")
+        self.rows: list[tuple[SqlValue, ...]] = []
+        width = len(self.column_names)
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != width:
+                raise PlanError(
+                    f"row width {len(row_tuple)} does not match "
+                    f"{width} columns in table {name!r}"
+                )
+            self.rows.append(row_tuple)
+        self._index = {c.lower(): i for i, c in enumerate(self.column_names)}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, {len(self.column_names)} cols, "
+            f"{len(self.rows)} rows)"
+        )
+
+    def has_column(self, name: str) -> bool:
+        """Return True when a column with this (case-insensitive) name exists."""
+        return name.lower() in self._index
+
+    def column_position(self, name: str) -> int:
+        """Return the positional index of a column, raising on misses."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise PlanError(
+                f"no column {name!r} in table {self.name!r} "
+                f"(columns: {', '.join(self.column_names)})"
+            ) from None
+
+    def column_values(self, name: str) -> list[SqlValue]:
+        """Return all values of one column, in row order."""
+        position = self.column_position(name)
+        return [row[position] for row in self.rows]
+
+    def unique_column_values(self, name: str) -> list[SqlValue]:
+        """Return distinct values of one column, preserving first-seen order.
+
+        This backs the agent's ``unique_column_values`` tool (Section 5.3),
+        which lets the LLM discover the exact constants stored in the data
+        (e.g. ``'USA'`` rather than ``'United States'``).
+        """
+        seen: set[SqlValue] = set()
+        unique: list[SqlValue] = []
+        for value in self.column_values(name):
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        return unique
+
+    def columns(self) -> list[Column]:
+        """Return columns with inferred display types."""
+        return [
+            Column(name, infer_column_type(self.column_values(name)))
+            for name in self.column_names
+        ]
+
+    def head(self, limit: int = 3) -> list[tuple[SqlValue, ...]]:
+        """Return the first ``limit`` rows (used for prompt samples)."""
+        return self.rows[:limit]
+
+
+@dataclass
+class Database:
+    """A named set of tables with case-insensitive lookup."""
+
+    name: str = "db"
+    _tables: dict[str, Table] = field(default_factory=dict)
+
+    def add(self, table: Table) -> None:
+        """Register a table, replacing any same-named table."""
+        self._tables[table.name.lower()] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name, raising :class:`PlanError` on misses."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise PlanError(
+                f"no table {name!r} in database {self.name!r} "
+                f"(tables: {', '.join(sorted(self._tables))})"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        """Return True when the database contains this table."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        """Return the original-cased table names, sorted."""
+        return sorted(t.name for t in self._tables.values())
+
+    def tables(self) -> list[Table]:
+        """Return all tables, sorted by name."""
+        return [self._tables[k] for k in sorted(self._tables)]
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.has_table(name)

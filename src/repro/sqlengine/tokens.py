@@ -1,0 +1,156 @@
+"""SQL tokenizer.
+
+Splits raw SQL text into a flat token stream for the recursive-descent
+parser. The dialect follows the subset the paper's queries use (DuckDB-style
+double-quoted identifiers, single-quoted strings, the usual operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .errors import TokenizeError
+
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "BETWEEN", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+    "ASC", "DESC", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "TRUE",
+    "FALSE", "UNION", "ALL", "EXISTS",
+})
+
+
+class TokenType(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/", "%",
+              "||")
+_PUNCTUATION = "(),."
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text, ending the stream with an EOF token.
+
+    Raises :class:`TokenizeError` on unterminated strings or stray
+    characters. Comments (``-- …`` to end of line) are skipped, since LLM
+    output occasionally embeds them.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_quoted(sql, i, "'")
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if ch == '"':
+            text, i = _read_quoted(sql, i, '"')
+            tokens.append(Token(TokenType.IDENTIFIER, text, i))
+            continue
+        if ch == "`":
+            text, i = _read_quoted(sql, i, "`")
+            tokens.append(Token(TokenType.IDENTIFIER, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = sql[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    nxt = sql[i + 1] if i + 1 < n else ""
+                    nxt2 = sql[i + 2] if i + 2 < n else ""
+                    if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                        seen_exp = True
+                        i += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        if ch == ";":
+            # Statement terminator: stop tokenizing; trailing text after a
+            # semicolon (common in LLM output) is ignored.
+            break
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_quoted(sql: str, start: int, quote: str) -> tuple[str, int]:
+    """Read a quoted region starting at ``start``; doubled quotes escape."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == quote:
+            if i + 1 < n and sql[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise TokenizeError(f"unterminated {quote} quote", start)

@@ -1,0 +1,164 @@
+"""Tests for the simulated agent policy driving the real ReAct loop."""
+
+import pytest
+
+from repro.agents import ReActAgent, agent_success_probability
+from repro.agents.policy import install_agent_policy
+from repro.core import AgentMethod, mask_claim
+from repro.core.claims import Claim, Span
+from repro.llm import (
+    ClaimKnowledge,
+    ClaimWorld,
+    CostLedger,
+    LookupTrap,
+    SimulatedLLM,
+)
+from repro.llm.simulated import BEHAVIOURS
+from repro.sqlengine import Database, Engine, Table
+
+
+@pytest.fixture()
+def db():
+    database = Database("policy")
+    database.add(Table(
+        "drinks",
+        ["country", "wine_servings", "beer_servings"],
+        [("France", 370, 120), ("USA", 84, 250), ("Italy", 340, 90)],
+    ))
+    return database
+
+
+def make_claim_and_knowledge(db, **overrides):
+    sentence = "The French consume 370 glasses of wine per person."
+    claim = Claim(sentence, Span(3, 3), sentence, "p/c0",
+                  metadata={"label_correct": True})
+    masked = mask_claim(claim)
+    defaults = dict(
+        claim_id="p/c0",
+        masked_sentence=masked.masked_sentence,
+        unmasked_sentence=sentence,
+        reference_sql=(
+            'SELECT "wine_servings" FROM "drinks" '
+            "WHERE \"country\" = 'France'"
+        ),
+        claim_value_text="370",
+        claim_type="numeric",
+        difficulty=0.1,
+        table_name="drinks",
+        columns=("country", "wine_servings", "beer_servings"),
+    )
+    defaults.update(overrides)
+    return claim, ClaimKnowledge(**defaults)
+
+
+def run_agent(db, claim, knowledge, model="gpt-4-turbo", seed=0):
+    world = ClaimWorld()
+    world.register(knowledge)
+    client = install_agent_policy(
+        SimulatedLLM(model, world, CostLedger(), seed=seed)
+    )
+    method = AgentMethod(client)
+    masked = mask_claim(claim)
+    return method.translate(
+        masked, "numeric", claim.value, claim.value_text, db, None, 0.0
+    )
+
+
+class TestAgentFlows:
+    def test_easy_claim_solved_directly(self, db):
+        claim, knowledge = make_claim_and_knowledge(db)
+        result = run_agent(db, claim, knowledge)
+        assert result.query is not None
+        value = Engine(db).execute(result.query).first_cell()
+        assert value == 370
+
+    def test_trap_recovered_via_unique_values(self, db):
+        # Figure 4: the constant in the data differs from the prose form;
+        # the agent must consult unique_column_values to find it.
+        claim, knowledge = make_claim_and_knowledge(
+            db,
+            lookup_trap=LookupTrap("country", "The French Republic",
+                                   "France"),
+        )
+        found_flow = False
+        for seed in range(8):
+            result = run_agent(db, claim, knowledge, seed=seed)
+            trace = result.trace_text
+            if "unique_column_values" in trace:
+                found_flow = True
+                assert "France" in trace  # the revealed constant
+                assert result.query is not None
+                assert Engine(db).execute(result.query).first_cell() == 370
+                break
+        assert found_flow, "trap recovery flow never triggered"
+
+    def test_decomposition_reconstructed(self, db):
+        inner = 'SELECT MAX("beer_servings") FROM "drinks"'
+        outer = (
+            'SELECT "wine_servings" FROM "drinks" '
+            'WHERE "beer_servings" = 250'
+        )
+        nested = (
+            'SELECT "wine_servings" FROM "drinks" WHERE "beer_servings" = '
+            '(SELECT MAX("beer_servings") FROM "drinks")'
+        )
+        claim, knowledge = make_claim_and_knowledge(
+            db,
+            reference_sql=nested,
+            decomposition=(inner, outer),
+            claim_value_text="84",
+        )
+        solved = False
+        for seed in range(8):
+            result = run_agent(db, claim, knowledge, seed=seed)
+            if len(result.issued_queries) >= 2 and result.query:
+                # Algorithm 9 must fold the constant back into a sub-query.
+                if "MAX" in result.query and "250" not in result.query:
+                    solved = True
+                    break
+        assert solved, "stepwise decomposition flow never produced a merge"
+
+    def test_trace_is_react_formatted(self, db):
+        claim, knowledge = make_claim_and_knowledge(db)
+        result = run_agent(db, claim, knowledge)
+        assert "Thought:" in result.trace_text
+        assert "Action: database_querying" in result.trace_text
+        assert "Observation:" in result.trace_text
+
+    def test_policy_required_for_agent_prompts(self, db):
+        claim, knowledge = make_claim_and_knowledge(db)
+        world = ClaimWorld()
+        world.register(knowledge)
+        client = SimulatedLLM("gpt-4o", world, CostLedger())  # no policy
+        method = AgentMethod(client)
+        masked = mask_claim(claim)
+        with pytest.raises(RuntimeError):
+            method.translate(masked, "numeric", claim.value,
+                             claim.value_text, db, None, 0.0)
+
+
+class TestAgentProbabilities:
+    def knowledge(self, **overrides):
+        _, knowledge = make_claim_and_knowledge(Database("x"), **overrides)
+        return knowledge
+
+    def test_agent_beats_oneshot_on_difficulty(self):
+        behaviour = BEHAVIOURS["gpt-4o"]
+        hard = self.knowledge(difficulty=0.6)
+        agent_p = agent_success_probability(hard, behaviour, False)
+        oneshot_p = (
+            behaviour.oneshot_skill
+            - behaviour.difficulty_slope * hard.difficulty
+        )
+        assert agent_p > oneshot_p
+
+    def test_sample_bonus(self):
+        behaviour = BEHAVIOURS["gpt-4o"]
+        knowledge = self.knowledge(difficulty=0.4)
+        assert agent_success_probability(knowledge, behaviour, True) > \
+            agent_success_probability(knowledge, behaviour, False)
+
+    def test_ambiguous_collapse(self):
+        behaviour = BEHAVIOURS["gpt-4-turbo"]
+        ambiguous = self.knowledge(difficulty=0.9, ambiguous=True)
+        assert agent_success_probability(ambiguous, behaviour, False) < 0.2

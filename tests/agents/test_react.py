@@ -1,0 +1,211 @@
+"""Tests for the ReAct loop with scripted models and real tools."""
+
+import pytest
+
+from repro.agents import (
+    DatabaseQueryingTool,
+    ReActAgent,
+    UniqueColumnValuesTool,
+    parse_scratchpad,
+)
+from repro.agents.react import _parse_reply
+from repro.llm import ScriptedLLM
+from repro.sqlengine import Database, Table
+
+
+@pytest.fixture()
+def db():
+    database = Database("agents")
+    database.add(Table(
+        "drinks",
+        ["country", "wine_servings"],
+        [("France", 370), ("USA", 84), ("Italy", 340)],
+    ))
+    return database
+
+
+def action(thought, tool, tool_input):
+    return f"Thought: {thought}\nAction: {tool}\nAction Input: {tool_input}"
+
+
+def final(answer):
+    return f"Thought: I now know the final answer.\nFinal Answer: {answer}"
+
+
+class TestParseReply:
+    def test_action(self):
+        thought, act, inp, fin = _parse_reply(
+            action("check values", "database_querying", "SELECT 1")
+        )
+        assert thought == "check values"
+        assert act == "database_querying"
+        assert inp == "SELECT 1"
+        assert fin is None
+
+    def test_final(self):
+        thought, act, inp, fin = _parse_reply(final("84"))
+        assert fin == "84"
+        assert act is None
+
+    def test_reasoning_only(self):
+        thought, act, inp, fin = _parse_reply("Thought: hmm, thinking.")
+        assert thought == "hmm, thinking."
+        assert act is None and fin is None
+
+    def test_multiline_action_input(self):
+        text = ("Thought: t\nAction: database_querying\n"
+                "Action Input: SELECT a\nFROM t")
+        _, act, inp, _ = _parse_reply(text)
+        assert inp == "SELECT a\nFROM t"
+
+
+class TestLoop:
+    def test_query_then_finish(self, db):
+        client = ScriptedLLM([
+            action("try a query", "database_querying",
+                   "SELECT wine_servings FROM drinks WHERE country = 'USA'"),
+            final("84"),
+        ])
+        tool = DatabaseQueryingTool(db, 84, "84")
+        agent = ReActAgent(client, [UniqueColumnValuesTool(db), tool])
+        result = agent.run("Base prompt.\n\nBegin!\n\n")
+        assert result.final_answer == "84"
+        assert result.queries == [
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'"
+        ]
+        assert result.trace.stopped_reason == "finished"
+
+    def test_observation_fed_back(self, db):
+        client = ScriptedLLM([
+            action("look at countries", "unique_column_values", "country"),
+            final("done"),
+        ])
+        agent = ReActAgent(client, [UniqueColumnValuesTool(db)])
+        agent.run("Base.\n\nBegin!\n\n")
+        second_prompt = client.calls[1][0]
+        assert "France" in second_prompt
+        assert "Observation:" in second_prompt
+
+    def test_unknown_tool_reported(self, db):
+        client = ScriptedLLM([
+            action("oops", "nonexistent_tool", "whatever"),
+            final("give up"),
+        ])
+        agent = ReActAgent(client, [UniqueColumnValuesTool(db)])
+        result = agent.run("Base.\n\nBegin!\n\n")
+        assert "unknown tool" in result.trace.steps[0].observation
+
+    def test_iteration_limit(self, db):
+        client = ScriptedLLM([
+            action("again", "unique_column_values", "country"),
+        ])
+        agent = ReActAgent(client, [UniqueColumnValuesTool(db)],
+                           max_iterations=3)
+        result = agent.run("Base.\n\nBegin!\n\n")
+        assert result.trace.stopped_reason == "iteration_limit"
+        assert len(client.calls) == 3
+
+    def test_reasoning_only_step_continues(self, db):
+        client = ScriptedLLM([
+            "Thought: just thinking, no action yet.",
+            final("ok"),
+        ])
+        agent = ReActAgent(client, [])
+        result = agent.run("Base.\n\nBegin!\n\n")
+        assert result.final_answer == "ok"
+
+    def test_invalid_max_iterations(self, db):
+        with pytest.raises(ValueError):
+            ReActAgent(ScriptedLLM(["x"]), [], max_iterations=0)
+
+
+class TestTools:
+    def test_unique_values(self, db):
+        tool = UniqueColumnValuesTool(db)
+        output = tool.run("country")
+        assert output.splitlines()[0] == "country"
+        assert "France" in output
+
+    def test_unique_values_qualified(self, db):
+        tool = UniqueColumnValuesTool(db)
+        assert "France" in tool.run("drinks.country")
+
+    def test_unique_values_missing_column(self, db):
+        assert "Error" in UniqueColumnValuesTool(db).run("nope")
+
+    def test_unique_values_truncated(self):
+        database = Database("big")
+        database.add(Table("t", ["v"], [(i,) for i in range(200)]))
+        output = UniqueColumnValuesTool(database).run("v")
+        assert "more" in output
+
+    def test_querying_correct_feedback(self, db):
+        tool = DatabaseQueryingTool(db, 84, "84")
+        output = tool.run(
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'"
+        )
+        assert "Value is correct" in output
+        assert output.startswith("[84,")
+
+    def test_querying_close_feedback(self, db):
+        tool = DatabaseQueryingTool(db, 90, "90")
+        output = tool.run(
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'"
+        )
+        assert "close" in output and "smaller" in output
+
+    def test_querying_far_feedback(self, db):
+        tool = DatabaseQueryingTool(db, 2, "2")
+        output = tool.run("SELECT SUM(wine_servings) FROM drinks")
+        assert "greater" in output
+
+    def test_querying_error_surfaced(self, db):
+        tool = DatabaseQueryingTool(db, 84, "84")
+        output = tool.run(
+            "SELECT wine_servings FROM drinks WHERE country = 'United States'"
+        )
+        assert "index 0 is out of bounds" in output
+
+    def test_querying_never_reveals_claim_value(self, db):
+        tool = DatabaseQueryingTool(db, 9999, "9999")
+        output = tool.run("SELECT SUM(wine_servings) FROM drinks")
+        assert "9999" not in output
+
+    def test_text_feedback_matched(self, db):
+        tool = DatabaseQueryingTool(db, "France", "France")
+        output = tool.run(
+            "SELECT country FROM drinks WHERE wine_servings = 370"
+        )
+        assert "matched" in output
+
+    def test_text_feedback_mismatched(self, db):
+        tool = DatabaseQueryingTool(db, "Italy", "Italy")
+        output = tool.run(
+            "SELECT country FROM drinks WHERE wine_servings = 370"
+        )
+        assert "mismatched" in output
+
+    def test_queries_logged(self, db):
+        tool = DatabaseQueryingTool(db, 84, "84")
+        tool.run("SELECT COUNT(*) FROM drinks")
+        tool.run("SELECT SUM(wine_servings) FROM drinks")
+        assert len(tool.queries) == 2
+
+
+class TestScratchpadParsing:
+    def test_roundtrip_through_render(self, db):
+        client = ScriptedLLM([
+            action("first", "unique_column_values", "country"),
+            action("second", "database_querying", "SELECT COUNT(*) FROM drinks"),
+            final("3"),
+        ])
+        tool = DatabaseQueryingTool(db, 3, "3")
+        agent = ReActAgent(client, [UniqueColumnValuesTool(db), tool])
+        agent.run("Base.\n\nBegin!\n\n")
+        last_prompt = client.calls[-1][0]
+        steps = parse_scratchpad(last_prompt)
+        assert [s.action for s in steps] == [
+            "unique_column_values", "database_querying"
+        ]
+        assert steps[1].action_input == "SELECT COUNT(*) FROM drinks"
+        assert steps[0].observation is not None

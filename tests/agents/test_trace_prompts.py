@@ -1,0 +1,87 @@
+"""Tests for trace rendering and the agent prompt template."""
+
+from repro.agents import AgentStep, AgentTrace, agent_prompt
+from repro.agents.tools import DatabaseQueryingTool, UniqueColumnValuesTool
+from repro.llm.simulated import AGENT_PROMPT_MARKER
+from repro.sqlengine import Database, Table
+
+
+def make_tools():
+    database = Database("p")
+    database.add(Table("t", ["a"], [("x",)]))
+    return [
+        UniqueColumnValuesTool(database),
+        DatabaseQueryingTool(database, 1, "1"),
+    ]
+
+
+class TestTraceRendering:
+    def test_step_with_action(self):
+        step = AgentStep("think", "database_querying", "SELECT 1", "[1, ok]")
+        text = step.render()
+        assert text.splitlines() == [
+            "Thought: think",
+            "Action: database_querying",
+            "Action Input: SELECT 1",
+            "Observation: [1, ok]",
+        ]
+
+    def test_step_without_action(self):
+        step = AgentStep("just thinking")
+        assert step.render() == "Thought: just thinking"
+
+    def test_trace_with_final_answer(self):
+        trace = AgentTrace(
+            steps=[AgentStep("a"), AgentStep("b")], final_answer="42"
+        )
+        text = trace.render()
+        assert text.endswith("Final Answer: 42")
+        assert trace.iterations == 2
+
+    def test_empty_trace(self):
+        assert AgentTrace().render() == ""
+        assert AgentTrace().iterations == 0
+
+
+class TestAgentPrompt:
+    def build(self, sample_text=""):
+        return agent_prompt(
+            "The masked claim with x.",
+            "numeric",
+            "CREATE TABLE schema",
+            sample_text,
+            "context paragraph",
+            make_tools(),
+        )
+
+    def test_contains_marker_for_routing(self):
+        # The simulated model routes on this marker; a real model just
+        # reads it as the tool preamble.
+        assert AGENT_PROMPT_MARKER in self.build()
+
+    def test_lists_both_tools(self):
+        prompt = self.build()
+        assert "- unique_column_values:" in prompt
+        assert "- database_querying:" in prompt
+        assert "[unique_column_values, database_querying]" in prompt
+
+    def test_react_format_instructions(self):
+        prompt = self.build()
+        for keyword in ("Thought:", "Action:", "Action Input:",
+                        "Observation:", "Final Answer:"):
+            assert keyword in prompt
+
+    def test_claim_and_context_embedded(self):
+        prompt = self.build()
+        assert 'the claim "The masked claim with x."' in prompt
+        assert "context paragraph" in prompt
+        assert "CREATE TABLE schema" in prompt
+
+    def test_sample_block_optional(self):
+        with_sample = self.build("For example, given the claim ...")
+        without = self.build("")
+        assert "For example" in with_sample
+        assert "For example" not in without
+
+    def test_ends_ready_for_scratchpad(self):
+        assert self.build().endswith("Begin!\n\n")

@@ -1,0 +1,89 @@
+"""Tests for the P1/P2 two-step prompt flow with the simulated model."""
+
+import pytest
+
+from repro.baselines import TextToSqlBaseline
+from repro.datasets import build_tabfact
+from repro.llm import CostLedger, SimulatedLLM
+from repro.llm.simulated import QUESTION_MARKER, TEXT2SQL_MARKER
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_tabfact(table_count=3, total_claims=9)
+
+
+class RecordingClient(SimulatedLLM):
+    """A simulated client that records prompts for inspection."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.prompts = []
+
+    def _generate(self, prompt, temperature):
+        self.prompts.append(prompt)
+        return super()._generate(prompt, temperature)
+
+
+class TestTwoStepFlow:
+    def test_question_step_recognised_and_answered(self, bundle):
+        client = RecordingClient("gpt-3.5-turbo", bundle.world,
+                                 CostLedger(), seed=1)
+        baseline = TextToSqlBaseline(client, "P1")
+        baseline.verify_documents(bundle.documents[:1])
+        question_prompts = [
+            p for p in client.prompts if QUESTION_MARKER in p
+        ]
+        sql_prompts = [p for p in client.prompts if TEXT2SQL_MARKER in p]
+        claims = len(bundle.documents[0].claims)
+        assert len(question_prompts) == claims
+        assert len(sql_prompts) == claims
+
+    def test_question_embeds_masked_sentence(self, bundle):
+        client = RecordingClient("gpt-3.5-turbo", bundle.world,
+                                 CostLedger(), seed=1)
+        TextToSqlBaseline(client, "P2").verify_documents(
+            bundle.documents[:1]
+        )
+        # The generated question carries the masked sentence forward so
+        # the second step stays grounded in the claim.
+        sql_prompt = next(p for p in client.prompts
+                          if TEXT2SQL_MARKER in p)
+        from repro.core import mask_claim
+
+        masked = mask_claim(bundle.documents[0].claims[0])
+        assert masked.masked_sentence in sql_prompt
+
+    def test_p1_prompt_contains_rows(self, bundle):
+        client = RecordingClient("gpt-3.5-turbo", bundle.world,
+                                 CostLedger(), seed=1)
+        TextToSqlBaseline(client, "P1").verify_documents(
+            bundle.documents[:1]
+        )
+        sql_prompt = next(p for p in client.prompts
+                          if TEXT2SQL_MARKER in p)
+        assert "CREATE TABLE" in sql_prompt
+        assert "SELECT * FROM" in sql_prompt  # the "+ Select 3" part
+
+    def test_p2_prompt_is_comment_style(self, bundle):
+        client = RecordingClient("gpt-3.5-turbo", bundle.world,
+                                 CostLedger(), seed=1)
+        TextToSqlBaseline(client, "P2").verify_documents(
+            bundle.documents[:1]
+        )
+        sql_prompt = next(p for p in client.prompts
+                          if TEXT2SQL_MARKER in p)
+        assert "### SQLite tables" in sql_prompt
+        assert "CREATE TABLE" not in sql_prompt
+
+    def test_penalty_applies_to_text2sql_prompts(self, bundle):
+        client = SimulatedLLM("gpt-3.5-turbo", bundle.world, CostLedger())
+        claim = bundle.claims[0]
+        knowledge = bundle.world.by_id(claim.claim_id)
+        base = client.success_probability(knowledge, False)
+        from repro.llm.simulated import TEXT2SQL_PENALTY
+
+        penalised = client.success_probability(
+            knowledge, False, TEXT2SQL_PENALTY
+        )
+        assert penalised < base

@@ -1,0 +1,166 @@
+"""Tests for the claim model and numeric semantics (Definitions 2.x,
+Example 4.1)."""
+
+import pytest
+
+from repro.core.claims import (
+    Claim,
+    Document,
+    Span,
+    numeric_values_match,
+    parse_claim_value,
+    round_to_precision,
+    same_order_of_magnitude,
+    value_precision,
+)
+from repro.sqlengine import Database
+
+
+class TestSpan:
+    def test_valid(self):
+        Span(0, 0)
+        Span(1, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span(-1, 0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span(3, 1)
+
+
+class TestClaimValue:
+    def make(self, sentence, start, end):
+        return Claim(sentence, Span(start, end), sentence, "c1")
+
+    def test_paper_example(self):
+        # Example 2.3: value "two" at word index 1.
+        claim = self.make(
+            "The two fatal accidents involving Malaysia Airlines this year "
+            "were the first for the carrier since 1995.",
+            1, 1,
+        )
+        assert claim.value_text == "two"
+        assert claim.value == 2
+        assert claim.is_numeric
+
+    def test_digit_value(self):
+        claim = self.make("KLM recorded 42 incidents.", 2, 2)
+        assert claim.value == 42
+
+    def test_trailing_punctuation_stripped(self):
+        claim = self.make("The total is 370.", 3, 3)
+        assert claim.value == 370
+
+    def test_multiword_textual_value(self):
+        claim = self.make("Lewis Hamilton leads all drivers.", 0, 1)
+        assert claim.value == "Lewis Hamilton"
+        assert not claim.is_numeric
+
+    def test_span_out_of_range(self):
+        claim = self.make("short sentence.", 5, 5)
+        with pytest.raises(ValueError):
+            claim.value_text
+
+
+class TestParseClaimValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42),
+        ("3.5", 3.5),
+        ("1,234", 1234),
+        ("$5", 5),
+        ("12%", 12),
+        ("two", 2),
+        ("twenty five", 25),
+        ("twenty-five", 25),
+        ("two hundred", 200),
+        ("zero", 0),
+        ("Malaysia Airlines", "Malaysia Airlines"),
+        ("-3", -3),
+    ])
+    def test_parsing(self, text, expected):
+        assert parse_claim_value(text) == expected
+
+    def test_empty_stays_text(self):
+        assert parse_claim_value("") == ""
+
+
+class TestPrecision:
+    @pytest.mark.parametrize("text,precision", [
+        ("3", 0), ("3.1", 1), ("3.14", 2), ("1,234.5", 1), ("42%", 0),
+    ])
+    def test_value_precision(self, text, precision):
+        assert value_precision(text) == precision
+
+    def test_round_to_precision_integer(self):
+        assert round_to_precision(3.4, 0) == 3
+        assert isinstance(round_to_precision(3.4, 0), int)
+
+    def test_round_to_precision_decimal(self):
+        assert round_to_precision(3.14159, 2) == 3.14
+
+
+class TestExample41:
+    """Paper Example 4.1, verbatim."""
+
+    def test_3140_matches_31(self):
+        assert numeric_values_match(3.140, "3.1")
+
+    def test_3140_matches_3(self):
+        assert numeric_values_match(3.140, "3")
+
+    def test_3140_does_not_match_3143(self):
+        assert not numeric_values_match(3.140, "3.143")
+
+    def test_3143_matches_314(self):
+        assert numeric_values_match(3.143, "3.14")
+
+    def test_number_word(self):
+        assert numeric_values_match(2.1, "two")
+
+    def test_text_never_matches_number(self):
+        assert not numeric_values_match(2.0, "Malaysia")
+
+
+class TestOrderOfMagnitude:
+    def test_equal(self):
+        assert same_order_of_magnitude(5, 5)
+
+    def test_within_decade(self):
+        # Ratio 84/370 = 0.23, inside (0.1, 10): plausible.
+        assert same_order_of_magnitude(84, 370)
+
+    def test_ratio_bounds(self):
+        assert same_order_of_magnitude(9, 1)
+        assert not same_order_of_magnitude(10, 1)
+        assert same_order_of_magnitude(0.11, 1)
+        assert not same_order_of_magnitude(0.1, 1)
+
+    def test_zero_vs_zero(self):
+        assert same_order_of_magnitude(0, 0)
+
+    def test_zero_result_vs_nonzero_claim(self):
+        assert not same_order_of_magnitude(0, 3)
+
+    def test_small_result_vs_zero_claim(self):
+        assert same_order_of_magnitude(1, 0)
+        assert not same_order_of_magnitude(5, 0)
+
+    def test_sign_mismatch(self):
+        assert not same_order_of_magnitude(-5, 5)
+
+
+class TestDocument:
+    def test_assigns_claim_ids(self):
+        claims = [
+            Claim("A has 1 thing.", Span(2, 2), "ctx"),
+            Claim("B has 2 things.", Span(2, 2), "ctx"),
+        ]
+        document = Document("doc1", claims, Database("d"))
+        assert [c.claim_id for c in document.claims] == ["doc1/c0", "doc1/c1"]
+
+    def test_keeps_existing_ids(self):
+        claim = Claim("A has 1 thing.", Span(2, 2), "ctx", claim_id="custom")
+        document = Document("doc1", [claim], Database("d"))
+        assert document.claims[0].claim_id == "custom"

@@ -1,0 +1,192 @@
+"""Tests for the schedule cost/accuracy model (Theorems 6.1-6.3).
+
+Includes a Monte-Carlo property test checking the closed forms against
+direct simulation of the verification process under the independence
+assumptions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import (
+    MethodProfile,
+    PlannedStage,
+    describe_schedule,
+    distinct_methods_used,
+    expected_latency,
+    schedule_accuracy,
+    schedule_cost,
+    schedule_failure_probability,
+)
+
+A = MethodProfile("a", accuracy=0.5, cost=1.0, latency_seconds=2.0)
+B = MethodProfile("b", accuracy=0.8, cost=4.0, latency_seconds=6.0)
+PROFILES = {"a": A, "b": B}
+
+
+class TestClosedForms:
+    def test_single_stage_cost(self):
+        schedule = (PlannedStage("a", 1),)
+        assert schedule_cost(schedule, PROFILES) == 1.0
+
+    def test_two_tries_cost(self):
+        # C = 1 + (1-0.5)*1 = 1.5
+        schedule = (PlannedStage("a", 2),)
+        assert schedule_cost(schedule, PROFILES) == pytest.approx(1.5)
+
+    def test_two_methods_cost(self):
+        # Theorem 6.1: C(a) + (1-A(a)) * C(b) = 1 + 0.5*4 = 3
+        schedule = (PlannedStage("a", 1), PlannedStage("b", 1))
+        assert schedule_cost(schedule, PROFILES) == pytest.approx(3.0)
+
+    def test_accuracy_single(self):
+        assert schedule_accuracy((PlannedStage("b", 1),), PROFILES) == 0.8
+
+    def test_accuracy_composition(self):
+        # Theorem 6.2: 1 - (1-0.5)(1-0.8) = 0.9
+        schedule = (PlannedStage("a", 1), PlannedStage("b", 1))
+        assert schedule_accuracy(schedule, PROFILES) == pytest.approx(0.9)
+
+    def test_failure_probability_complements_accuracy(self):
+        schedule = (PlannedStage("a", 2), PlannedStage("b", 1))
+        assert schedule_failure_probability(
+            schedule, PROFILES
+        ) == pytest.approx(1 - schedule_accuracy(schedule, PROFILES))
+
+    def test_zero_tries_is_noop(self):
+        with_zero = (PlannedStage("a", 0), PlannedStage("b", 1))
+        without = (PlannedStage("b", 1),)
+        assert schedule_cost(with_zero, PROFILES) == schedule_cost(
+            without, PROFILES
+        )
+        assert schedule_accuracy(with_zero, PROFILES) == schedule_accuracy(
+            without, PROFILES
+        )
+
+    def test_empty_schedule(self):
+        assert schedule_cost((), PROFILES) == 0.0
+        assert schedule_accuracy((), PROFILES) == 0.0
+
+    def test_expected_latency_mirrors_cost(self):
+        schedule = (PlannedStage("a", 1), PlannedStage("b", 1))
+        assert expected_latency(schedule, PROFILES) == pytest.approx(
+            2.0 + 0.5 * 6.0
+        )
+
+
+class TestHelpers:
+    def test_distinct_methods_used(self):
+        schedule = (PlannedStage("a", 2), PlannedStage("b", 0),
+                    PlannedStage("a", 1))
+        assert distinct_methods_used(schedule) == 1
+
+    def test_describe(self):
+        schedule = (PlannedStage("a", 2), PlannedStage("b", 1))
+        assert describe_schedule(schedule) == "ax2 -> bx1"
+
+    def test_describe_empty(self):
+        assert describe_schedule(()) == "(empty)"
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            MethodProfile("x", accuracy=1.5, cost=1)
+        with pytest.raises(ValueError):
+            MethodProfile("x", accuracy=0.5, cost=-1)
+        with pytest.raises(ValueError):
+            PlannedStage("x", -1)
+
+
+@st.composite
+def random_plan(draw):
+    accuracies = draw(st.lists(
+        st.floats(min_value=0.05, max_value=0.95), min_size=1, max_size=4
+    ))
+    costs = draw(st.lists(
+        st.floats(min_value=0.01, max_value=10.0),
+        min_size=len(accuracies), max_size=len(accuracies),
+    ))
+    tries = draw(st.lists(
+        st.integers(min_value=0, max_value=3),
+        min_size=len(accuracies), max_size=len(accuracies),
+    ))
+    profiles = {
+        f"m{i}": MethodProfile(f"m{i}", accuracies[i], costs[i])
+        for i in range(len(accuracies))
+    }
+    schedule = tuple(
+        PlannedStage(f"m{i}", tries[i]) for i in range(len(accuracies))
+    )
+    return profiles, schedule
+
+
+@given(random_plan(), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_closed_forms_match_monte_carlo(plan, seed):
+    """Simulate the schedule under Assumptions 1-2 and compare moments."""
+    profiles, schedule = plan
+    rng = random.Random(seed)
+    trials = 4000
+    total_cost = 0.0
+    successes = 0
+    for _ in range(trials):
+        succeeded = False
+        for stage in schedule:
+            profile = profiles[stage.method_name]
+            for _ in range(stage.tries):
+                if succeeded:
+                    break
+                total_cost += profile.cost
+                if rng.random() < profile.accuracy:
+                    succeeded = True
+            if succeeded:
+                break
+        successes += succeeded
+    simulated_cost = total_cost / trials
+    simulated_accuracy = successes / trials
+    assert schedule_cost(schedule, profiles) == pytest.approx(
+        simulated_cost, rel=0.08, abs=0.1
+    )
+    assert schedule_accuracy(schedule, profiles) == pytest.approx(
+        simulated_accuracy, abs=0.05
+    )
+
+
+@given(random_plan())
+@settings(max_examples=100, deadline=None)
+def test_prefix_replacement_theorem(plan):
+    """Theorem 6.3: a better-or-equal prefix never worsens the whole."""
+    profiles, schedule = plan
+    if len(schedule) < 2:
+        return
+    # Replace the first stage with a strictly better one.
+    first = profiles[schedule[0].method_name]
+    better = MethodProfile(
+        "better",
+        accuracy=min(0.99, first.accuracy + 0.01),
+        cost=max(0.0, first.cost - 0.01),
+    )
+    profiles2 = dict(profiles)
+    profiles2["better"] = better
+    replaced = (PlannedStage("better", schedule[0].tries),) + schedule[1:]
+    assert schedule_cost(replaced, profiles2) <= schedule_cost(
+        schedule, profiles
+    ) + 1e-9
+    assert schedule_accuracy(replaced, profiles2) >= schedule_accuracy(
+        schedule, profiles
+    ) - 1e-9
+
+
+@given(random_plan())
+@settings(max_examples=100, deadline=None)
+def test_more_tries_never_reduce_accuracy(plan):
+    profiles, schedule = plan
+    if not schedule:
+        return
+    extended = schedule[:-1] + (
+        PlannedStage(schedule[-1].method_name, schedule[-1].tries + 1),
+    )
+    assert schedule_accuracy(extended, profiles) >= schedule_accuracy(
+        schedule, profiles
+    ) - 1e-12

@@ -1,0 +1,70 @@
+"""Tests for claim-value masking (Algorithm 4)."""
+
+import pytest
+
+from repro.core.claims import Claim, Span
+from repro.core.masking import MASK_TOKEN, mask_claim, mask_sentence
+
+
+class TestMaskSentence:
+    def test_paper_example(self):
+        sentence = ("The 2 fatal accidents involving Malaysia Airlines this "
+                    "year were the first for the carrier since 1995.")
+        masked = mask_sentence(sentence, 1, 1)
+        assert masked.split()[1] == MASK_TOKEN
+        assert "2 fatal" not in masked
+        assert "1995." in masked  # only the claim value is obfuscated
+
+    def test_multiword_span(self):
+        masked = mask_sentence("X is Malaysia Airlines today.", 2, 3)
+        assert masked == "X is x today."
+
+    def test_punctuation_preserved(self):
+        masked = mask_sentence("The total reached 370, a record.", 3, 3)
+        assert "x," in masked
+
+    def test_parenthesis_preserved(self):
+        masked = mask_sentence("The result (42) was shown.", 2, 2)
+        assert "(x)" in masked
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            mask_sentence("short one.", 5, 5)
+
+
+class TestMaskClaim:
+    def make_claim(self):
+        sentence = "KLM recorded 42 incidents this year."
+        context = (
+            "Safety statistics were released. " + sentence +
+            " Analysts took note."
+        )
+        return Claim(sentence, Span(2, 2), context, "c1")
+
+    def test_sentence_masked(self):
+        masked = mask_claim(self.make_claim())
+        assert "42" not in masked.masked_sentence
+        assert MASK_TOKEN in masked.masked_sentence.split()
+
+    def test_context_masked_too(self):
+        masked = mask_claim(self.make_claim())
+        # Algorithm 4: the sentence inside the paragraph is replaced by its
+        # masked version, so the value cannot leak from the context.
+        assert "42" not in masked.masked_context
+        assert "Analysts took note." in masked.masked_context
+
+    def test_context_without_sentence_left_alone(self):
+        claim = Claim(
+            "KLM recorded 42 incidents this year.",
+            Span(2, 2),
+            "A context that does not contain the sentence.",
+            "c1",
+        )
+        masked = mask_claim(claim)
+        assert masked.masked_context == claim.context
+
+    def test_value_absent_from_both_outputs(self):
+        claim = self.make_claim()
+        masked = mask_claim(claim)
+        assert claim.value_text not in masked.masked_sentence
+        assert claim.value_text not in masked.masked_context

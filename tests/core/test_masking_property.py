@@ -1,0 +1,64 @@
+"""Property tests for masking (Algorithm 4)."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.claims import Claim, Span
+from repro.core.masking import MASK_TOKEN, mask_claim, mask_sentence
+
+_WORDS = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1,
+    max_size=10,
+)
+
+
+@st.composite
+def sentence_and_span(draw):
+    words = draw(st.lists(_WORDS, min_size=2, max_size=15))
+    start = draw(st.integers(0, len(words) - 1))
+    end = draw(st.integers(start, len(words) - 1))
+    return " ".join(words), start, end
+
+
+@given(sentence_and_span())
+@settings(max_examples=200, deadline=None)
+def test_mask_replaces_exactly_the_span(data):
+    sentence, start, end = data
+    masked = mask_sentence(sentence, start, end)
+    original_tokens = sentence.split()
+    masked_tokens = masked.split()
+    # Token count shrinks by the span width minus one.
+    assert len(masked_tokens) == len(original_tokens) - (end - start)
+    # Tokens outside the span are untouched.
+    assert masked_tokens[:start] == original_tokens[:start]
+    assert masked_tokens[start + 1:] == original_tokens[end + 1:]
+    # The span became the mask token (possibly with punctuation).
+    assert MASK_TOKEN in masked_tokens[start]
+
+
+@given(sentence_and_span())
+@settings(max_examples=200, deadline=None)
+def test_masking_is_idempotent_per_position(data):
+    sentence, start, end = data
+    once = mask_sentence(sentence, start, end)
+    twice = mask_sentence(once, start, start)
+    assert twice == once
+
+
+@given(sentence_and_span(), st.lists(_WORDS, min_size=1, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_context_masking_hides_the_value(data, padding):
+    sentence, start, end = data
+    value = sentence.split()[start]
+    # The masked value must not be a token that also appears elsewhere in
+    # the sentence or the padding, or "hiding" it is ill-defined.
+    assume(sentence.split().count(value) == 1)
+    assume(value not in padding)
+    assume(value != MASK_TOKEN)
+    context = " ".join(padding) + " " + sentence + " trailing words"
+    claim = Claim(sentence, Span(start, start), context, "c")
+    masked = mask_claim(claim)
+    assert value not in masked.masked_sentence.split()
+    assert value not in masked.masked_context.split()
+    # The rest of the context survives.
+    assert masked.masked_context.endswith("trailing words")

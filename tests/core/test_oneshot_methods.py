@@ -1,0 +1,166 @@
+"""Tests for the one-shot method, prompt construction, and method plumbing."""
+
+import pytest
+
+from repro.core import (
+    ONE_SHOT_TEMPLATE,
+    OneShotMethod,
+    Sample,
+    mask_claim,
+    one_shot_prompt,
+)
+from repro.core.claims import Claim, Span
+from repro.core.methods import render_sample
+from repro.llm import ScriptedLLM
+from repro.sqlengine import Database, Table
+
+
+@pytest.fixture()
+def db():
+    database = Database("m")
+    database.add(Table("t", ["a", "b"], [("x", 1), ("y", 2)]))
+    return database
+
+
+def make_claim():
+    sentence = "Entry x scores 1 point in the table."
+    return Claim(sentence, Span(2, 2), f"Context here. {sentence} End.",
+                 "m/c0")
+
+
+class TestPromptConstruction:
+    def test_template_placeholders(self):
+        # Figure 3's five placeholders all survive in the template.
+        for placeholder in ("{claim}", "{type}", "{db_schema}", "{sample}",
+                            "{context}"):
+            assert placeholder in ONE_SHOT_TEMPLATE
+
+    def test_prompt_contains_all_parts(self):
+        prompt = one_shot_prompt("claim text x", "numeric", "SCHEMA HERE",
+                                 None, "the paragraph")
+        assert 'Given the claim "claim text x"' in prompt
+        assert '"numeric" value' in prompt
+        assert "SCHEMA HERE" in prompt
+        assert "the paragraph" in prompt
+        assert "```sql" in prompt  # markup instruction
+
+    def test_percentage_guidance_present(self):
+        prompt = one_shot_prompt("c", "", "s", None, "ctx")
+        assert "percentages" in prompt
+        assert "* 100.0/" in prompt
+
+    def test_sample_rendering(self):
+        sample = Sample("Some claim with x.", "SELECT 1")
+        text = render_sample(sample)
+        assert 'For example, given the claim "Some claim with x."' in text
+        assert '"SELECT 1"' in text
+
+    def test_no_sample_renders_empty(self):
+        assert render_sample(None) == ""
+
+
+class TestOneShotMethod:
+    def test_extracts_query(self, db):
+        client = ScriptedLLM(["text\n```sql\nSELECT b FROM t\n```"])
+        method = OneShotMethod(client)
+        claim = make_claim()
+        result = method.translate(
+            mask_claim(claim), "numeric", claim.value, claim.value_text,
+            db, None, 0.0,
+        )
+        assert result.query == "SELECT b FROM t"
+        assert result.issued_queries == ["SELECT b FROM t"]
+
+    def test_no_sql_in_response(self, db):
+        client = ScriptedLLM(["I cannot answer."])
+        method = OneShotMethod(client)
+        claim = make_claim()
+        result = method.translate(
+            mask_claim(claim), "numeric", claim.value, claim.value_text,
+            db, None, 0.0,
+        )
+        assert result.query is None
+        assert result.issued_queries == []
+
+    def test_prompt_carries_schema_with_sample_rows(self, db):
+        client = ScriptedLLM(["```sql\nSELECT 1\n```"])
+        method = OneShotMethod(client)
+        claim = make_claim()
+        method.translate(mask_claim(claim), "numeric", claim.value,
+                         claim.value_text, db, None, 0.0)
+        prompt = client.calls[0][0]
+        assert "CREATE TABLE" in prompt
+        assert "x | 1" in prompt  # Table 1-style row preview
+
+    def test_sample_included_in_prompt(self, db):
+        client = ScriptedLLM(["```sql\nSELECT 1\n```"])
+        method = OneShotMethod(client)
+        claim = make_claim()
+        sample = Sample("Other claim x here.", "SELECT a FROM t")
+        method.translate(mask_claim(claim), "numeric", claim.value,
+                         claim.value_text, db, sample, 0.0)
+        assert "Other claim x here." in client.calls[0][0]
+
+    def test_default_name_includes_model(self, db):
+        method = OneShotMethod(ScriptedLLM(["x"], model_name="gpt-4o"))
+        assert method.name == "one_shot[gpt-4o]"
+
+    def test_custom_name(self, db):
+        method = OneShotMethod(ScriptedLLM(["x"]), name="my-method")
+        assert method.name == "my-method"
+        assert "my-method" in repr(method)
+
+    def test_kind(self):
+        assert OneShotMethod(ScriptedLLM(["x"])).kind == "one_shot"
+
+    def test_retry_temperature_constant(self):
+        # Section 7.1: one-shot retries run at 0.25.
+        assert OneShotMethod.retry_temperature == 0.25
+
+
+class TestAgentMethodPlumbing:
+    def test_kind_and_temperature(self):
+        from repro.core import AgentMethod
+
+        method = AgentMethod(ScriptedLLM(["Final Answer: x"]))
+        assert method.kind == "agent"
+        assert method.retry_temperature == 0.5
+
+    def test_no_queries_yields_no_query(self, db):
+        from repro.core import AgentMethod
+
+        client = ScriptedLLM(
+            ["Thought: nothing to do.\nFinal Answer: unknown"]
+        )
+        method = AgentMethod(client)
+        claim = make_claim()
+        result = method.translate(
+            mask_claim(claim), "numeric", claim.value, claim.value_text,
+            db, None, 0.0,
+        )
+        assert result.query is None
+        assert "Final Answer" in result.trace_text
+
+    def test_reconstruction_toggle(self, db):
+        from repro.core import AgentMethod
+
+        responses = [
+            ("Thought: try.\nAction: database_querying\n"
+             "Action Input: SELECT MAX(b) FROM t"),
+            ("Thought: next.\nAction: database_querying\n"
+             "Action Input: SELECT a FROM t WHERE b = 2"),
+            "Thought: done.\nFinal Answer: y",
+        ]
+        claim = make_claim()
+        merged = AgentMethod(ScriptedLLM(list(responses))).translate(
+            mask_claim(claim), "numeric", claim.value, claim.value_text,
+            db, None, 0.0,
+        )
+        raw = AgentMethod(
+            ScriptedLLM(list(responses)), reconstruct_queries=False
+        ).translate(
+            mask_claim(claim), "numeric", claim.value, claim.value_text,
+            db, None, 0.0,
+        )
+        assert "(SELECT MAX" in merged.query
+        assert raw.query == "SELECT a FROM t WHERE b = 2"

@@ -1,0 +1,131 @@
+"""Tests for CorrectQuery / CorrectClaim (Section 4, Algorithm 3)."""
+
+import pytest
+
+from repro.core.claims import Claim, Span
+from repro.core.plausibility import assess_query, validate_claim
+from repro.sqlengine import Database, Table
+from repro.sqlengine.errors import SqlError
+
+
+@pytest.fixture()
+def db():
+    database = Database("plaus")
+    database.add(Table(
+        "drinks",
+        ["country", "wine_servings"],
+        [("France", 370), ("USA", 84), ("Italy", 340)],
+    ))
+    return database
+
+
+def numeric_claim(value_text):
+    sentence = f"People consume {value_text} glasses of wine."
+    return Claim(sentence, Span(2, 2), sentence, "c")
+
+
+def text_claim(value_text):
+    sentence = f"The leading country is {value_text} according to the data."
+    tokens = value_text.split()
+    return Claim(sentence, Span(4, 3 + len(tokens)), sentence, "c")
+
+
+class TestAssessQuery:
+    def test_no_query(self, db):
+        assessment = assess_query(None, numeric_claim("84"), db)
+        assert not assessment.executable
+        assert not assessment.plausible
+
+    def test_unparseable_query(self, db):
+        assessment = assess_query("SELECT FROM", numeric_claim("84"), db)
+        assert not assessment.executable
+
+    def test_empty_result_is_executable_not_plausible(self, db):
+        assessment = assess_query(
+            "SELECT wine_servings FROM drinks WHERE country = 'Spain'",
+            numeric_claim("84"), db,
+        )
+        assert assessment.executable
+        assert not assessment.plausible
+        assert "out of bounds" in assessment.error
+
+    def test_exact_result_plausible(self, db):
+        assessment = assess_query(
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'",
+            numeric_claim("84"), db,
+        )
+        assert assessment.plausible
+        assert assessment.result == 84
+
+    def test_same_magnitude_plausible(self, db):
+        # 370 claimed vs 340 retrieved: same order of magnitude.
+        assessment = assess_query(
+            "SELECT wine_servings FROM drinks WHERE country = 'Italy'",
+            numeric_claim("370"), db,
+        )
+        assert assessment.plausible
+
+    def test_wrong_magnitude_implausible(self, db):
+        assessment = assess_query(
+            "SELECT SUM(wine_servings) FROM drinks",  # 794
+            numeric_claim("8"), db,
+        )
+        assert not assessment.plausible
+
+    def test_textual_exact_plausible(self, db):
+        assessment = assess_query(
+            "SELECT country FROM drinks WHERE wine_servings = 370",
+            text_claim("France"), db,
+        )
+        assert assessment.plausible
+
+    def test_textual_unrelated_implausible(self, db):
+        assessment = assess_query(
+            "SELECT country FROM drinks WHERE wine_servings = 84",
+            text_claim("France"), db,
+        )
+        assert not assessment.plausible
+
+    def test_numeric_claim_text_result_implausible(self, db):
+        assessment = assess_query(
+            "SELECT country FROM drinks WHERE wine_servings = 84",
+            numeric_claim("84"), db,
+        )
+        assert not assessment.plausible
+
+
+class TestValidateClaim:
+    def test_correct_numeric(self, db):
+        assert validate_claim(
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'",
+            numeric_claim("84"), db,
+        )
+
+    def test_incorrect_numeric(self, db):
+        assert not validate_claim(
+            "SELECT wine_servings FROM drinks WHERE country = 'USA'",
+            numeric_claim("90"), db,
+        )
+
+    def test_rounding(self, db):
+        assert validate_claim(
+            "SELECT AVG(wine_servings) FROM drinks",  # 264.666...
+            numeric_claim("265"), db,
+        )
+
+    def test_correct_textual(self, db):
+        assert validate_claim(
+            "SELECT country FROM drinks WHERE wine_servings = 370",
+            text_claim("France"), db,
+        )
+
+    def test_incorrect_textual(self, db):
+        assert not validate_claim(
+            "SELECT country FROM drinks WHERE wine_servings = 370",
+            text_claim("Italy"), db,
+        )
+
+    def test_broken_query_raises(self, db):
+        with pytest.raises(SqlError):
+            validate_claim("SELECT nothing FROM nowhere",
+                           numeric_claim("84"), db)

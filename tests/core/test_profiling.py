@@ -1,0 +1,95 @@
+"""Tests for method profiling (accuracy/cost estimation)."""
+
+import pytest
+
+from repro.core import OneShotMethod, profile_method, profile_methods
+from repro.core.claims import Claim, Document, Span
+from repro.llm import CostLedger, ScriptedLLM
+from repro.sqlengine import Database, Table
+
+
+def make_document():
+    database = Database("p")
+    database.add(Table("t", ["name", "v"], [("a", 10), ("b", 20)]))
+    claims = [
+        Claim("Row a holds 10 units.", Span(3, 3), "ctx",
+              metadata={"label_correct": True}),
+        Claim("Row b holds 25 units.", Span(3, 3), "ctx",
+              metadata={"label_correct": False}),
+    ]
+    return Document("pdoc", claims, database)
+
+
+def wrap(sql):
+    return f"```sql\n{sql}\n```"
+
+
+GOOD_A = "SELECT v FROM t WHERE name = 'a'"
+GOOD_B = "SELECT v FROM t WHERE name = 'b'"
+BAD = "SELECT v FROM t WHERE name = 'zzz'"
+
+
+class TestProfileMethod:
+    def test_full_accuracy(self):
+        ledger = CostLedger()
+        client = ScriptedLLM([wrap(GOOD_A), wrap(GOOD_B)], ledger=ledger)
+        profile = profile_method(OneShotMethod(client), [make_document()],
+                                 ledger)
+        # Both translations plausible and verdicts match labels -> A = 1.
+        assert profile.accuracy == 1.0
+        assert profile.cost > 0
+        assert profile.latency_seconds > 0
+
+    def test_partial_accuracy(self):
+        ledger = CostLedger()
+        client = ScriptedLLM([wrap(GOOD_A), wrap(BAD)], ledger=ledger)
+        profile = profile_method(OneShotMethod(client), [make_document()],
+                                 ledger)
+        assert profile.accuracy == 0.5
+
+    def test_cost_is_per_claim_average(self):
+        ledger = CostLedger()
+        client = ScriptedLLM([wrap(GOOD_A), wrap(GOOD_B)], ledger=ledger)
+        profile = profile_method(OneShotMethod(client), [make_document()],
+                                 ledger)
+        assert profile.cost == pytest.approx(ledger.total_cost / 2)
+
+    def test_missing_label_rejected(self):
+        document = make_document()
+        del document.claims[0].metadata["label_correct"]
+        ledger = CostLedger()
+        client = ScriptedLLM([wrap(GOOD_A)], ledger=ledger)
+        with pytest.raises(ValueError):
+            profile_method(OneShotMethod(client), [document], ledger)
+
+    def test_empty_documents_rejected(self):
+        ledger = CostLedger()
+        client = ScriptedLLM(["x"], ledger=ledger)
+        with pytest.raises(ValueError):
+            profile_method(OneShotMethod(client), [], ledger)
+
+    def test_profile_methods_keyed_by_name(self):
+        ledger = CostLedger()
+        first = OneShotMethod(
+            ScriptedLLM([wrap(GOOD_A), wrap(GOOD_B)], ledger=ledger),
+            name="m1",
+        )
+        second = OneShotMethod(
+            ScriptedLLM([wrap(BAD), wrap(BAD)], ledger=ledger), name="m2"
+        )
+        profiles = profile_methods([first, second], [make_document()],
+                                   ledger)
+        assert profiles["m1"].accuracy == 1.0
+        assert profiles["m2"].accuracy == 0.0
+
+    def test_wrong_verdict_counts_as_failure(self):
+        # A plausible query whose verdict CONTRADICTS the label is a
+        # profiling failure even though CorrectQuery passed.
+        document = make_document()
+        ledger = CostLedger()
+        # For the incorrect claim (claims 25, truth 20): return a query
+        # that yields exactly 25 -> verdict "correct" -> mismatch w/ label.
+        client = ScriptedLLM([wrap(GOOD_A), wrap("SELECT 25")],
+                             ledger=ledger)
+        profile = profile_method(OneShotMethod(client), [document], ledger)
+        assert profile.accuracy == 0.5

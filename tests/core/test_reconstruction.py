@@ -1,0 +1,94 @@
+"""Tests for agent-trace query reconstruction (Algorithm 9)."""
+
+import pytest
+
+from repro.core.reconstruction import reconstruct
+from repro.sqlengine import Database, Engine, Table
+
+
+@pytest.fixture()
+def db():
+    database = Database("recon")
+    database.add(Table(
+        "drivers",
+        ["Driver", "Wins", "Podiums"],
+        [("Lewis", 105, 200), ("Michael", 91, 155), ("Max", 60, 100)],
+    ))
+    return database
+
+
+class TestReconstruct:
+    def test_single_query_returned_verbatim(self, db):
+        sql = 'SELECT "Wins" FROM drivers WHERE "Driver" = \'Lewis\''
+        assert reconstruct([sql], db) == sql
+
+    def test_empty_list_rejected(self, db):
+        with pytest.raises(ValueError):
+            reconstruct([], db)
+
+    def test_numeric_constant_substituted(self, db):
+        # Figure 4 / Section 5.4 pattern: inner MAX query, then a trivial
+        # outer query with the constant inlined by the agent.
+        inner = 'SELECT MAX("Wins") FROM drivers'
+        outer = 'SELECT "Driver" FROM drivers WHERE "Wins" = 105'
+        merged = reconstruct([inner, outer], db)
+        assert "105" not in merged
+        assert "MAX" in merged
+        # The reconstruction is executable and equivalent to the nested form.
+        assert Engine(db).execute(merged).first_cell() == "Lewis"
+
+    def test_string_constant_substituted(self, db):
+        inner = 'SELECT "Driver" FROM drivers WHERE "Wins" = 105'
+        outer = "SELECT \"Podiums\" FROM drivers WHERE \"Driver\" = 'Lewis'"
+        merged = reconstruct([inner, outer], db)
+        assert "'Lewis'" not in merged
+        assert Engine(db).execute(merged).first_cell() == 200
+
+    def test_three_level_chain(self, db):
+        first = 'SELECT MAX("Wins") FROM drivers'
+        second = 'SELECT "Driver" FROM drivers WHERE "Wins" = 105'
+        third = "SELECT \"Podiums\" FROM drivers WHERE \"Driver\" = 'Lewis'"
+        merged = reconstruct([first, second, third], db)
+        assert "'Lewis'" not in merged
+        assert "105" not in merged
+        assert Engine(db).execute(merged).first_cell() == 200
+
+    def test_unrelated_constant_untouched(self, db):
+        inner = 'SELECT MAX("Wins") FROM drivers'  # 105
+        outer = 'SELECT "Driver" FROM drivers WHERE "Wins" = 60'
+        merged = reconstruct([inner, outer], db)
+        # 60 does not round to 105: no substitution happens.
+        assert merged == outer
+
+    def test_closest_numeric_term_chosen(self, db):
+        inner = 'SELECT MAX("Wins") FROM drivers'  # 105
+        outer = 'SELECT COUNT(*) FROM drivers WHERE "Wins" = 105 AND "Podiums" > 100'
+        merged = reconstruct([inner, outer], db)
+        # 105 replaced, the farther literal 100 kept.
+        assert "> 100" in merged
+        assert "= (" in merged
+
+    def test_failing_intermediate_query_skipped(self, db):
+        broken = "SELECT nothing FROM nowhere"
+        final = 'SELECT MAX("Wins") FROM drivers'
+        assert reconstruct([broken, final], db) == final
+
+    def test_rounding_rule(self, db):
+        # Result 105 rounds to term "105.0" as written.
+        inner = 'SELECT MAX("Wins") FROM drivers'
+        outer = 'SELECT "Driver" FROM drivers WHERE "Wins" = 105.0'
+        merged = reconstruct([inner, outer], db)
+        assert "105.0" not in merged
+
+    def test_terminates_on_duplicate_queries(self, db):
+        sql = 'SELECT MAX("Wins") FROM drivers'
+        merged = reconstruct([sql, sql, sql], db)
+        assert Engine(db).execute(merged).first_cell() == 105
+
+    def test_substitution_only_forward(self, db):
+        # The later query's constant came from the earlier query, never
+        # the other way round: with the order reversed, nothing merges.
+        outer = 'SELECT "Driver" FROM drivers WHERE "Wins" = 105'
+        inner = 'SELECT MAX("Wins") FROM drivers'
+        merged = reconstruct([outer, inner], db)
+        assert merged == inner

@@ -1,0 +1,88 @@
+"""Property tests for Algorithm 9: termination and soundness."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.reconstruction import reconstruct
+from repro.sqlengine import Database, Engine, Table
+from repro.sqlengine.errors import SqlError
+
+
+def make_db():
+    database = Database("rp")
+    database.add(Table(
+        "t",
+        ["name", "a", "b"],
+        [("x", 3, 10), ("y", 7, 20), ("z", 11, 30)],
+    ))
+    return database
+
+
+_QUERY_POOL = [
+    'SELECT MAX("a") FROM "t"',                       # 11
+    'SELECT MIN("a") FROM "t"',                       # 3
+    'SELECT SUM("b") FROM "t"',                       # 60
+    'SELECT "name" FROM "t" WHERE "a" = 11',
+    'SELECT "b" FROM "t" WHERE "a" = 3',
+    'SELECT "name" FROM "t" WHERE "b" = 60',
+    "SELECT 'x'",
+    "SELECT nothing FROM nowhere",                    # broken
+    "SELECT",                                         # malformed
+    'SELECT COUNT(*) FROM "t" WHERE "a" > 3',
+]
+
+
+@given(st.lists(st.sampled_from(_QUERY_POOL), min_size=1, max_size=6))
+@settings(max_examples=200, deadline=None)
+def test_reconstruct_terminates_and_returns_string(query_list):
+    merged = reconstruct(list(query_list), make_db())
+    assert isinstance(merged, str)
+    assert merged.strip()
+
+
+@given(st.lists(st.sampled_from(_QUERY_POOL), min_size=1, max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_reconstruction_preserves_final_result_when_executable(query_list):
+    """If the last query executes, the merged query executes to the same
+    value — substitutions replace constants with sub-queries producing
+    exactly those constants."""
+    database = make_db()
+    engine = Engine(database)
+    try:
+        expected = engine.execute(query_list[-1]).first_cell()
+    except SqlError:
+        return
+    merged = reconstruct(list(query_list), database)
+    try:
+        actual = engine.execute(merged).first_cell()
+    except SqlError:
+        # Substitution into an already-broken later query may stay broken,
+        # but never break a working final query.
+        raise AssertionError(
+            f"reconstruction broke an executable query: {merged!r}"
+        )
+    assert actual == expected
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_random_chains_merge_to_reference_semantics(seed):
+    """Build an (inner, outer-with-constant) pair and check the merge is
+    semantically the nested query."""
+    rng = random.Random(seed)
+    database = make_db()
+    engine = Engine(database)
+    inner = rng.choice([
+        'SELECT MAX("a") FROM "t"',
+        'SELECT MIN("a") FROM "t"',
+    ])
+    inner_value = engine.execute(inner).first_cell()
+    outer = f'SELECT "name" FROM "t" WHERE "a" = {inner_value}'
+    nested = (
+        f'SELECT "name" FROM "t" WHERE "a" = ({inner})'
+    )
+    merged = reconstruct([inner, outer], database)
+    assert engine.execute(merged).first_cell() == \
+        engine.execute(nested).first_cell()
+    assert str(inner_value) not in merged

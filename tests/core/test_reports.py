@@ -1,0 +1,98 @@
+"""Tests for verification report rendering."""
+
+import json
+
+import pytest
+
+from repro.core import MultiStageVerifier, OneShotMethod, ScheduleEntry
+from repro.core.claims import Claim, Document, Span
+from repro.core.reports import (
+    claim_records,
+    document_report,
+    to_json,
+    to_markdown,
+)
+from repro.llm import CostLedger, ScriptedLLM
+from repro.sqlengine import Database, Table
+
+
+@pytest.fixture()
+def verified():
+    database = Database("r")
+    database.add(Table("t", ["name", "v"], [("a", 5), ("b", 9)]))
+    claims = [
+        Claim("Row a stores 5 units.", Span(3, 3), "ctx",
+              metadata={"label_correct": True}),
+        Claim("Row b stores 7 units.", Span(3, 3), "ctx",
+              metadata={"label_correct": False}),
+    ]
+    document = Document("rdoc", claims, database, title="Report demo")
+    ledger = CostLedger()
+    client = ScriptedLLM(
+        ["```sql\nSELECT v FROM t WHERE name = 'a'\n```",
+         "```sql\nSELECT v FROM t WHERE name = 'b'\n```"],
+        ledger=ledger,
+    )
+    verifier = MultiStageVerifier(ledger)
+    run = verifier.verify_documents(
+        [document], [ScheduleEntry(OneShotMethod(client), 1)]
+    )
+    return document, run, ledger
+
+
+class TestRecords:
+    def test_one_record_per_claim(self, verified):
+        document, run, _ = verified
+        records = claim_records(document, run)
+        assert len(records) == 2
+        assert records[0]["verdict"] == "correct"
+        assert records[1]["verdict"] == "incorrect"
+        assert records[1]["query"].endswith("'b'")
+
+    def test_summary_counts(self, verified):
+        document, run, ledger = verified
+        report = document_report(document, run, ledger)
+        assert report["summary"] == {
+            "total_claims": 2,
+            "flagged": 1,
+            "verified_without_fallback": 2,
+        }
+        assert report["spend"]["llm_calls"] == 2
+        assert report["spend"]["cost_usd"] > 0
+
+    def test_spend_optional(self, verified):
+        document, run, _ = verified
+        assert "spend" not in document_report(document, run)
+
+
+class TestJson:
+    def test_round_trips(self, verified):
+        document, run, ledger = verified
+        parsed = json.loads(to_json(document, run, ledger))
+        assert parsed["document_id"] == "rdoc"
+        assert len(parsed["claims"]) == 2
+
+
+class TestMarkdown:
+    def test_structure(self, verified):
+        document, run, ledger = verified
+        text = to_markdown(document, run, ledger)
+        assert text.startswith("# Verification report — Report demo")
+        assert "2 claims checked, 1 flagged." in text
+        assert "⚠️" in text and "✅" in text
+        assert "`SELECT v FROM t WHERE name = 'b'`" in text
+        assert "Verification spend: $" in text
+
+    def test_fallback_claims_labelled(self):
+        database = Database("f")
+        database.add(Table("t", ["v"], [(1,)]))
+        claim = Claim("Value 9 here.", Span(1, 1), "ctx",
+                      metadata={"label_correct": False})
+        document = Document("fdoc", [claim], database)
+        client = ScriptedLLM(["no sql at all"])
+        verifier = MultiStageVerifier(client.ledger)
+        run = verifier.verify_documents(
+            [document], [ScheduleEntry(OneShotMethod(client), 1)]
+        )
+        text = to_markdown(document, run)
+        assert "fallback verdict" in text

@@ -1,0 +1,173 @@
+"""Tests for the DP scheduler (Algorithm 10) and SelectSchedule."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import (
+    MethodProfile,
+    PlannedStage,
+    schedule_accuracy,
+    schedule_cost,
+)
+from repro.core.scheduling import (
+    ScoredSchedule,
+    optimal_schedule,
+    pareto_schedules,
+    prune,
+    select_schedule,
+)
+
+CHEAP = MethodProfile("cheap", accuracy=0.5, cost=1.0)
+MID = MethodProfile("mid", accuracy=0.8, cost=5.0)
+EXPENSIVE = MethodProfile("expensive", accuracy=0.95, cost=30.0)
+PROFILES = {"cheap": CHEAP, "mid": MID, "expensive": EXPENSIVE}
+
+
+class TestPrune:
+    def scored(self, cost, accuracy):
+        return ScoredSchedule((), cost, accuracy)
+
+    def test_dominated_candidate_dropped(self):
+        frontier = [self.scored(1.0, 0.9)]
+        result = prune(frontier, self.scored(2.0, 0.8))
+        assert result == frontier
+
+    def test_dominating_candidate_replaces(self):
+        frontier = [self.scored(2.0, 0.8)]
+        result = prune(frontier, self.scored(1.0, 0.9))
+        assert len(result) == 1
+        assert result[0].cost == 1.0
+
+    def test_incomparable_coexist(self):
+        frontier = [self.scored(1.0, 0.5)]
+        result = prune(frontier, self.scored(2.0, 0.9))
+        assert len(result) == 2
+
+    def test_duplicate_not_added(self):
+        frontier = [self.scored(1.0, 0.5)]
+        result = prune(frontier, self.scored(1.0, 0.5))
+        assert len(result) == 1
+
+    def test_dominance(self):
+        assert self.scored(1.0, 0.9).dominates(self.scored(2.0, 0.8))
+        assert not self.scored(1.0, 0.9).dominates(self.scored(1.0, 0.9))
+        assert not self.scored(2.0, 0.95).dominates(self.scored(1.0, 0.9))
+
+
+class TestParetoSchedules:
+    def test_frontier_is_pareto(self):
+        frontier = pareto_schedules(PROFILES, max_tries=2)
+        for left, right in itertools.permutations(frontier, 2):
+            assert not left.dominates(right)
+
+    def test_scores_are_consistent(self):
+        for scored in pareto_schedules(PROFILES, max_tries=2):
+            assert scored.cost == pytest.approx(
+                schedule_cost(scored.schedule, PROFILES)
+            )
+            assert scored.accuracy == pytest.approx(
+                schedule_accuracy(scored.schedule, PROFILES)
+            )
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_schedules({})
+
+    def test_zero_max_tries_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_schedules(PROFILES, max_tries=0)
+
+    def test_exhaustive_comparison_small_instance(self):
+        """The DP frontier must dominate every brute-force schedule."""
+        profiles = {"cheap": CHEAP, "mid": MID}
+        frontier = pareto_schedules(profiles, max_tries=2)
+        names = sorted(profiles)
+        # Enumerate every ordering x try-count assignment.
+        for order in itertools.permutations(names):
+            for tries in itertools.product(range(3), repeat=len(order)):
+                candidate = tuple(
+                    PlannedStage(name, k) for name, k in zip(order, tries)
+                )
+                cost = schedule_cost(candidate, profiles)
+                accuracy = schedule_accuracy(candidate, profiles)
+                assert any(
+                    s.cost <= cost + 1e-9 and s.accuracy >= accuracy - 1e-9
+                    for s in frontier
+                ), f"{candidate} not covered by frontier"
+
+
+class TestSelectSchedule:
+    def test_meets_constraint_when_feasible(self):
+        schedule = optimal_schedule(PROFILES, min_accuracy=0.9, max_tries=3)
+        assert schedule_accuracy(schedule, PROFILES) >= 0.9
+
+    def test_low_threshold_yields_cheaper_schedule(self):
+        cheap_schedule = optimal_schedule(PROFILES, 0.5, max_tries=3)
+        strict_schedule = optimal_schedule(PROFILES, 0.999, max_tries=3)
+        assert schedule_cost(cheap_schedule, PROFILES) <= schedule_cost(
+            strict_schedule, PROFILES
+        )
+
+    def test_infeasible_threshold_takes_best_accuracy(self):
+        weak = {"w": MethodProfile("w", accuracy=0.3, cost=1.0)}
+        schedule = optimal_schedule(weak, min_accuracy=0.999, max_tries=2)
+        # Best achievable: two tries of the only method.
+        assert schedule == (PlannedStage("w", 2),)
+
+    def test_zero_stages_stripped(self):
+        schedule = optimal_schedule(PROFILES, 0.5, max_tries=3)
+        assert all(stage.tries > 0 for stage in schedule)
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ValueError):
+            select_schedule([], 0.9)
+
+    def test_diversity_tiebreak(self):
+        # Two methods with identical profiles: among near-equal-cost
+        # feasible schedules the two-method one is preferred.
+        twins = {
+            "x": MethodProfile("x", accuracy=0.6, cost=1.0),
+            "y": MethodProfile("y", accuracy=0.6, cost=1.0),
+        }
+        schedule = optimal_schedule(twins, min_accuracy=0.84, max_tries=2)
+        used = {s.method_name for s in schedule}
+        assert used == {"x", "y"}
+
+
+@st.composite
+def random_profiles(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    return {
+        f"m{i}": MethodProfile(
+            f"m{i}",
+            accuracy=draw(st.floats(min_value=0.05, max_value=0.95)),
+            cost=draw(st.floats(min_value=0.01, max_value=20.0)),
+        )
+        for i in range(count)
+    }
+
+
+@given(random_profiles(), st.floats(min_value=0.1, max_value=0.999))
+@settings(max_examples=60, deadline=None)
+def test_optimal_schedule_never_dominated(profiles, threshold):
+    """No brute-force schedule both meets the constraint and costs less."""
+    chosen = optimal_schedule(profiles, threshold, max_tries=2)
+    chosen_cost = schedule_cost(chosen, profiles)
+    chosen_accuracy = schedule_accuracy(chosen, profiles)
+    names = sorted(profiles)
+    feasible_exists = chosen_accuracy >= threshold
+    for order in itertools.permutations(names):
+        for tries in itertools.product(range(3), repeat=len(order)):
+            candidate = tuple(
+                PlannedStage(n, k) for n, k in zip(order, tries)
+            )
+            accuracy = schedule_accuracy(candidate, profiles)
+            cost = schedule_cost(candidate, profiles)
+            if feasible_exists and accuracy >= threshold:
+                # SelectSchedule may pay up to the diversity margin above
+                # the true cost optimum (documented interpretation).
+                assert chosen_cost <= cost * 1.10 + 1e-9
+            if not feasible_exists:
+                assert accuracy <= chosen_accuracy + 1e-9

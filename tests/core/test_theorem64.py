@@ -1,0 +1,82 @@
+"""Property test for Theorem 6.4: consecutive retries are never worse.
+
+The paper proves that a schedule interleaving two invocations of the same
+method with another method's invocation can always be rearranged into one
+with consecutive invocations at equal or lower expected cost. The DP
+scheduler relies on this to restrict its search space. We verify the
+claim directly against the cost model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import (
+    MethodProfile,
+    PlannedStage,
+    schedule_accuracy,
+    schedule_cost,
+)
+
+
+@st.composite
+def ab_profiles(draw):
+    return {
+        "A": MethodProfile(
+            "A",
+            accuracy=draw(st.floats(min_value=0.05, max_value=0.95)),
+            cost=draw(st.floats(min_value=0.01, max_value=10.0)),
+        ),
+        "B": MethodProfile(
+            "B",
+            accuracy=draw(st.floats(min_value=0.05, max_value=0.95)),
+            cost=draw(st.floats(min_value=0.01, max_value=10.0)),
+        ),
+    }
+
+
+def interleaved(schedule_names):
+    return tuple(PlannedStage(name, 1) for name in schedule_names)
+
+
+@given(ab_profiles())
+@settings(max_examples=200, deadline=None)
+def test_consecutive_beats_interleaved_abab(profiles):
+    """One of A,A,B,B / B,B,A,A is at most as costly as A,B,B,A etc."""
+    split = interleaved(("A", "B", "B", "A"))
+    consecutive_options = (
+        interleaved(("A", "A", "B", "B")),
+        interleaved(("B", "B", "A", "A")),
+    )
+    best_consecutive = min(
+        schedule_cost(candidate, profiles)
+        for candidate in consecutive_options
+    )
+    assert best_consecutive <= schedule_cost(split, profiles) + 1e-9
+
+
+@given(ab_profiles())
+@settings(max_examples=200, deadline=None)
+def test_accuracy_is_order_invariant(profiles):
+    """Theorem 6.2's accuracy only depends on the multiset of tries."""
+    first = interleaved(("A", "B", "A", "B"))
+    second = interleaved(("A", "A", "B", "B"))
+    assert schedule_accuracy(first, profiles) == pytest.approx(
+        schedule_accuracy(second, profiles)
+    )
+
+
+@given(ab_profiles())
+@settings(max_examples=200, deadline=None)
+def test_cheaper_effective_method_first_is_optimal_for_pairs(profiles):
+    """For single tries of two methods, the rank condition C/A decides
+    the optimal order (the classical expensive-predicate rule)."""
+    ab = interleaved(("A", "B"))
+    ba = interleaved(("B", "A"))
+    a, b = profiles["A"], profiles["B"]
+    rank_a = a.cost / a.accuracy
+    rank_b = b.cost / b.accuracy
+    cheaper_first = ab if rank_a <= rank_b else ba
+    other = ba if cheaper_first is ab else ab
+    assert schedule_cost(cheaper_first, profiles) <= schedule_cost(
+        other, profiles
+    ) + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for the DatasetBundle container and corpus-level invariants."""
+
+import pytest
+
+from repro.datasets import DatasetBundle, build_aggchecker
+from repro.llm import ClaimWorld
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_aggchecker(document_count=8, total_claims=40)
+
+
+class TestBundle:
+    def test_claims_flattened_in_document_order(self, bundle):
+        flattened = bundle.claims
+        expected = [
+            claim.claim_id
+            for document in bundle.documents
+            for claim in document.claims
+        ]
+        assert [c.claim_id for c in flattened] == expected
+
+    def test_counts(self, bundle):
+        assert bundle.claim_count == 40
+        labelled_incorrect = sum(
+            1 for c in bundle.claims if not c.metadata["label_correct"]
+        )
+        assert bundle.incorrect_count == labelled_incorrect
+
+    def test_documents_by_domain_partition(self, bundle):
+        grouped = bundle.documents_by_domain()
+        total = sum(len(docs) for docs in grouped.values())
+        assert total == len(bundle.documents)
+        for domain, documents in grouped.items():
+            assert all(d.domain == domain for d in documents)
+
+    def test_repr(self, bundle):
+        text = repr(bundle)
+        assert "aggchecker" in text
+        assert "40 claims" in text
+
+    def test_world_covers_every_claim(self, bundle):
+        for claim in bundle.claims:
+            knowledge = bundle.world.by_id(claim.claim_id)
+            assert knowledge.unmasked_sentence == claim.sentence
+
+    def test_empty_bundle(self):
+        empty = DatasetBundle("empty", [], ClaimWorld())
+        assert empty.claim_count == 0
+        assert empty.incorrect_count == 0
+        assert empty.documents_by_domain() == {}
+
+
+class TestCorpusInvariants:
+    def test_every_claim_has_required_metadata(self, bundle):
+        for claim in bundle.claims:
+            for key in ("label_correct", "kind", "recipe", "reference_sql",
+                        "theme", "domain"):
+                assert key in claim.metadata, (claim.claim_id, key)
+
+    def test_claim_ids_globally_unique(self, bundle):
+        ids = [c.claim_id for c in bundle.claims]
+        assert len(ids) == len(set(ids))
+
+    def test_every_document_database_has_the_theme_table(self, bundle):
+        for document in bundle.documents:
+            table_names = document.data.table_names()
+            assert len(table_names) == 1  # flat single-table corpora
+
+    def test_contexts_contain_sentences(self, bundle):
+        for claim in bundle.claims:
+            assert claim.sentence in claim.context
+
+    def test_difficulties_in_range(self, bundle):
+        for claim in bundle.claims:
+            knowledge = bundle.world.by_id(claim.claim_id)
+            assert 0.05 <= knowledge.difficulty <= 0.95

@@ -1,0 +1,260 @@
+"""Tests for dataset generation: integrity, determinism, shapes."""
+
+import random
+
+import pytest
+
+from repro.core import validate_claim
+from repro.core.masking import mask_claim
+from repro.datasets import (
+    ClaimGenerator,
+    GenerationSettings,
+    build_aggchecker,
+    build_joinbench,
+    build_sql,
+    build_tabfact,
+    build_units_benchmark,
+    build_wikitext,
+    generate_database,
+    generate_table,
+    theme_by_key,
+)
+from repro.datasets.themes import AIRLINE_SAFETY, ALL_THEMES
+from repro.llm import ClaimWorld
+from repro.sqlengine import Engine
+
+
+class TestTableGeneration:
+    def test_rows_within_range(self):
+        rng = random.Random(0)
+        table = generate_table(AIRLINE_SAFETY, rng)
+        assert AIRLINE_SAFETY.row_range[0] <= len(table) or (
+            len(table) == len(AIRLINE_SAFETY.entity_column.vocabulary)
+        )
+
+    def test_entities_unique(self):
+        rng = random.Random(1)
+        table = generate_table(AIRLINE_SAFETY, rng)
+        entities = table.column_values("airline")
+        assert len(set(entities)) == len(entities)
+
+    def test_filler_rows(self):
+        import dataclasses
+        theme = dataclasses.replace(AIRLINE_SAFETY,
+                                    filler_row_range=(30, 30))
+        table = generate_table(theme, random.Random(2))
+        assert len(table) >= 30
+
+    def test_deterministic_for_seed(self):
+        first = generate_table(AIRLINE_SAFETY, random.Random(7))
+        second = generate_table(AIRLINE_SAFETY, random.Random(7))
+        assert first.rows == second.rows
+
+
+class TestClaimGenerator:
+    def make_generator(self, seed=3):
+        rng = random.Random(seed)
+        database = generate_database(AIRLINE_SAFETY, rng, name="t")
+        world = ClaimWorld()
+        return ClaimGenerator(AIRLINE_SAFETY, database, world, rng, "t"), \
+            database, world
+
+    def settings(self, **overrides):
+        defaults = dict(
+            kind_weights={"lookup": 0.5, "count": 0.3, "avg": 0.2},
+            incorrect_rate=0.4,
+            hard_fraction=0.0,
+            misread_fraction=0.0,
+        )
+        defaults.update(overrides)
+        return GenerationSettings(**defaults)
+
+    def test_label_matches_reference_query(self):
+        generator, database, _ = self.make_generator()
+        for _ in range(25):
+            generated = generator.generate(self.settings())
+            claim = generated.claim
+            verdict = validate_claim(
+                claim.metadata["reference_sql"], claim, database
+            )
+            assert verdict == claim.metadata["label_correct"]
+
+    def test_knowledge_registered(self):
+        generator, _, world = self.make_generator()
+        generated = generator.generate(self.settings())
+        assert world.by_id(generated.claim.claim_id) is generated.knowledge
+
+    def test_masked_sentence_is_world_key(self):
+        generator, _, world = self.make_generator()
+        generated = generator.generate(self.settings())
+        masked = mask_claim(generated.claim)
+        assert world.has_sentence(masked.masked_sentence)
+
+    def test_sentences_unique(self):
+        generator, _, _ = self.make_generator()
+        sentences = {
+            generator.generate(self.settings()).claim.sentence
+            for _ in range(20)
+        }
+        assert len(sentences) == 20
+
+    def test_span_covers_value(self):
+        generator, _, _ = self.make_generator()
+        for _ in range(20):
+            claim = generator.generate(self.settings()).claim
+            assert claim.value_text  # raises if the span is out of range
+
+    def test_trap_constants_consistent(self):
+        generator, database, _ = self.make_generator(seed=5)
+        for _ in range(40):
+            generated = generator.generate(self.settings())
+            trap = generated.knowledge.lookup_trap
+            if trap is None:
+                continue
+            # The stored constant is in the data; the wrong constant is in
+            # the sentence, not in the data.
+            table = database.table(AIRLINE_SAFETY.table_name)
+            stored = table.unique_column_values(trap.column)
+            assert trap.right_constant in [str(v) for v in stored]
+            assert trap.wrong_constant in generated.claim.sentence
+
+    def test_hard_fraction_produces_ambiguous(self):
+        generator, _, _ = self.make_generator(seed=9)
+        settings = self.settings(hard_fraction=1.0)
+        generated = generator.generate(settings)
+        assert generated.knowledge.ambiguous
+        assert generated.knowledge.difficulty > 0.7
+
+    def test_misread_sql_executable_and_different(self):
+        generator, database, _ = self.make_generator(seed=11)
+        settings = self.settings(misread_fraction=1.0)
+        engine = Engine(database)
+        seen = 0
+        for _ in range(20):
+            generated = generator.generate(settings)
+            misread = generated.knowledge.misread_sql
+            if misread is None:
+                continue
+            seen += 1
+            assert misread != generated.knowledge.reference_sql
+            engine.execute(misread)  # must be valid SQL
+        assert seen > 0
+
+    def test_decomposition_steps_execute(self):
+        generator, database, _ = self.make_generator(seed=13)
+        settings = self.settings(
+            kind_weights={"superlative_numeric": 1.0}
+        )
+        generated = generator.generate(settings)
+        engine = Engine(database)
+        assert len(generated.knowledge.decomposition) == 2
+        for step in generated.knowledge.decomposition:
+            engine.execute(step)
+
+    def test_build_sql_matches_metadata(self):
+        generator, _, _ = self.make_generator(seed=17)
+        generated = generator.generate(self.settings())
+        recipe = generated.claim.metadata["recipe"]
+        rebuilt = build_sql(recipe, AIRLINE_SAFETY.table_name)
+        assert rebuilt == generated.claim.metadata["reference_sql"]
+
+
+class TestBundles:
+    def test_aggchecker_shape(self):
+        bundle = build_aggchecker(document_count=8, total_claims=40)
+        assert len(bundle.documents) == 8
+        assert bundle.claim_count == 40
+        domains = {d.domain for d in bundle.documents}
+        assert domains <= {"538", "stackoverflow", "nytimes", "wikipedia"}
+
+    def test_aggchecker_default_shape_matches_paper(self):
+        bundle = build_aggchecker()
+        assert len(bundle.documents) == 56
+        assert bundle.claim_count == 392
+
+    def test_tabfact_shape(self):
+        bundle = build_tabfact(table_count=6, total_claims=18)
+        assert len(bundle.documents) == 6
+        assert bundle.claim_count == 18
+        assert all(c.is_numeric for c in bundle.claims)
+
+    def test_wikitext_all_textual(self):
+        bundle = build_wikitext(document_count=4, total_claims=12)
+        assert all(not c.is_numeric for c in bundle.claims)
+
+    def test_joinbench_tables_and_reuse(self):
+        bundles = build_joinbench()
+        assert bundles["joined"].extras["table_total"] == 23
+        flat_sentences = [c.sentence for c in bundles["flat"].claims]
+        joined_sentences = [c.sentence for c in bundles["joined"].claims]
+        assert flat_sentences == joined_sentences  # claims reused verbatim
+
+    def test_joinbench_joined_queries_use_joins(self):
+        bundles = build_joinbench()
+        join_count = sum(
+            1 for c in bundles["joined"].claims
+            if "JOIN" in c.metadata["reference_sql"].upper()
+        )
+        assert join_count > len(bundles["joined"].claims) / 3
+
+    def test_units_variants_parallel(self):
+        bundles = build_units_benchmark()
+        aligned = bundles["aligned"].claims
+        converted = bundles["converted"].claims
+        assert len(aligned) == len(converted) == 20
+        for left, right in zip(aligned, converted):
+            assert left.metadata["kind"] == right.metadata["kind"]
+            assert (left.metadata["label_correct"]
+                    == right.metadata["label_correct"])
+
+    def test_units_converted_queries_scale(self):
+        bundles = build_units_benchmark()
+        scaled = sum(
+            1 for c in bundles["converted"].claims
+            if "*" in c.metadata["reference_sql"]
+        )
+        assert scaled == len(bundles["converted"].claims)
+
+    @pytest.mark.parametrize("builder", [
+        lambda: build_tabfact(table_count=4, total_claims=12),
+        lambda: build_wikitext(document_count=3, total_claims=9),
+    ])
+    def test_determinism(self, builder):
+        first = builder()
+        second = builder()
+        assert [c.sentence for c in first.claims] == [
+            c.sentence for c in second.claims
+        ]
+
+    def test_all_labels_consistent_across_bundles(self):
+        for bundle in (
+            build_tabfact(table_count=5, total_claims=15),
+            build_wikitext(document_count=3, total_claims=9),
+        ):
+            docmap = {d.doc_id: d for d in bundle.documents}
+            for claim in bundle.claims:
+                doc = docmap[claim.claim_id.rsplit("/", 1)[0]]
+                verdict = validate_claim(
+                    claim.metadata["reference_sql"], claim, doc.data
+                )
+                if claim.metadata.get("surface_variant"):
+                    continue  # intentionally unverifiable-correct claims
+                assert verdict == claim.metadata["label_correct"], (
+                    claim.claim_id
+                )
+
+
+class TestThemes:
+    def test_theme_lookup(self):
+        assert theme_by_key("airline_safety") is AIRLINE_SAFETY
+        with pytest.raises(KeyError):
+            theme_by_key("nonexistent")
+
+    def test_all_themes_have_distinct_tables(self):
+        names = [t.table_name for t in ALL_THEMES]
+        assert len(set(names)) == len(names)
+
+    def test_column_names_unique_per_theme(self):
+        for theme in ALL_THEMES:
+            names = theme.column_names
+            assert len(set(names)) == len(names), theme.key

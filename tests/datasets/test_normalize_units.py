@@ -1,0 +1,170 @@
+"""Direct tests for schema normalisation and unit conversions."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    GenerationSettings,
+    conversion_for,
+    generate_database,
+    joined_sql,
+    normalize_database,
+)
+from repro.datasets.claimgen import ClaimGenerator, QueryRecipe, build_sql
+from repro.datasets.themes import AIRLINE_SAFETY
+from repro.datasets.units import CONVERSIONS, UnitConversion
+from repro.llm import ClaimWorld
+from repro.sqlengine import Engine
+
+
+@pytest.fixture(scope="module")
+def flat_and_normalized():
+    rng = random.Random(4)
+    database = generate_database(AIRLINE_SAFETY, rng, name="flat")
+    flat_table = database.table(AIRLINE_SAFETY.table_name)
+    normalized, naming = normalize_database(AIRLINE_SAFETY, flat_table)
+    return database, flat_table, normalized, naming
+
+
+class TestNormalize:
+    def test_table_inventory(self, flat_and_normalized):
+        _, _, normalized, naming = flat_and_normalized
+        # 4 numeric columns split into 4 facts + 2 dims + 2 bridges = 8.
+        assert len(normalized) == 8
+        assert naming.table_count == 8
+
+    def test_row_counts_preserved(self, flat_and_normalized):
+        _, flat_table, normalized, naming = flat_and_normalized
+        entities = normalized.table(naming.entity_table)
+        assert len(entities) == len(flat_table)
+
+    def test_dims_hold_distinct_values(self, flat_and_normalized):
+        _, flat_table, normalized, naming = flat_and_normalized
+        dim = normalized.table(naming.dim_tables["region"])
+        assert set(dim.column_values("region")) == set(
+            flat_table.unique_column_values("region")
+        )
+
+    def test_fact_split_validation(self, flat_and_normalized):
+        database, flat_table, _, _ = flat_and_normalized
+        with pytest.raises(ValueError):
+            normalize_database(AIRLINE_SAFETY, flat_table, fact_split=0)
+        with pytest.raises(ValueError):
+            normalize_database(AIRLINE_SAFETY, flat_table,
+                               fact_sizes=(1, 1))  # does not cover all
+
+    def test_all_columns_unique(self, flat_and_normalized):
+        *_, naming = flat_and_normalized
+        columns = naming.all_columns()
+        assert len(columns) == len(set(columns))
+
+
+class TestJoinedSqlEquivalence:
+    """The joined rebuild of a recipe must compute the same value as the
+    flat query — for every recipe kind JoinBench uses."""
+
+    def recipes(self, flat_table):
+        entity_value = str(flat_table.rows[0][0])
+        region_value = str(flat_table.rows[0][1])
+        return [
+            QueryRecipe("lookup", value_column="incidents",
+                        filters=(("airline", entity_value),),
+                        entity_column="airline"),
+            QueryRecipe("count", value_column="airline", aggregate="COUNT",
+                        filters=(("region", region_value),),
+                        entity_column="airline"),
+            QueryRecipe("count", value_column="airline", aggregate="COUNT",
+                        numeric_filter=("incidents", ">", 10.0),
+                        entity_column="airline"),
+            QueryRecipe("sum", value_column="incidents", aggregate="SUM",
+                        entity_column="airline"),
+            QueryRecipe("avg", value_column="incidents", aggregate="AVG",
+                        filters=(("region", region_value),),
+                        entity_column="airline"),
+            QueryRecipe("percent", value_column="airline",
+                        aggregate="COUNT",
+                        filters=(("region", region_value),),
+                        entity_column="airline"),
+            QueryRecipe("superlative_numeric", value_column="incidents",
+                        inner_aggregate=("MAX", "fatal_accidents_85_99"),
+                        entity_column="airline"),
+        ]
+
+    def test_equivalence(self, flat_and_normalized):
+        database, flat_table, normalized, naming = flat_and_normalized
+        flat_engine = Engine(database)
+        joined_engine = Engine(normalized)
+        for recipe in self.recipes(flat_table):
+            flat_sql = build_sql(recipe, AIRLINE_SAFETY.table_name)
+            join_sql = joined_sql(recipe, naming)
+            flat_value = flat_engine.execute(flat_sql).first_cell()
+            join_value = joined_engine.execute(join_sql).first_cell()
+            assert flat_value == pytest.approx(join_value), recipe.kind
+
+    def test_joined_queries_actually_join(self, flat_and_normalized):
+        database, flat_table, _, naming = flat_and_normalized
+        recipe = QueryRecipe(
+            "lookup", value_column="incidents",
+            filters=(("airline", str(flat_table.rows[0][0])),),
+            entity_column="airline",
+        )
+        assert "JOIN" in joined_sql(recipe, naming)
+
+
+class TestUnitConversions:
+    def test_linear_conversion(self):
+        metres_to_feet = conversion_for("length_m")
+        assert metres_to_feet.convert(1.0) == pytest.approx(3.28084)
+
+    def test_affine_conversion(self):
+        c_to_f = conversion_for("temperature")
+        assert c_to_f.convert(0.0) == pytest.approx(32.0)
+        assert c_to_f.convert(100.0) == pytest.approx(212.0)
+
+    def test_wrap_sql_executes(self):
+        from repro.sqlengine import Database, Table
+
+        database = Database("u")
+        database.add(Table("t", ["v"], [(100.0,)]))
+        conversion = conversion_for("temperature")
+        wrapped = conversion.wrap_sql('"v"')
+        sql = f"SELECT {wrapped} FROM t"
+        assert Engine(database).execute_scalar(sql) == pytest.approx(212.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            conversion_for("furlongs")
+
+    def test_all_conversions_consistent(self):
+        for kind, conversion in CONVERSIONS.items():
+            assert isinstance(conversion, UnitConversion)
+            assert conversion.kind == kind
+            assert conversion.scale != 0
+
+    def test_converted_claims_verified_against_converted_query(self):
+        """A converted-units claim generated end to end must round-trip."""
+        from repro.core import validate_claim
+        from repro.datasets.themes import CLIMATE
+
+        rng = random.Random(9)
+        database = generate_database(CLIMATE, rng, name="c")
+        world = ClaimWorld()
+        generator = ClaimGenerator(CLIMATE, database, world, rng, "c")
+        settings = GenerationSettings(
+            kind_weights={"lookup": 1.0},
+            incorrect_rate=0.0,
+            convert_units=True,
+            restrict_convertible=True,
+            hard_fraction=0.0,
+            misread_fraction=0.0,
+        )
+        generated = generator.generate(settings)
+        assert generated.knowledge.needs_unit_conversion
+        assert validate_claim(
+            generated.knowledge.reference_sql, generated.claim, database
+        )
+        # The naive query (without conversion) must NOT validate.
+        assert not validate_claim(
+            generated.knowledge.naive_unit_sql, generated.claim, database
+        )

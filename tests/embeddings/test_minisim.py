@@ -1,0 +1,99 @@
+"""Tests for the MiniSimLM embedding substitute."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings import (
+    MiniSimLM,
+    cosine_similarity,
+    default_model,
+    text_similarity,
+)
+
+_texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs")),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestEncoder:
+    def test_unit_norm(self):
+        vector = MiniSimLM().encode("Malaysia Airlines")
+        assert math.isclose(sum(v * v for v in vector), 1.0, rel_tol=1e-9)
+
+    def test_empty_string_is_zero_vector(self):
+        vector = MiniSimLM().encode("")
+        assert all(v == 0.0 for v in vector)
+
+    def test_dimension(self):
+        assert len(MiniSimLM(dimension=128).encode("x")) == 128
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            MiniSimLM(dimension=2)
+
+    def test_cache_returns_same_object(self):
+        model = MiniSimLM()
+        assert model.encode("abc") is model.encode("abc")
+
+    def test_default_model_shared(self):
+        assert default_model() is default_model()
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert text_similarity("France", "France") == pytest.approx(1.0)
+
+    def test_case_insensitive(self):
+        assert text_similarity("FRANCE", "france") == pytest.approx(1.0)
+
+    def test_punctuation_normalised(self):
+        assert text_similarity("U.S.A", "U S A") == pytest.approx(1.0)
+
+    def test_unrelated_near_zero(self):
+        assert text_similarity("wine", "beer") < 0.2
+
+    def test_typo_scores_high(self):
+        assert text_similarity("Lewis Hamilton", "Lewis Hamiltn") > 0.6
+
+    def test_partial_name_intermediate(self):
+        partial = text_similarity("Lewis Hamilton", "Hamilton")
+        assert 0.4 < partial < 0.9
+
+    def test_thresholds_separate_cases(self):
+        # The 0.8 correctness bar: exact passes, different entity fails.
+        assert text_similarity("Barcelona", "Barcelona") >= 0.8
+        assert text_similarity("Barcelona", "Liverpool") < 0.8
+
+    def test_mismatched_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1.0], [1.0, 0.0])
+
+    def test_zero_vector_similarity(self):
+        assert cosine_similarity([0.0, 0.0], [1.0, 0.0]) == 0.0
+
+
+@given(_texts)
+@settings(max_examples=100, deadline=None)
+def test_self_similarity_is_one(text):
+    model = default_model()
+    if model.encode(text) == [0.0] * model.dimension:
+        return  # whitespace-only normalises to nothing
+    assert model.similarity(text, text) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(_texts, _texts)
+@settings(max_examples=100, deadline=None)
+def test_similarity_symmetric(left, right):
+    assert text_similarity(left, right) == pytest.approx(
+        text_similarity(right, left), abs=1e-9
+    )
+
+
+@given(_texts, _texts)
+@settings(max_examples=100, deadline=None)
+def test_similarity_bounded(left, right):
+    assert 0.0 <= text_similarity(left, right) <= 1.0

@@ -1,0 +1,75 @@
+"""Fast-mode tests for the ablation studies (A1-A4)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationOutcome,
+    ablate_masking,
+    ablate_reconstruction,
+    ablate_samples,
+    ablate_scheduler,
+    format_outcomes,
+)
+
+
+@pytest.fixture(scope="module")
+def masking():
+    return ablate_masking(fast=True)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return ablate_samples(fast=True)
+
+
+class TestMaskingAblation:
+    def test_two_configurations(self, masking):
+        assert [o.label for o in masking] == [
+            "masked (Algorithm 4)", "unmasked (Figure 2 cheat)"
+        ]
+
+    def test_unmasked_collapses_recall(self, masking):
+        masked, unmasked = masking
+        assert unmasked.recall < masked.recall - 25
+
+    def test_formatting(self, masking):
+        text = format_outcomes("A1", masking)
+        assert "A1" in text and "F1" in text
+
+
+class TestSamplesAblation:
+    def test_samples_improve_quality(self, samples):
+        with_samples, without = samples
+        assert with_samples.f1 >= without.f1
+
+    def test_costs_positive(self, samples):
+        assert all(o.cost > 0 for o in samples)
+
+
+class TestReconstructionAblation:
+    def test_note_reports_self_containedness(self):
+        outcomes = ablate_reconstruction(fast=True)
+        for outcome in outcomes:
+            assert "self-contained" in outcome.note
+
+
+class TestSchedulerAblation:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return ablate_scheduler(fast=True)
+
+    def test_four_configurations(self, outcomes):
+        assert len(outcomes) == 4
+
+    def test_dp_much_cheaper_than_expensive_first(self, outcomes):
+        by_label = {o.label: o for o in outcomes}
+        dp = by_label["DP schedule (Algorithm 10)"]
+        expensive = by_label["expensive-first"]
+        assert dp.cost < expensive.cost / 2
+
+    def test_outcome_properties(self):
+        from repro.metrics import ConfusionCounts
+
+        outcome = AblationOutcome("x", ConfusionCounts(1, 1, 0, 0), 0.5)
+        assert outcome.f1 == pytest.approx(100 * 2 / 3)
+        assert outcome.recall == 100.0

@@ -1,0 +1,82 @@
+"""Tests for the experiment-harness plumbing in experiments.common."""
+
+import pytest
+
+from repro.core import PlannedStage
+from repro.datasets import build_tabfact
+from repro.experiments.common import (
+    build_cedar,
+    format_table,
+    reset_claims,
+    run_cedar,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_tabfact(table_count=4, total_claims=12)
+
+
+class TestCedarSystem:
+    def test_four_paper_methods(self, bundle):
+        system = build_cedar(bundle)
+        names = [m.name for m in system.methods]
+        assert names == [
+            "one_shot[gpt-3.5-turbo]",
+            "one_shot[gpt-4o]",
+            "agent[gpt-4o]",
+            "agent[gpt-4-turbo]",
+        ]
+
+    def test_shared_ledger(self, bundle):
+        system = build_cedar(bundle)
+        for method in system.methods:
+            assert method.client.ledger is system.ledger
+        assert system.verifier.ledger is system.ledger
+
+    def test_method_by_name(self, bundle):
+        system = build_cedar(bundle)
+        assert system.method_by_name("agent[gpt-4o]") is system.methods[2]
+        with pytest.raises(KeyError):
+            system.method_by_name("nope")
+
+    def test_entries_for_strips_zero_tries(self, bundle):
+        system = build_cedar(bundle)
+        planned = (
+            PlannedStage("one_shot[gpt-3.5-turbo]", 2),
+            PlannedStage("agent[gpt-4o]", 0),
+            PlannedStage("agent[gpt-4-turbo]", 1),
+        )
+        entries = system.entries_for(planned)
+        assert [(e.method.name, e.tries) for e in entries] == [
+            ("one_shot[gpt-3.5-turbo]", 2),
+            ("agent[gpt-4-turbo]", 1),
+        ]
+
+
+class TestRunCedarOptions:
+    def test_injected_plan_skips_profiling(self, bundle):
+        planned = (PlannedStage("one_shot[gpt-4o]", 1),)
+        result = run_cedar(bundle, planned=planned, profiles={})
+        assert result.schedule_description == "one_shot[gpt-4o]x1"
+        # No profiling entries in this run's accounting.
+        assert result.profiles == {}
+
+    def test_document_subset(self, bundle):
+        subset = bundle.documents[:2]
+        result = run_cedar(bundle, documents=subset)
+        claims = sum(len(d.claims) for d in subset)
+        assert result.counts.total == claims
+        assert all(c.correct is not None for d in subset for c in d.claims)
+        reset_claims(bundle.documents)
+
+
+class TestFormatTable:
+    def test_separator_under_header(self):
+        text = format_table(["col"], [["value"]])
+        lines = text.splitlines()
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_column_padding(self):
+        text = format_table(["a", "b"], [["xxxx", "y"]])
+        assert "xxxx  y" in text

@@ -1,0 +1,32 @@
+"""Tests for the demonstration front-end."""
+
+import pytest
+
+from repro import demo
+
+
+class TestDemoCli:
+    def test_list(self, capsys):
+        assert demo.main(["--list", "--dataset", "tabfact"]) == 0
+        out = capsys.readouterr().out
+        assert "tabfact" in out
+        assert "claims" in out
+
+    def test_run_document(self, capsys):
+        assert demo.main(["--dataset", "tabfact", "--document", "1",
+                          "--threshold", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "cost-optimal schedule" in out
+        assert "verified" in out
+        assert "spend: $" in out
+
+    def test_out_of_range_document(self, capsys):
+        assert demo.main(["--dataset", "tabfact", "--document", "99"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_bad_threshold(self, capsys):
+        assert demo.main(["--threshold", "1.5"]) == 2
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            demo.main(["--dataset", "nope"])

@@ -1,0 +1,53 @@
+"""Cross-cutting determinism: the whole pipeline is a pure function of
+its seeds (a requirement for the reproducibility claims in README)."""
+
+import pytest
+
+from repro.datasets import (
+    build_joinbench,
+    build_tabfact,
+    build_units_benchmark,
+)
+from repro.experiments import run_cedar
+
+
+class TestDatasetDeterminism:
+    def test_joinbench_stable(self):
+        first = build_joinbench(seed=31)
+        second = build_joinbench(seed=31)
+        assert [c.sentence for c in first["joined"].claims] == [
+            c.sentence for c in second["joined"].claims
+        ]
+        assert [c.metadata["reference_sql"]
+                for c in first["joined"].claims] == [
+            c.metadata["reference_sql"] for c in second["joined"].claims
+        ]
+
+    def test_units_stable(self):
+        first = build_units_benchmark(seed=43)
+        second = build_units_benchmark(seed=43)
+        for variant in ("aligned", "converted"):
+            assert [c.sentence for c in first[variant].claims] == [
+                c.sentence for c in second[variant].claims
+            ]
+
+
+class TestRunDeterminism:
+    def test_full_run_reproducible_to_the_cent(self):
+        bundle = build_tabfact(table_count=5, total_claims=15)
+        first = run_cedar(bundle, seed=11)
+        first_verdicts = [c.correct for c in bundle.claims]
+        second = run_cedar(bundle, seed=11)
+        second_verdicts = [c.correct for c in bundle.claims]
+        assert first_verdicts == second_verdicts
+        assert first.economics.cost == pytest.approx(second.economics.cost)
+        assert first.economics.llm_calls == second.economics.llm_calls
+        assert first.schedule_description == second.schedule_description
+
+    def test_profiles_reproducible(self):
+        bundle = build_tabfact(table_count=5, total_claims=15)
+        first = run_cedar(bundle, seed=11).profiles
+        second = run_cedar(bundle, seed=11).profiles
+        for name in first:
+            assert first[name].accuracy == second[name].accuracy
+            assert first[name].cost == pytest.approx(second[name].cost)

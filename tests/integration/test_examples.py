@@ -1,0 +1,53 @@
+"""Every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=lambda path: path.stem
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_quickstart_output_shape():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "CORRECT" in completed.stdout
+    assert "INCORRECT" in completed.stdout
+    assert "cost: $" in completed.stdout
+
+
+def test_agent_trace_demo_reproduces_figure4():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "agent_trace_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = completed.stdout
+    assert "index 0 is out of bounds" in out          # the trap error
+    assert "unique_column_values" in out              # the recovery tool
+    assert "Value is correct" in out                  # the fixed query

@@ -1,0 +1,149 @@
+"""Focused tests for the corruption failure modes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm import ClaimKnowledge, corrupt_query
+from repro.llm.corruption import (
+    _mangle_string,
+    _weighted_choice,
+)
+from repro.sqlengine import parse_select
+from repro.sqlengine.errors import SqlError
+
+
+def knowledge_for(sql, difficulty=0.8, **overrides):
+    defaults = dict(
+        claim_id="k/c0",
+        masked_sentence="masked x.",
+        unmasked_sentence="masked 5.",
+        reference_sql=sql,
+        claim_value_text="5",
+        claim_type="numeric",
+        difficulty=difficulty,
+        table_name="t",
+        columns=("a", "b", "c"),
+    )
+    defaults.update(overrides)
+    return ClaimKnowledge(**defaults)
+
+
+REFERENCE_QUERIES = [
+    'SELECT "a" FROM "t" WHERE "b" = \'x\'',
+    'SELECT COUNT("a") FROM "t"',
+    'SELECT SUM("a") FROM "t" WHERE "b" = \'x\' AND "c" > 3',
+    'SELECT (SELECT COUNT("a") FROM "t" WHERE "b" = \'x\') * 100.0 / '
+    '(SELECT COUNT("a") FROM "t")',
+    'SELECT "a" FROM "t" WHERE "c" = (SELECT MAX("c") FROM "t")',
+]
+
+
+class TestCorruptQuery:
+    @pytest.mark.parametrize("sql", REFERENCE_QUERIES)
+    def test_corruptions_mostly_parse_or_truncate(self, sql):
+        rng = random.Random(1)
+        knowledge = knowledge_for(sql)
+        parseable = 0
+        for _ in range(30):
+            corrupted = corrupt_query(knowledge, rng)
+            try:
+                parse_select(corrupted)
+                parseable += 1
+            except SqlError:
+                pass  # truncations are intentionally malformed
+        # Truncation is a legitimate (and common) failure mode at this
+        # difficulty; just require that a healthy share stays parseable.
+        assert parseable >= 8
+
+    def test_unparseable_reference_truncated(self):
+        knowledge = knowledge_for("NOT SQL AT ALL ((((")
+        corrupted = corrupt_query(knowledge, random.Random(0))
+        # Unparseable references can only be truncated (half the length).
+        assert corrupted == knowledge.reference_sql[:len(
+            knowledge.reference_sql) // 2]
+
+    def test_easy_claims_fail_at_the_surface(self):
+        """Low-difficulty claims mostly yield malformed or constant-level
+        corruptions, not semantic column/aggregate swaps."""
+        easy = knowledge_for('SELECT SUM("a") FROM "t"', difficulty=0.05)
+        rng = random.Random(3)
+        semantic = 0
+        for _ in range(60):
+            corrupted = corrupt_query(easy, rng)
+            if '"b"' in corrupted or '"c"' in corrupted:
+                semantic += 1
+            elif "COUNT(" in corrupted or "AVG(" in corrupted:
+                semantic += 1
+        assert semantic < 20
+
+    def test_hard_claims_fail_semantically(self):
+        hard = knowledge_for('SELECT SUM("a") FROM "t"', difficulty=0.9,
+                             ambiguous=True)
+        rng = random.Random(3)
+        semantic = 0
+        for _ in range(60):
+            corrupted = corrupt_query(hard, rng)
+            if ('"b"' in corrupted or '"c"' in corrupted
+                    or "COUNT(" in corrupted):
+                semantic += 1
+        assert semantic > 25
+
+    def test_join_failures_biased_to_structure(self):
+        joined = knowledge_for(
+            'SELECT "a" FROM "t" WHERE "b" = \'x\'',
+            difficulty=0.6, join_required=True,
+        )
+        flat = knowledge_for(
+            'SELECT "a" FROM "t" WHERE "b" = \'x\'', difficulty=0.6
+        )
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        join_semantic = sum(
+            '"c"' in corrupt_query(joined, rng_a) for _ in range(80)
+        )
+        flat_semantic = sum(
+            '"c"' in corrupt_query(flat, rng_b) for _ in range(80)
+        )
+        assert join_semantic <= flat_semantic
+
+
+class TestHelpers:
+    def test_mangle_string_changes_value(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            assert _mangle_string("United States", rng) != "United States"
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(0)
+        outcomes = [
+            _weighted_choice([(0.0, "never"), (1.0, "always")], rng)
+            for _ in range(50)
+        ]
+        assert set(outcomes) == {"always"}
+
+
+@given(st.sampled_from(REFERENCE_QUERIES), st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_corruption_never_returns_empty(sql, seed):
+    knowledge = knowledge_for(sql)
+    corrupted = corrupt_query(knowledge, random.Random(seed))
+    assert corrupted.strip()
+    assert corrupted.upper().startswith("SELECT")
+
+
+@given(st.sampled_from(REFERENCE_QUERIES), st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_parseable_corruptions_differ_semantically_or_not_at_all(sql, seed):
+    """A corruption that parses either changes the AST or is the rare
+    no-op replacement (e.g. trap constant absent) — never a silent
+    whitespace-only variant."""
+    knowledge = knowledge_for(sql)
+    corrupted = corrupt_query(knowledge, random.Random(seed))
+    try:
+        corrupted_ast = parse_select(corrupted)
+    except SqlError:
+        return
+    reference_ast = parse_select(sql)
+    rendered = corrupted_ast.to_sql()
+    assert rendered != reference_ast.to_sql() or corrupted == rendered

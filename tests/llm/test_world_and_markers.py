@@ -1,0 +1,81 @@
+"""Additional world/marker coverage: question prompts, marker hygiene."""
+
+from repro.core import ONE_SHOT_TEMPLATE
+from repro.llm import ClaimKnowledge, ClaimWorld, CostLedger, SimulatedLLM
+from repro.llm.simulated import (
+    AGENT_PROMPT_MARKER,
+    QUESTION_MARKER,
+    SAMPLE_MARKER,
+    TEXT2SQL_MARKER,
+)
+
+
+def knowledge():
+    return ClaimKnowledge(
+        claim_id="w/c0",
+        masked_sentence="The value x appears here.",
+        unmasked_sentence="The value 7 appears here.",
+        reference_sql='SELECT "v" FROM "t"',
+        claim_value_text="7",
+        claim_type="numeric",
+        difficulty=0.2,
+        table_name="t",
+        columns=("v",),
+    )
+
+
+class TestQuestionFlow:
+    def test_question_prompt_gets_question(self):
+        world = ClaimWorld()
+        item = knowledge()
+        world.register(item)
+        client = SimulatedLLM("gpt-3.5-turbo", world, CostLedger())
+        prompt = (f"{QUESTION_MARKER}: given the claim "
+                  f'"{item.masked_sentence}" produce the question.')
+        text = client.complete(prompt, 0.0).text
+        assert item.masked_sentence in text
+        assert text.endswith("?")
+
+
+class TestMarkerHygiene:
+    """The routing markers must be mutually distinguishable and must not
+    collide with the one-shot template (else prompts would be
+    mis-routed)."""
+
+    def test_markers_distinct(self):
+        markers = {AGENT_PROMPT_MARKER, QUESTION_MARKER, SAMPLE_MARKER,
+                   TEXT2SQL_MARKER}
+        assert len(markers) == 4
+
+    def test_one_shot_template_free_of_routing_markers(self):
+        for marker in (AGENT_PROMPT_MARKER, QUESTION_MARKER,
+                       TEXT2SQL_MARKER):
+            assert marker not in ONE_SHOT_TEMPLATE
+
+    def test_sample_marker_matches_render(self):
+        from repro.core import Sample
+        from repro.core.methods import render_sample
+
+        rendered = render_sample(Sample("claim x.", "SELECT 1"))
+        assert rendered.startswith(SAMPLE_MARKER)
+
+
+class TestWorldHelpers:
+    def test_has_sentence_covers_both_forms(self):
+        world = ClaimWorld()
+        item = knowledge()
+        world.register(item)
+        assert world.has_sentence(item.masked_sentence)
+        assert world.has_sentence(item.unmasked_sentence)
+        assert not world.has_sentence("never registered")
+
+    def test_recognise_prefers_quoted_extraction(self):
+        world = ClaimWorld()
+        item = knowledge()
+        world.register(item)
+        # Quoted form plus a misleading mention of another string.
+        prompt = (f'Given the claim "{item.masked_sentence}" please '
+                  "translate; ignore this other quoted thing.")
+        found, visible = world.recognise(prompt)
+        assert found is item
+        assert not visible

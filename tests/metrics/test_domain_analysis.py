@@ -1,0 +1,26 @@
+"""Per-domain scoring used by the Figure 7 study and the demo."""
+
+from repro.datasets import build_aggchecker
+from repro.experiments import run_cedar
+from repro.metrics import ConfusionCounts, score_claims
+
+
+class TestPerDomainScoring:
+    def test_domain_scores_sum_to_total(self):
+        bundle = build_aggchecker(document_count=8, total_claims=40)
+        run_cedar(bundle, seed=3)
+        total = score_claims(bundle.claims)
+        by_domain = ConfusionCounts()
+        for documents in bundle.documents_by_domain().values():
+            claims = [c for d in documents for c in d.claims]
+            by_domain = by_domain + score_claims(claims)
+        assert (by_domain.tp, by_domain.fp, by_domain.fn, by_domain.tn) == (
+            total.tp, total.fp, total.fn, total.tn
+        )
+
+    def test_every_domain_has_verdicts(self):
+        bundle = build_aggchecker(document_count=8, total_claims=40)
+        run_cedar(bundle, seed=3)
+        for domain, documents in bundle.documents_by_domain().items():
+            claims = [c for d in documents for c in d.claims]
+            assert all(c.correct is not None for c in claims), domain

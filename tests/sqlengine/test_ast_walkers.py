@@ -1,0 +1,96 @@
+"""Tests for AST traversal helpers and SQL rendering."""
+
+from repro.sqlengine import parse_select
+from repro.sqlengine import ast_nodes as ast
+
+
+class TestWalkExpressions:
+    def test_yields_all_shallow_nodes(self):
+        statement = parse_select(
+            "SELECT a + 1 FROM t WHERE b = 'x' AND c IS NOT NULL"
+        )
+        nodes = list(ast.walk_expressions(statement))
+        kinds = {type(n).__name__ for n in nodes}
+        assert {"BinaryOp", "ColumnRef", "Literal", "IsNullExpr"} <= kinds
+
+    def test_does_not_enter_subqueries(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE b = (SELECT MAX(b) FROM t WHERE c = 9)"
+        )
+        nodes = list(ast.walk_expressions(statement))
+        literals = [n for n in nodes if isinstance(n, ast.Literal)]
+        # The literal 9 lives inside the sub-query: not yielded here.
+        assert literals == []
+        assert any(isinstance(n, ast.ScalarSubquery) for n in nodes)
+
+    def test_covers_joins_group_having_order(self):
+        statement = parse_select(
+            "SELECT a FROM t JOIN u ON t.id = u.id GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC"
+        )
+        nodes = list(ast.walk_expressions(statement))
+        assert any(isinstance(n, ast.AggregateCall) for n in nodes)
+        column_names = {
+            n.name for n in nodes if isinstance(n, ast.ColumnRef)
+        }
+        assert "id" in column_names  # from the join condition
+
+    def test_case_branches_walked(self):
+        statement = parse_select(
+            "SELECT CASE WHEN a > 1 THEN b ELSE c END FROM t"
+        )
+        names = {
+            n.name for n in ast.walk_expressions(statement)
+            if isinstance(n, ast.ColumnRef)
+        }
+        assert names == {"a", "b", "c"}
+
+
+class TestWalkSubqueries:
+    def test_nested_counted_once_each(self):
+        statement = parse_select(
+            "SELECT (SELECT COUNT(a) FROM t WHERE b = "
+            "(SELECT MAX(b) FROM t)) * 100.0 / (SELECT COUNT(a) FROM t)"
+        )
+        subqueries = list(ast.walk_subqueries(statement))
+        assert len(subqueries) == 3
+
+    def test_in_and_exists_subqueries(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE a IN (SELECT x FROM u) AND "
+            "EXISTS (SELECT 1 FROM v)"
+        )
+        assert len(list(ast.walk_subqueries(statement))) == 2
+
+    def test_no_subqueries(self):
+        statement = parse_select("SELECT a FROM t")
+        assert list(ast.walk_subqueries(statement)) == []
+
+
+class TestRendering:
+    def test_quote_identifier_escapes(self):
+        assert ast.quote_identifier('we"ird') == '"we""ird"'
+
+    def test_quote_string_escapes(self):
+        assert ast.quote_string("it's") == "'it''s'"
+
+    def test_case_render(self):
+        statement = parse_select(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        rendered = statement.to_sql()
+        assert "CASE WHEN" in rendered and "ELSE" in rendered
+
+    def test_join_render_round_trip(self):
+        sql = ("SELECT t.a FROM t LEFT JOIN u ON t.id = u.id "
+               "CROSS JOIN v WHERE t.a IS NOT NULL")
+        rendered = parse_select(sql).to_sql()
+        assert "LEFT JOIN" in rendered
+        assert "CROSS JOIN" in rendered
+        assert parse_select(rendered) == parse_select(sql)
+
+    def test_between_and_like_render(self):
+        sql = "SELECT a FROM t WHERE a BETWEEN 1 AND 5 OR a NOT LIKE 'x%'"
+        rendered = parse_select(sql).to_sql()
+        assert "BETWEEN" in rendered and "NOT LIKE" in rendered
+        assert parse_select(rendered) == parse_select(sql)

@@ -1,0 +1,75 @@
+"""Direct tests for scope resolution and correlated evaluation."""
+
+import pytest
+
+from repro.sqlengine import Database, Engine, Table
+from repro.sqlengine.errors import PlanError
+from repro.sqlengine.expressions import ColumnInfo, Scope
+
+
+class TestScopeResolution:
+    def make_scope(self):
+        columns = [
+            ColumnInfo("t", "a", "A"),
+            ColumnInfo("t", "b", "B"),
+            ColumnInfo("u", "a", "A"),
+        ]
+        return Scope(columns, (1, 2, 3))
+
+    def test_qualified_lookup(self):
+        scope = self.make_scope()
+        assert scope.resolve("a", "t") == (True, 1)
+        assert scope.resolve("a", "u") == (True, 3)
+
+    def test_unqualified_unique(self):
+        assert self.make_scope().resolve("b", None) == (True, 2)
+
+    def test_unqualified_ambiguous_raises(self):
+        with pytest.raises(PlanError):
+            self.make_scope().resolve("a", None)
+
+    def test_miss_returns_not_found(self):
+        found, value = self.make_scope().resolve("zzz", None)
+        assert not found and value is None
+
+    def test_case_insensitive(self):
+        scope = self.make_scope()
+        assert scope.resolve("B", "T") == (True, 2)
+
+
+class TestCorrelatedScopes:
+    @pytest.fixture()
+    def engine(self):
+        database = Database("corr")
+        database.add(Table("orders", ["customer", "amount"], [
+            ("ann", 10), ("ann", 30), ("bob", 5), ("bob", 50),
+        ]))
+        database.add(Table("customers", ["name", "tier"], [
+            ("ann", "gold"), ("bob", "silver"),
+        ]))
+        return Engine(database)
+
+    def test_outer_column_visible_in_subquery(self, engine):
+        result = engine.execute(
+            "SELECT name FROM customers c WHERE 40 < "
+            "(SELECT SUM(amount) FROM orders o WHERE o.customer = c.name)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["bob"]
+
+    def test_inner_scope_shadows_outer(self, engine):
+        # 'customer' resolves to the inner table even though the outer
+        # relation is also in scope.
+        result = engine.execute(
+            "SELECT name FROM customers WHERE name IN "
+            "(SELECT customer FROM orders WHERE amount > 20)"
+        )
+        assert sorted(r[0] for r in result.rows) == ["ann", "bob"]
+
+    def test_doubly_nested_correlation(self, engine):
+        result = engine.execute(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.customer = c.name AND "
+            " o.amount = (SELECT MAX(amount) FROM orders i "
+            "             WHERE i.customer = c.name))"
+        )
+        assert len(result.rows) == 2

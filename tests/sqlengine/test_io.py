@@ -1,0 +1,108 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.sqlengine import (
+    Database,
+    Engine,
+    Table,
+    dump_csv,
+    dump_database,
+    load_csv,
+    load_csv_directory,
+)
+from repro.sqlengine.errors import PlanError
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "airlines.csv"
+    path.write_text(
+        "airline,fatal,rate\n"
+        "Malaysia Airlines,2,0.5\n"
+        "KLM,0,0.1\n"
+        "Aeroflot,6,\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_basic(self, csv_file):
+        table = load_csv(csv_file)
+        assert table.name == "airlines"
+        assert table.column_names == ["airline", "fatal", "rate"]
+        assert len(table) == 3
+
+    def test_type_sniffing(self, csv_file):
+        table = load_csv(csv_file)
+        assert table.rows[0][1] == 2           # int column
+        assert table.rows[0][2] == 0.5         # float column
+        assert table.rows[0][0] == "Malaysia Airlines"
+
+    def test_empty_cell_becomes_null(self, csv_file):
+        table = load_csv(csv_file)
+        assert table.rows[2][2] is None
+
+    def test_custom_name(self, csv_file):
+        assert load_csv(csv_file, table_name="t").name == "t"
+
+    def test_queryable_after_load(self, csv_file):
+        database = Database("d")
+        database.add(load_csv(csv_file))
+        assert Engine(database).execute_scalar(
+            "SELECT SUM(fatal) FROM airlines"
+        ) == 8
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(PlanError):
+            load_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(PlanError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        table = load_csv(path)
+        assert len(table) == 0
+        assert table.column_names == ["a", "b"]
+
+    def test_mixed_column_stays_text(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("v\n1\ntwo\n")
+        table = load_csv(path)
+        assert table.rows[0][0] == "1"  # stays text; one cell is not numeric
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("a;b\n1;2\n")
+        table = load_csv(path, delimiter=";")
+        assert table.rows == [(1, 2)]
+
+
+class TestRoundTrip:
+    def test_dump_and_reload(self, tmp_path):
+        table = Table("t", ["name", "n", "x"],
+                      [("a", 1, 2.5), ("b", None, None)])
+        target = tmp_path / "t.csv"
+        dump_csv(table, target)
+        reloaded = load_csv(target)
+        assert reloaded.rows == table.rows
+
+    def test_directory_round_trip(self, tmp_path):
+        database = Database("d")
+        database.add(Table("one", ["a"], [(1,)]))
+        database.add(Table("two", ["b"], [("x",)]))
+        written = dump_database(database, tmp_path / "out")
+        assert len(written) == 2
+        reloaded = load_csv_directory(tmp_path / "out")
+        assert set(reloaded.table_names()) == {"one", "two"}
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(PlanError):
+            load_csv_directory(tmp_path)

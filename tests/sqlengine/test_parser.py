@@ -1,0 +1,268 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import ParseError
+from repro.sqlengine.parser import parse_select
+
+
+class TestSelectList:
+    def test_single_column(self):
+        statement = parse_select("SELECT a FROM t")
+        assert statement.items[0].expression == ast.ColumnRef("a")
+
+    def test_multiple_columns(self):
+        statement = parse_select("SELECT a, b, c FROM t")
+        assert len(statement.items) == 3
+
+    def test_star(self):
+        statement = parse_select("SELECT * FROM t")
+        assert isinstance(statement.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        statement = parse_select("SELECT t.* FROM t")
+        assert statement.items[0].expression == ast.Star(table="t")
+
+    def test_alias_with_as(self):
+        statement = parse_select("SELECT a AS total FROM t")
+        assert statement.items[0].alias == "total"
+
+    def test_alias_without_as(self):
+        statement = parse_select("SELECT a total FROM t")
+        assert statement.items[0].alias == "total"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_without_from(self):
+        statement = parse_select("SELECT 1 + 1")
+        assert statement.from_table is None
+
+    def test_quoted_identifiers(self):
+        statement = parse_select('SELECT "Fatal Accidents" FROM "my table"')
+        assert statement.items[0].expression == ast.ColumnRef("Fatal Accidents")
+        assert statement.from_table.name == "my table"
+
+
+class TestClauses:
+    def test_where(self):
+        statement = parse_select("SELECT a FROM t WHERE b = 1")
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.op == "="
+
+    def test_group_by(self):
+        statement = parse_select("SELECT a FROM t GROUP BY a, b")
+        assert len(statement.group_by) == 2
+
+    def test_having(self):
+        statement = parse_select(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert statement.having is not None
+
+    def test_order_by_directions(self):
+        statement = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in statement.order_by] == [True, False,
+                                                              False]
+
+    def test_limit_offset(self):
+        statement = parse_select("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t LIMIT x")
+
+
+class TestJoins:
+    def test_inner_join(self):
+        statement = parse_select(
+            "SELECT a FROM t JOIN u ON t.id = u.id"
+        )
+        assert statement.joins[0].kind == "INNER"
+
+    def test_explicit_inner(self):
+        statement = parse_select(
+            "SELECT a FROM t INNER JOIN u ON t.id = u.id"
+        )
+        assert statement.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        statement = parse_select(
+            "SELECT a FROM t LEFT JOIN u ON t.id = u.id"
+        )
+        assert statement.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        statement = parse_select(
+            "SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id"
+        )
+        assert statement.joins[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        statement = parse_select("SELECT a FROM t CROSS JOIN u")
+        assert statement.joins[0].kind == "CROSS"
+
+    def test_comma_join(self):
+        statement = parse_select("SELECT a FROM t, u WHERE t.id = u.id")
+        assert statement.joins[0].kind == "CROSS"
+
+    def test_multiple_joins(self):
+        statement = parse_select(
+            "SELECT a FROM t JOIN u ON t.id = u.id JOIN v ON u.id = v.id"
+        )
+        assert len(statement.joins) == 2
+
+    def test_table_aliases(self):
+        statement = parse_select(
+            "SELECT f.a FROM facts AS f JOIN dims d ON f.id = d.id"
+        )
+        assert statement.from_table.alias == "f"
+        assert statement.joins[0].table.alias == "d"
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        statement = parse_select("SELECT 1 + 2 * 3")
+        top = statement.items[0].expression
+        assert top.op == "+"
+        assert top.right.op == "*"
+
+    def test_precedence_and_or(self):
+        statement = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert statement.where.op == "OR"
+        assert statement.where.right.op == "AND"
+
+    def test_not(self):
+        statement = parse_select("SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(statement.where, ast.UnaryOp)
+
+    def test_unary_minus(self):
+        statement = parse_select("SELECT -x FROM t")
+        assert isinstance(statement.items[0].expression, ast.UnaryOp)
+
+    def test_bang_equals_normalised(self):
+        statement = parse_select("SELECT a FROM t WHERE x != 1")
+        assert statement.where.op == "<>"
+
+    def test_in_list(self):
+        statement = parse_select("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(statement.where, ast.InExpr)
+        assert len(statement.where.items) == 3
+
+    def test_not_in(self):
+        statement = parse_select("SELECT a FROM t WHERE x NOT IN (1)")
+        assert statement.where.negated
+
+    def test_in_subquery(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u)"
+        )
+        assert statement.where.subquery is not None
+
+    def test_between(self):
+        statement = parse_select("SELECT a FROM t WHERE x BETWEEN 1 AND 5")
+        assert isinstance(statement.where, ast.BetweenExpr)
+
+    def test_like(self):
+        statement = parse_select("SELECT a FROM t WHERE x LIKE 'M%'")
+        assert isinstance(statement.where, ast.LikeExpr)
+
+    def test_is_null(self):
+        statement = parse_select("SELECT a FROM t WHERE x IS NULL")
+        assert isinstance(statement.where, ast.IsNullExpr)
+        assert not statement.where.negated
+
+    def test_is_not_null(self):
+        statement = parse_select("SELECT a FROM t WHERE x IS NOT NULL")
+        assert statement.where.negated
+
+    def test_case_expression(self):
+        statement = parse_select(
+            "SELECT CASE WHEN x > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.CaseExpr)
+        assert expression.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT CASE END FROM t")
+
+    def test_cast(self):
+        statement = parse_select("SELECT CAST(x AS INTEGER) FROM t")
+        assert isinstance(statement.items[0].expression, ast.CastExpr)
+
+    def test_exists(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        )
+        assert isinstance(statement.where, ast.ExistsExpr)
+
+    def test_scalar_subquery(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE x = (SELECT MAX(x) FROM t)"
+        )
+        assert isinstance(statement.where.right, ast.ScalarSubquery)
+
+    def test_boolean_literals(self):
+        statement = parse_select("SELECT TRUE, FALSE, NULL")
+        assert [i.expression.value for i in statement.items] == [True, False,
+                                                                 None]
+
+    def test_string_concat(self):
+        statement = parse_select("SELECT 'a' || 'b'")
+        assert statement.items[0].expression.op == "||"
+
+
+class TestAggregatesAndFunctions:
+    def test_count_star(self):
+        statement = parse_select("SELECT COUNT(*) FROM t")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.AggregateCall)
+        assert isinstance(expression.argument, ast.Star)
+
+    def test_count_distinct(self):
+        statement = parse_select("SELECT COUNT(DISTINCT a) FROM t")
+        assert statement.items[0].expression.distinct
+
+    @pytest.mark.parametrize("agg", ["SUM", "AVG", "MIN", "MAX"])
+    def test_aggregates(self, agg):
+        statement = parse_select(f"SELECT {agg}(a) FROM t")
+        assert statement.items[0].expression.name == agg
+
+    def test_aggregate_lowercase(self):
+        statement = parse_select("SELECT sum(a) FROM t")
+        assert statement.items[0].expression.name == "SUM"
+
+    def test_scalar_function(self):
+        statement = parse_select("SELECT ROUND(a, 2) FROM t")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.FunctionCall)
+        assert len(expression.args) == 2
+
+    def test_zero_arg_function(self):
+        statement = parse_select("SELECT FOO()")
+        assert statement.items[0].expression.args == ()
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT",                    # nothing selected
+        "FROM t",                    # no SELECT
+        "SELECT a FROM",             # missing table
+        "SELECT a FROM t WHERE",     # missing predicate
+        "SELECT a FROM t GROUP",     # incomplete GROUP BY
+        "SELECT (a FROM t",          # unbalanced paren
+        "SELECT a b c FROM t",       # garbage after alias
+        "SELECT a FROM t extra junk here",
+    ])
+    def test_invalid_sql(self, bad):
+        with pytest.raises(ParseError):
+            parse_select(bad)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t) AND x = 1")

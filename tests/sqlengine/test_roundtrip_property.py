@@ -1,0 +1,150 @@
+"""Property-based tests for the SQL engine (hypothesis).
+
+Two core invariants:
+
+* **Round-trip**: ``parse(sql).to_sql()`` parses again to an identical AST
+  (rendering is a fixed point after one normalisation).
+* **Execution equivalence**: the canonical rendering executes to the same
+  result as the original text.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Database, Engine, Table, parse_select
+from repro.sqlengine.ast_nodes import quote_identifier, quote_string
+
+_COLUMNS = ("name", "region", "score", "points")
+_NAMES = ("Alpha", "Beta North", "Gamma", "Delta's", 'Quo"te')
+_REGIONS = ("east", "west")
+_AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@st.composite
+def fixture_database(draw):
+    rows = draw(st.lists(
+        st.tuples(
+            st.sampled_from(_NAMES),
+            st.sampled_from(_REGIONS),
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=50, allow_nan=False,
+                      allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=12,
+    ))
+    database = Database("prop")
+    database.add(Table("t", list(_COLUMNS), rows))
+    return database
+
+
+@st.composite
+def random_query(draw):
+    """Generate SQL text from the supported subset."""
+    rng = random.Random(draw(st.integers(0, 2**32)))
+    aggregate = rng.choice(_AGGREGATES + (None, None))
+    column = rng.choice(("score", "points"))
+    if aggregate == "COUNT" and rng.random() < 0.5:
+        select = "COUNT(*)"
+    elif aggregate:
+        select = f"{aggregate}({quote_identifier(column)})"
+    else:
+        select = quote_identifier(column)
+    sql = f"SELECT {select} FROM t"
+    predicates = []
+    if rng.random() < 0.7:
+        predicates.append(
+            f"{quote_identifier('region')} = "
+            f"{quote_string(rng.choice(_REGIONS))}"
+        )
+    if rng.random() < 0.4:
+        predicates.append(
+            f"{quote_identifier('score')} {rng.choice(('<', '>', '<=', '>='))} "
+            f"{rng.randint(0, 100)}"
+        )
+    if rng.random() < 0.2:
+        predicates.append(
+            f"{quote_identifier('points')} BETWEEN 1 AND {rng.randint(2, 50)}"
+        )
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    if aggregate is None and rng.random() < 0.5:
+        sql += f" ORDER BY {quote_identifier(column)}"
+        if rng.random() < 0.5:
+            sql += " DESC"
+        sql += f" LIMIT {rng.randint(1, 5)}"
+    return sql
+
+
+@given(random_query())
+@settings(max_examples=200, deadline=None)
+def test_parse_render_parse_is_fixed_point(sql):
+    statement = parse_select(sql)
+    rendered = statement.to_sql()
+    reparsed = parse_select(rendered)
+    assert reparsed == statement
+    assert reparsed.to_sql() == rendered
+
+
+@given(fixture_database(), random_query())
+@settings(max_examples=150, deadline=None)
+def test_canonical_rendering_executes_identically(database, sql):
+    engine = Engine(database)
+    original = engine.execute(sql)
+    canonical = engine.execute(parse_select(sql).to_sql())
+    assert original.rows == canonical.rows
+
+
+@given(fixture_database(),
+       st.sampled_from(_REGIONS))
+@settings(max_examples=60, deadline=None)
+def test_count_partition_invariant(database, region):
+    """COUNT(*) over a partition plus its complement equals the total."""
+    engine = Engine(database)
+    total = engine.execute_scalar("SELECT COUNT(*) FROM t")
+    part = engine.execute_scalar(
+        f"SELECT COUNT(*) FROM t WHERE region = {quote_string(region)}"
+    )
+    rest = engine.execute_scalar(
+        f"SELECT COUNT(*) FROM t WHERE NOT (region = {quote_string(region)})"
+    )
+    assert part + rest == total
+
+
+@given(fixture_database())
+@settings(max_examples=60, deadline=None)
+def test_sum_equals_avg_times_count(database):
+    engine = Engine(database)
+    count = engine.execute_scalar("SELECT COUNT(score) FROM t")
+    total = engine.execute_scalar("SELECT SUM(score) FROM t")
+    average = engine.execute_scalar("SELECT AVG(score) FROM t")
+    assert abs(total - average * count) < 1e-6
+
+
+@given(fixture_database())
+@settings(max_examples=60, deadline=None)
+def test_min_max_bound_all_values(database):
+    engine = Engine(database)
+    low = engine.execute_scalar("SELECT MIN(score) FROM t")
+    high = engine.execute_scalar("SELECT MAX(score) FROM t")
+    values = [row[0] for row in engine.execute("SELECT score FROM t").rows]
+    assert all(low <= v <= high for v in values)
+
+
+@given(fixture_database())
+@settings(max_examples=60, deadline=None)
+def test_group_by_partitions_rows(database):
+    engine = Engine(database)
+    grouped = engine.execute(
+        "SELECT region, COUNT(*) FROM t GROUP BY region"
+    )
+    assert sum(row[1] for row in grouped.rows) == len(database.table("t"))
+
+
+@given(fixture_database())
+@settings(max_examples=60, deadline=None)
+def test_distinct_is_idempotent(database):
+    engine = Engine(database)
+    once = engine.execute("SELECT DISTINCT region FROM t").rows
+    assert len(set(once)) == len(once)

@@ -1,0 +1,74 @@
+"""Three-valued-logic semantics of the expression evaluator."""
+
+import pytest
+
+from repro.sqlengine import Database, Engine, Table
+
+
+@pytest.fixture()
+def engine():
+    database = Database("tvl")
+    database.add(Table("t", ["a", "b"], [
+        (1, 10), (2, None), (None, 30), (None, None),
+    ]))
+    return Engine(database)
+
+
+def rows(engine, where):
+    return engine.execute(f"SELECT a, b FROM t WHERE {where}").rows
+
+
+class TestComparisons:
+    def test_null_equals_nothing(self, engine):
+        assert rows(engine, "a = a") == [(1, 10), (2, None)]
+
+    def test_null_not_equal_filters_out_too(self, engine):
+        # NULL <> NULL is unknown, not true.
+        assert rows(engine, "a <> 1") == [(2, None)]
+
+
+class TestAndOr:
+    def test_false_and_null_is_false(self, engine):
+        # No row where a=99, so the AND never passes even with NULL side.
+        assert rows(engine, "a = 99 AND b = b") == []
+
+    def test_true_or_null_is_true(self, engine):
+        # a=1 OR b>0: row (1,10) passes via left; row (None,30) passes via
+        # right; row (2,None) fails (false OR unknown = unknown).
+        assert rows(engine, "a = 1 OR b > 0") == [(1, 10), (None, 30)]
+
+    def test_not_unknown_is_unknown(self, engine):
+        # NOT (b = 10): for b NULL the result stays unknown -> filtered.
+        assert rows(engine, "NOT (b = 10)") == [(None, 30)]
+
+
+class TestInWithNulls:
+    def test_in_list_with_null_member(self, engine):
+        # a IN (1, NULL): true for 1, unknown otherwise.
+        assert rows(engine, "a IN (1, NULL)") == [(1, 10)]
+
+    def test_not_in_list_with_null_member_is_never_true(self, engine):
+        assert rows(engine, "a NOT IN (1, NULL)") == []
+
+    def test_not_in_plain_list(self, engine):
+        assert rows(engine, "a NOT IN (1)") == [(2, None)]
+
+
+class TestBetweenAndNullChecks:
+    def test_between_with_null_operand(self, engine):
+        assert rows(engine, "b BETWEEN 5 AND 40") == [(1, 10), (None, 30)]
+
+    def test_is_null_vs_is_not_null_partition(self, engine):
+        null_rows = rows(engine, "a IS NULL")
+        not_null_rows = rows(engine, "a IS NOT NULL")
+        assert len(null_rows) + len(not_null_rows) == 4
+
+
+class TestCaseWithNull:
+    def test_unknown_when_falls_through(self, engine):
+        result = engine.execute(
+            "SELECT CASE WHEN b > 0 THEN 'pos' ELSE 'other' END FROM t"
+        )
+        assert [r[0] for r in result.rows] == [
+            "pos", "other", "pos", "other"
+        ]

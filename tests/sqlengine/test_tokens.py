@@ -1,0 +1,120 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.sqlengine.errors import TokenizeError
+from repro.sqlengine.tokens import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_upcased(self):
+        assert values("select from where")[0] == "SELECT"
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        assert values("SELECT Driver") == ["SELECT", "Driver"]
+
+    def test_stream_ends_with_eof(self):
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+    def test_empty_input_has_only_eof(self):
+        assert kinds("") == [TokenType.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == [TokenType.EOF]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_float_literal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_scientific_notation(self):
+        assert tokenize("1e6")[0].value == "1e6"
+        assert tokenize("2.5E-3")[0].value == "2.5E-3"
+
+    def test_exponent_requires_digits(self):
+        # "1e" alone: the 'e' is not an exponent, it is an identifier.
+        tokens = tokenize("1e")
+        assert tokens[0].value == "1"
+        assert tokens[1].value == "e"
+
+
+class TestStringsAndIdentifiers:
+    def test_single_quoted_string(self):
+        token = tokenize("'Malaysia Airlines'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "Malaysia Airlines"
+
+    def test_doubled_quote_escapes(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_double_quoted_identifier(self):
+        token = tokenize('"fatal_accidents_00_14"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "fatal_accidents_00_14"
+
+    def test_backtick_identifier(self):
+        assert tokenize("`wins`")[0].value == "wins"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unterminated_identifier_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize('"oops')
+
+    def test_quoted_keyword_is_identifier(self):
+        token = tokenize('"select"')[0]
+        assert token.type is TokenType.IDENTIFIER
+
+
+class TestOperatorsAndPunctuation:
+    @pytest.mark.parametrize("op", ["<>", "!=", ">=", "<=", "=", "<", ">",
+                                    "+", "-", "*", "/", "%", "||"])
+    def test_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_two_char_operators_not_split(self):
+        assert values("a <= b") == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        assert values("( ) , .") == ["(", ")", ",", "."]
+
+    def test_comment_skipped(self):
+        assert values("SELECT -- a comment\n 1") == ["SELECT", "1"]
+
+    def test_semicolon_terminates(self):
+        assert values("SELECT 1; DROP TABLE x") == ["SELECT", "1"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("SELECT #")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("FROM", "SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_identifier_is_not_keyword(self):
+        token = Token(TokenType.IDENTIFIER, "SELECT", 0)
+        assert not token.is_keyword("SELECT")

@@ -1,0 +1,188 @@
+"""Tests for the value model and table/database containers."""
+
+import pytest
+
+from repro.sqlengine import Database, Table
+from repro.sqlengine.errors import ExecutionError, PlanError
+from repro.sqlengine.values import (
+    cast_value,
+    coerce_numeric,
+    compare_values,
+    infer_column_type,
+    to_text,
+    values_equal,
+)
+
+
+class TestCoercion:
+    def test_int_passthrough(self):
+        assert coerce_numeric(5) == 5
+
+    def test_float_passthrough(self):
+        assert coerce_numeric(2.5) == 2.5
+
+    def test_numeric_string(self):
+        assert coerce_numeric("42") == 42
+        assert coerce_numeric("3.5") == 3.5
+
+    def test_thousands_separator(self):
+        assert coerce_numeric("1,234") == 1234
+
+    def test_bool_is_not_numeric(self):
+        assert coerce_numeric(True) is None
+
+    def test_null(self):
+        assert coerce_numeric(None) is None
+
+    def test_text(self):
+        assert coerce_numeric("hello") is None
+
+    def test_empty_string(self):
+        assert coerce_numeric("") is None
+
+
+class TestComparison:
+    def test_numbers(self):
+        assert compare_values(1, 2) < 0
+        assert compare_values(2, 2) == 0
+        assert compare_values(3, 2) > 0
+
+    def test_number_vs_numeric_string(self):
+        assert compare_values(10, "9") > 0
+
+    def test_strings(self):
+        assert compare_values("apple", "banana") < 0
+
+    def test_null_raises(self):
+        with pytest.raises(ExecutionError):
+            compare_values(None, 1)
+
+    def test_values_equal_null_never_equal(self):
+        assert not values_equal(None, None)
+        assert not values_equal(None, 1)
+
+    def test_values_equal_coerces(self):
+        assert values_equal("5", 5)
+
+
+class TestDisplay:
+    def test_null(self):
+        assert to_text(None) == "NULL"
+
+    def test_bool(self):
+        assert to_text(True) == "true"
+
+    def test_whole_float(self):
+        assert to_text(84.0) == "84"
+
+    def test_fractional_float(self):
+        assert to_text(2.5) == "2.5"
+
+
+class TestCast:
+    def test_to_integer(self):
+        assert cast_value("12", "INTEGER") == 12
+        assert cast_value(12.7, "INT") == 12
+
+    def test_to_real(self):
+        assert cast_value("2.5", "REAL") == 2.5
+
+    def test_to_text(self):
+        assert cast_value(42, "TEXT") == "42"
+
+    def test_to_boolean(self):
+        assert cast_value("true", "BOOLEAN") is True
+        assert cast_value(0, "BOOL") is False
+
+    def test_null_casts_to_null(self):
+        assert cast_value(None, "INTEGER") is None
+
+    def test_bad_numeric_cast_raises(self):
+        with pytest.raises(ExecutionError):
+            cast_value("hello", "INTEGER")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ExecutionError):
+            cast_value(1, "BLOB")
+
+
+class TestTypeInference:
+    def test_all_ints(self):
+        assert infer_column_type([1, 2, None]) == "INTEGER"
+
+    def test_mixed_numeric(self):
+        assert infer_column_type([1, 2.5]) == "REAL"
+
+    def test_text_dominates(self):
+        assert infer_column_type([1, "x"]) == "TEXT"
+
+    def test_empty_defaults_to_text(self):
+        assert infer_column_type([None]) == "TEXT"
+
+
+class TestTable:
+    def test_row_width_checked(self):
+        with pytest.raises(PlanError):
+            Table("t", ["a", "b"], [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(PlanError):
+            Table("t", ["a", "A"], [])
+
+    def test_column_values(self):
+        table = Table("t", ["a"], [(1,), (2,), (1,)])
+        assert table.column_values("a") == [1, 2, 1]
+
+    def test_unique_column_values_preserve_order(self):
+        table = Table("t", ["a"], [(2,), (1,), (2,), (3,)])
+        assert table.unique_column_values("a") == [2, 1, 3]
+
+    def test_column_lookup_case_insensitive(self):
+        table = Table("t", ["Wins"], [(1,)])
+        assert table.has_column("wins")
+        assert table.column_position("WINS") == 0
+
+    def test_missing_column_raises(self):
+        table = Table("t", ["a"], [])
+        with pytest.raises(PlanError):
+            table.column_position("b")
+
+    def test_head(self):
+        table = Table("t", ["a"], [(i,) for i in range(10)])
+        assert len(table.head(3)) == 3
+
+    def test_columns_carry_types(self):
+        table = Table("t", ["name", "n"], [("x", 1)])
+        types = {c.name: c.type_name for c in table.columns()}
+        assert types == {"name": "TEXT", "n": "INTEGER"}
+
+
+class TestDatabase:
+    def test_lookup_case_insensitive(self):
+        database = Database()
+        database.add(Table("Drinks", ["a"], []))
+        assert database.has_table("drinks")
+        assert database.table("DRINKS").name == "Drinks"
+
+    def test_missing_table_raises(self):
+        with pytest.raises(PlanError):
+            Database().table("nope")
+
+    def test_contains(self):
+        database = Database()
+        database.add(Table("t", ["a"], []))
+        assert "t" in database
+        assert "u" not in database
+        assert 42 not in database
+
+    def test_table_names_sorted(self):
+        database = Database()
+        database.add(Table("zeta", ["a"], []))
+        database.add(Table("alpha", ["a"], []))
+        assert database.table_names() == ["alpha", "zeta"]
+
+    def test_replacing_table(self):
+        database = Database()
+        database.add(Table("t", ["a"], [(1,)]))
+        database.add(Table("t", ["a"], [(1,), (2,)]))
+        assert len(database.table("t")) == 2
