@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-parallel experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full reproduction run: every benchmark regenerates a table/figure.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Sequential vs 4-worker executor on simulated per-token latency.
+bench-parallel:
+	$(PYTHON) -m repro.experiments parallel
+
+experiments:
+	$(PYTHON) -m repro.experiments all --fast

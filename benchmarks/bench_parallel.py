@@ -1,0 +1,25 @@
+"""Parallel executor benchmark — wall-clock, determinism, cache hits."""
+
+from repro.experiments.parallel_bench import (
+    format_parallel_bench,
+    run_parallel_bench,
+)
+
+
+def test_parallel(one_round):
+    result = one_round(run_parallel_bench)
+    print()
+    print(format_parallel_bench(result))
+    # The executor's contract: same verdicts and ledger totals as the
+    # sequential run, a real wall-clock win once latency is simulated,
+    # and a warm cache that actually answers repeat lookups.
+    assert result.verdicts_match
+    assert result.totals_match
+    assert result.speedup >= 2.0
+    assert result.warm_hit_rate > 0.0
+
+
+if __name__ == "__main__":
+    from repro.experiments.parallel_bench import main
+
+    main()

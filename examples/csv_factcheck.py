@@ -23,6 +23,7 @@ from repro.core import (
     OneShotMethod,
     ScheduleEntry,
     Span,
+    VerifierConfig,
     mask_claim,
 )
 from repro.llm import ClaimKnowledge, ClaimWorld, CostLedger, SimulatedLLM
@@ -91,7 +92,7 @@ def main() -> None:
 
         ledger = CostLedger()
         method = OneShotMethod(SimulatedLLM("gpt-4o", world, ledger))
-        verifier = MultiStageVerifier(ledger)
+        verifier = MultiStageVerifier(config=VerifierConfig(ledger=ledger))
         verifier.verify_documents([document], [ScheduleEntry(method, 2)])
 
         print()

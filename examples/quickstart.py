@@ -17,10 +17,11 @@ from repro.core import (
     AgentMethod,
     Claim,
     Document,
-    MultiStageVerifier,
     OneShotMethod,
     ScheduleEntry,
     Span,
+    VerifierConfig,
+    verify,
 )
 from repro.llm import ClaimKnowledge, ClaimWorld, CostLedger, SimulatedLLM
 from repro.sqlengine import Database, Table
@@ -108,9 +109,9 @@ def main() -> None:
         install_agent_policy(SimulatedLLM("gpt-4o", world, ledger, seed=1))
     )
 
-    verifier = MultiStageVerifier(ledger)
     schedule = [ScheduleEntry(cheap, tries=2), ScheduleEntry(strong, tries=1)]
-    run = verifier.verify_documents([document], schedule)
+    run = verify(document, schedule=schedule,
+                 config=VerifierConfig(ledger=ledger))
 
     print("=== Verification results ===")
     for claim in document.claims:

@@ -19,42 +19,66 @@ The package mirrors the paper's architecture (see README.md):
 
 The most common entry points are re-exported here::
 
-    from repro import Claim, Document, Database, Table, MultiStageVerifier
+    from repro import Claim, Document, Database, Table, verify, VerifierConfig
+
+and one call verifies a batch of documents::
+
+    run = repro.verify(documents, schedule=schedule,
+                       config=repro.VerifierConfig(workers=4))
 """
 
 from repro.core import (
     AgentMethod,
     Claim,
+    ClaimReport,
     Document,
     MultiStageVerifier,
     OneShotMethod,
+    ParallelVerifier,
     ScheduleEntry,
     Span,
+    VerificationRun,
+    VerifierConfig,
     optimal_schedule,
     profile_methods,
+    verify,
 )
-from repro.llm import CostLedger, LLMClient, OpenAIChatClient, SimulatedLLM
+from repro.llm import (
+    CostLedger,
+    LLMCache,
+    LLMClient,
+    OpenAIChatClient,
+    RetryPolicy,
+    SimulatedLLM,
+)
 from repro.sqlengine import Database, Engine, Table, load_csv
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgentMethod",
     "Claim",
+    "ClaimReport",
     "CostLedger",
     "Database",
     "Document",
     "Engine",
+    "LLMCache",
     "LLMClient",
     "MultiStageVerifier",
     "OneShotMethod",
     "OpenAIChatClient",
+    "ParallelVerifier",
+    "RetryPolicy",
     "ScheduleEntry",
     "SimulatedLLM",
     "Span",
     "Table",
+    "VerificationRun",
+    "VerifierConfig",
     "__version__",
     "load_csv",
     "optimal_schedule",
     "profile_methods",
+    "verify",
 ]

@@ -23,6 +23,7 @@ from .cost_model import (
     schedule_cost,
     schedule_failure_probability,
 )
+from .executor import ParallelVerifier, verify
 from .masking import MASK_TOKEN, MaskedClaim, mask_claim, mask_sentence
 from .methods import Sample, TranslationResult, VerificationMethod
 from .oneshot import ONE_SHOT_TEMPLATE, OneShotMethod, one_shot_prompt
@@ -31,6 +32,7 @@ from .pipeline import (
     MultiStageVerifier,
     ScheduleEntry,
     VerificationRun,
+    VerifierConfig,
 )
 from .plausibility import (
     CORRECTNESS_SIMILARITY,
@@ -66,6 +68,7 @@ __all__ = [
     "ONE_SHOT_TEMPLATE",
     "OneShotMethod",
     "PLAUSIBILITY_SIMILARITY",
+    "ParallelVerifier",
     "PlannedSchedule",
     "PlannedStage",
     "QueryAssessment",
@@ -76,6 +79,7 @@ __all__ = [
     "TranslationResult",
     "VerificationMethod",
     "VerificationRun",
+    "VerifierConfig",
     "assess_query",
     "describe_schedule",
     "distinct_methods_used",
@@ -103,4 +107,5 @@ __all__ = [
     "select_schedule",
     "validate_claim",
     "value_precision",
+    "verify",
 ]

@@ -1,0 +1,162 @@
+"""Concurrent verification executor.
+
+``MultiStageVerifier`` runs Algorithm 1 strictly sequentially. Per-claim
+work is embarrassingly parallel across documents (each document carries
+its own database, sample, and remaining-claims set), and within a
+document every claim is independent once Algorithm 2's first-sample
+harvest point has passed — the paper's cost model (Theorems 6.1-6.2)
+already treats every try as an independent trial. ``ParallelVerifier``
+exploits exactly those two axes:
+
+* **documents** fan out over a worker pool;
+* **post-harvest claims** of each document fan out over a second pool
+  (two pools so a document task waiting on its claim tasks can never
+  deadlock the workers the claim tasks need).
+
+Correctness contract: with a fixed seed and caching disabled, a parallel
+run produces the *identical* per-claim verdicts and the identical ledger
+entries as a sequential run. Three mechanisms make that hold:
+
+1. the simulated model seeds retry draws per claim, not per client, so a
+   claim's outcome does not depend on the interleaving of other claims;
+2. each worker records into a private sub-ledger
+   (:meth:`~repro.llm.ledger.CostLedger.capture`) that is merged back in
+   submission order once the worker joins;
+3. the harvest pass itself stays sequential — its early return is
+   order-defined.
+
+The module also hosts :func:`verify`, the package's front door.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.llm.ledger import LedgerDelta
+from repro.sqlengine import Database
+
+from .claims import Claim, Document
+from .methods import Sample, VerificationMethod
+from .pipeline import (
+    ClaimReport,
+    MultiStageVerifier,
+    ScheduleEntry,
+    VerificationRun,
+    VerifierConfig,
+)
+
+
+class ParallelVerifier(MultiStageVerifier):
+    """Algorithm 1 over a thread pool; sequential when ``workers == 1``."""
+
+    def _execute(
+        self,
+        documents: list[Document],
+        schedule: list[ScheduleEntry],
+        run: VerificationRun,
+    ) -> None:
+        if self.config.workers <= 1 or not documents:
+            super()._execute(documents, schedule, run)
+            return
+        workers = self.config.workers
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cedar-doc"
+        ) as documents_pool, ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cedar-claim"
+        ) as claims_pool:
+            self._claims_pool: ThreadPoolExecutor | None = claims_pool
+            try:
+                futures: list[Future] = [
+                    documents_pool.submit(self._document_task, doc, schedule)
+                    for doc in documents
+                ]
+                # Merge in submission order: the ledger ends up with the
+                # same entry sequence a sequential run would have written.
+                for future in futures:
+                    reports, delta = future.result()
+                    run.reports.update(reports)
+                    self.ledger.absorb(delta)
+            finally:
+                self._claims_pool = None
+
+    def _document_task(
+        self, document: Document, schedule: list[ScheduleEntry]
+    ) -> tuple[dict[str, ClaimReport], LedgerDelta]:
+        """Verify one document into private report/ledger state."""
+        local = VerificationRun([document])
+        with self.ledger.capture() as delta, \
+                self.ledger.tagged(f"doc:{document.doc_id}"):
+            self._verify_document(document, schedule, local)
+        return local.reports, delta
+
+    def _run_batch_independent(
+        self,
+        method: VerificationMethod,
+        claims: list[Claim],
+        sample: Sample | None,
+        database: Database,
+        run: VerificationRun,
+    ) -> list[Claim]:
+        pool = getattr(self, "_claims_pool", None)
+        if pool is None or len(claims) <= 1:
+            return super()._run_batch_independent(
+                method, claims, sample, database, run
+            )
+        # Snapshot the document worker's tags (doc:…) so claim tasks on
+        # pool threads attribute their calls identically to inline runs.
+        tags = self.ledger.current_tags()
+
+        def attempt(claim: Claim) -> tuple[bool, LedgerDelta]:
+            with self.ledger.capture() as delta, self.ledger.scoped(tags):
+                verified = self._attempt_claim(
+                    method, claim, sample, database,
+                    run.reports[claim.claim_id],
+                )
+            return verified, delta
+
+        results = list(pool.map(attempt, claims))
+        verified_claims: list[Claim] = []
+        for claim, (verified, delta) in zip(claims, results):
+            # Absorbed on the document thread in claim order, into the
+            # document's own capture buffer.
+            self.ledger.absorb(delta)
+            if verified:
+                verified_claims.append(claim)
+        return verified_claims
+
+
+def verify(
+    documents: list[Document] | Document,
+    database: Database | None = None,
+    *,
+    schedule: list[ScheduleEntry],
+    config: VerifierConfig | None = None,
+) -> VerificationRun:
+    """Verify documents against their data: the package's front door.
+
+    Accepts one document or a list. ``database`` is optional — documents
+    normally carry their own :class:`~repro.sqlengine.Database`; passing
+    one here overrides it for every document (the common case when many
+    articles reference a single dataset). The ``config`` selects the
+    execution strategy: ``workers=1`` (default) runs the classic
+    sequential Algorithm 1, ``workers>1`` fans out over threads, and the
+    cache/retry settings apply to either.
+
+    Returns the :class:`VerificationRun`; the verifier (with its ledger
+    and cache stats) is attached as ``run.verifier`` for inspection::
+
+        run = repro.verify(docs, schedule=schedule,
+                           config=VerifierConfig(workers=4, cache_size=512))
+        print(run.verifier.ledger.total_cost)
+    """
+    if isinstance(documents, Document):
+        documents = [documents]
+    documents = list(documents)
+    if database is not None:
+        for document in documents:
+            document.data = database
+    config = config if config is not None else VerifierConfig()
+    verifier = ParallelVerifier(config)
+    run = verifier.verify_documents(documents, schedule)
+    run.verifier = verifier
+    return run

@@ -8,13 +8,24 @@ verify receive the paper's fallback verdict: *correct* if no method ever
 produced an executable query (the claim is deemed unverifiable from the
 data), *incorrect* if executable queries existed but none matched the
 claimed value.
+
+Verifier behaviour is configured through :class:`VerifierConfig`, which
+both :class:`MultiStageVerifier` (sequential) and
+:class:`~repro.core.executor.ParallelVerifier` (concurrent) consume; the
+old ``MultiStageVerifier(ledger=..., use_samples=...)`` signature keeps
+working through a deprecation shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+import warnings
+from dataclasses import dataclass, field, replace
 
+from repro.llm.base import LLMClient
+from repro.llm.cache import CachingLLMClient, LLMCache
 from repro.llm.ledger import CostLedger
+from repro.llm.resilience import ResilientLLMClient, RetryPolicy
 from repro.sqlengine import Database
 
 from .claims import Claim, Document
@@ -23,9 +34,48 @@ from .methods import Sample, VerificationMethod
 from .plausibility import assess_query, validate_claim
 
 
+@dataclass
+class VerifierConfig:
+    """Everything a verifier needs to know besides the schedule.
+
+    One config object serves both executors: ``MultiStageVerifier``
+    ignores ``workers`` (it is the ``workers=1`` special case), while
+    ``ParallelVerifier`` fans documents and post-harvest claims out over
+    a thread pool of that size. ``cache_size > 0`` memoises temperature-0
+    completions (retries at temperature > 0 always bypass the cache —
+    Assumption 1 needs them to be independent draws), and ``retry`` wraps
+    every model call in transient-failure retry with backoff.
+    """
+
+    workers: int = 1
+    use_samples: bool = True
+    cache_size: int = 0                    # 0 disables response caching
+    retry: RetryPolicy | None = None       # None disables retry/backoff
+    ledger: CostLedger | None = None       # None means a fresh ledger
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+
+    def make_ledger(self) -> CostLedger:
+        return self.ledger if self.ledger is not None else CostLedger()
+
+    def make_cache(self) -> LLMCache | None:
+        return LLMCache(self.cache_size) if self.cache_size > 0 else None
+
+
 @dataclass(frozen=True)
 class ScheduleEntry:
-    """One stage of a verification schedule: a method and its try budget."""
+    """One stage of a verification schedule: a method and its try budget.
+
+    ``tries=0`` is an explicit *skip*: the stage is part of the schedule
+    shape but consumes no budget and issues no calls. The DP scheduler
+    never emits zero-try stages (they are stripped from every planned
+    schedule); the value exists so ablations can toggle a stage off
+    without renumbering the schedule. Negative budgets are rejected.
+    """
 
     method: VerificationMethod
     tries: int = 1
@@ -65,23 +115,27 @@ class MultiStageVerifier:
 
     def __init__(
         self,
+        config: VerifierConfig | CostLedger | None = None,
+        use_samples: bool | None = None,
+        *,
         ledger: CostLedger | None = None,
-        use_samples: bool = True,
     ) -> None:
-        # Explicit None check: an empty ledger is falsy (it has __len__).
-        self.ledger = ledger if ledger is not None else CostLedger()
+        config = _coerce_config(config, use_samples, ledger)
+        self.config = config
+        self.ledger = config.make_ledger()
         #: When False, the few-shot sample harvesting of Algorithm 1 is
         #: disabled (ablation A2 in DESIGN.md).
-        self.use_samples = use_samples
+        self.use_samples = config.use_samples
+        #: Shared across runs of this verifier so repeat verification of
+        #: the same documents hits warm entries. None when disabled.
+        self.cache = config.make_cache()
 
     def verify_documents(
         self, documents: list[Document], schedule: list[ScheduleEntry]
     ) -> VerificationRun:
         """Verify every claim of every document (Algorithm 1)."""
         run = VerificationRun(documents)
-        for document in documents:
-            with self.ledger.tagged(f"doc:{document.doc_id}"):
-                self._verify_document(document, schedule, run)
+        self._execute(documents, self._instrument(schedule), run)
         return run
 
     def verify_document(
@@ -89,6 +143,41 @@ class MultiStageVerifier:
     ) -> VerificationRun:
         """Convenience wrapper for a single document."""
         return self.verify_documents([document], schedule)
+
+    # -- execution strategy (overridden by ParallelVerifier) ----------------
+
+    def _execute(
+        self,
+        documents: list[Document],
+        schedule: list[ScheduleEntry],
+        run: VerificationRun,
+    ) -> None:
+        for document in documents:
+            with self.ledger.tagged(f"doc:{document.doc_id}"):
+                self._verify_document(document, schedule, run)
+
+    def _instrument(
+        self, schedule: list[ScheduleEntry]
+    ) -> list[ScheduleEntry]:
+        """Stack the configured cache/retry wrappers onto every method.
+
+        Methods are shallow-copied so the caller's objects keep their
+        bare clients; all copies share one cache (and the verifier's
+        ledger, through the wrapped clients).
+        """
+        if self.cache is None and self.config.retry is None:
+            return schedule
+        instrumented = []
+        for entry in schedule:
+            client: LLMClient = entry.method.client
+            if self.config.retry is not None:
+                client = ResilientLLMClient(client, self.config.retry)
+            if self.cache is not None:
+                client = CachingLLMClient(client, self.cache)
+            method = copy.copy(entry.method)
+            method.client = client
+            instrumented.append(ScheduleEntry(method, entry.tries))
+        return instrumented
 
     # -- Algorithm 1 ---------------------------------------------------------
 
@@ -149,43 +238,80 @@ class MultiStageVerifier:
         caller will not re-invoke with a sample and the remaining claims
         must be processed in this pass.
         """
+        if sample is None and harvest_sample:
+            # The harvest pass is inherently sequential: the scan stops at
+            # the first verified claim, which becomes the sample.
+            for claim in claims:
+                if self._attempt_claim(
+                    method, claim, None, database,
+                    run.reports[claim.claim_id],
+                ):
+                    return [claim]
+            return []
+        # Past the harvest point (or with harvesting disabled) the
+        # remaining claims are independent of one another — the hook the
+        # parallel executor overrides to fan them out.
+        return self._run_batch_independent(
+            method, claims, sample, database, run
+        )
+
+    def _run_batch_independent(
+        self,
+        method: VerificationMethod,
+        claims: list[Claim],
+        sample: Sample | None,
+        database: Database,
+        run: VerificationRun,
+    ) -> list[Claim]:
+        """Apply one method to claims that share no state (sequentially)."""
         verified: list[Claim] = []
         for claim in claims:
-            report = run.reports[claim.claim_id]
-            masked = mask_claim(claim)
-            value_type = "numeric" if claim.is_numeric else ""
-            # Temperature 0 for the first invocation of *this* method on
-            # this claim, the method's retry temperature afterwards
-            # (Section 7.1: 0.25 one-shot retries, 0.5 agent retries).
-            prior_tries = report.method_attempts.get(method.name, 0)
-            temperature = 0.0 if prior_tries == 0 else method.retry_temperature
-            with self.ledger.tagged(f"method:{method.name}"), \
-                    self.ledger.tagged(f"claim:{claim.claim_id}"):
-                translation = method.translate(
-                    masked,
-                    value_type,
-                    claim.value,
-                    claim.value_text,
-                    database,
-                    sample,
-                    temperature,
-                )
-            report.attempts += 1
-            report.method_attempts[method.name] = prior_tries + 1
-            assessment = assess_query(translation.query, claim, database)
-            if assessment.executable:
-                report.saw_executable = True
-                report.last_executable_query = translation.query
-            if not assessment.plausible:
-                continue
-            claim.query = translation.query
-            claim.correct = validate_claim(translation.query, claim, database)
-            report.plausible = True
-            report.verified_by = method.name
-            if sample is None and harvest_sample:
-                return [claim]
-            verified.append(claim)
+            if self._attempt_claim(
+                method, claim, sample, database, run.reports[claim.claim_id]
+            ):
+                verified.append(claim)
         return verified
+
+    def _attempt_claim(
+        self,
+        method: VerificationMethod,
+        claim: Claim,
+        sample: Sample | None,
+        database: Database,
+        report: ClaimReport,
+    ) -> bool:
+        """One translation attempt for one claim; True when verified."""
+        masked = mask_claim(claim)
+        value_type = "numeric" if claim.is_numeric else ""
+        # Temperature 0 for the first invocation of *this* method on
+        # this claim, the method's retry temperature afterwards
+        # (Section 7.1: 0.25 one-shot retries, 0.5 agent retries).
+        prior_tries = report.method_attempts.get(method.name, 0)
+        temperature = 0.0 if prior_tries == 0 else method.retry_temperature
+        with self.ledger.tagged(f"method:{method.name}"), \
+                self.ledger.tagged(f"claim:{claim.claim_id}"):
+            translation = method.translate(
+                masked,
+                value_type,
+                claim.value,
+                claim.value_text,
+                database,
+                sample,
+                temperature,
+            )
+        report.attempts += 1
+        report.method_attempts[method.name] = prior_tries + 1
+        assessment = assess_query(translation.query, claim, database)
+        if assessment.executable:
+            report.saw_executable = True
+            report.last_executable_query = translation.query
+        if not assessment.plausible:
+            return False
+        claim.query = translation.query
+        claim.correct = validate_claim(translation.query, claim, database)
+        report.plausible = True
+        report.verified_by = method.name
+        return True
 
     def _apply_fallback(self, claim: Claim, report: ClaimReport) -> None:
         """Verdict for claims no method verified (end of Section 4)."""
@@ -196,6 +322,41 @@ class MultiStageVerifier:
         else:
             claim.correct = True
             claim.query = None
+
+
+def _coerce_config(
+    config: VerifierConfig | CostLedger | None,
+    use_samples: bool | None,
+    ledger: CostLedger | None,
+) -> VerifierConfig:
+    """Map the legacy ``(ledger, use_samples)`` signature onto a config.
+
+    Passing a :class:`CostLedger` positionally, or the ``ledger=`` /
+    ``use_samples=`` keywords, is deprecated in favour of
+    ``MultiStageVerifier(config=VerifierConfig(...))``.
+    """
+    if isinstance(config, CostLedger):
+        if ledger is not None:
+            raise TypeError("pass the ledger positionally or by keyword, "
+                            "not both")
+        ledger = config
+        config = None
+    if ledger is not None or use_samples is not None:
+        warnings.warn(
+            "MultiStageVerifier(ledger=..., use_samples=...) is deprecated; "
+            "pass MultiStageVerifier(config=VerifierConfig(ledger=..., "
+            "use_samples=...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        base = config if config is not None else VerifierConfig()
+        overrides: dict = {}
+        if ledger is not None:
+            overrides["ledger"] = ledger
+        if use_samples is not None:
+            overrides["use_samples"] = use_samples
+        return replace(base, **overrides)
+    return config if config is not None else VerifierConfig()
 
 
 def _make_sample(claim: Claim) -> Sample:

@@ -165,6 +165,12 @@ def select_schedule(
 def _score(
     schedule: PlannedSchedule, profiles: dict[str, MethodProfile]
 ) -> ScoredSchedule:
+    # Canonicalise before scoring: a zero-try stage contributes nothing
+    # to cost or accuracy, so stripping it changes neither metric — but it
+    # guarantees no schedule the DP emits (frontier or final) carries a
+    # silent no-op stage. ScheduleEntry documents tries=0 as an explicit
+    # skip; the planner simply never produces one.
+    schedule = _strip_zero_stages(schedule)
     return ScoredSchedule(
         schedule=schedule,
         cost=schedule_cost(schedule, profiles),

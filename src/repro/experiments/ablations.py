@@ -20,6 +20,7 @@ from repro.core import (
     AgentMethod,
     MultiStageVerifier,
     ScheduleEntry,
+    VerifierConfig,
     assess_query,
     one_shot_prompt,
     optimal_schedule,
@@ -106,9 +107,9 @@ def ablate_samples(fast: bool = True, seed: int = 0) -> list[AblationOutcome]:
     for use_samples, label in ((True, "with samples"),
                                (False, "without samples")):
         system = build_cedar(bundle, seed=seed)
-        system.verifier = MultiStageVerifier(
-            system.ledger, use_samples=use_samples
-        )
+        system.verifier = MultiStageVerifier(config=VerifierConfig(
+            ledger=system.ledger, use_samples=use_samples
+        ))
         profiles = profile_system(system, bundle.documents[:3])
         planned = optimal_schedule(profiles, 0.99)
         entries = system.entries_for(planned)
@@ -146,7 +147,7 @@ def ablate_reconstruction(
         )
         method = AgentMethod(client,
                              reconstruct_queries=reconstruct_queries)
-        verifier = MultiStageVerifier(ledger)
+        verifier = MultiStageVerifier(config=VerifierConfig(ledger=ledger))
         reset_claims(bundle.documents)
         verifier.verify_documents(bundle.documents,
                                   [ScheduleEntry(method, 1)])

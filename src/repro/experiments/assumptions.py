@@ -27,7 +27,7 @@ from repro.core import (
     schedule_accuracy,
     schedule_cost,
 )
-from repro.core import MultiStageVerifier
+from repro.core import MultiStageVerifier, VerifierConfig
 from repro.datasets import build_aggchecker
 
 from .common import build_cedar, format_table, profile_system, reset_claims
@@ -89,7 +89,9 @@ def run_assumptions(fast: bool = False, seed: int = 0) -> AssumptionsResult:
         # Same success definition as profiling (a plausible query whose
         # verdict matches the label), and no few-shot samples — profiling
         # measures sample-free tries, so the comparison must too.
-        verifier = MultiStageVerifier(system.ledger, use_samples=False)
+        verifier = MultiStageVerifier(config=VerifierConfig(
+            ledger=system.ledger, use_samples=False
+        ))
         run = verifier.verify_documents(bundle.documents, entries)
         claims = bundle.claims
         verified = sum(

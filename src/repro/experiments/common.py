@@ -8,7 +8,7 @@ schedule, runs verification, and scores the result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.agents import install_agent_policy
 from repro.core import (
@@ -16,10 +16,12 @@ from repro.core import (
     MethodProfile,
     MultiStageVerifier,
     OneShotMethod,
+    ParallelVerifier,
     PlannedSchedule,
     ScheduleEntry,
     VerificationMethod,
     VerificationRun,
+    VerifierConfig,
     describe_schedule,
     optimal_schedule,
     profile_methods,
@@ -76,13 +78,20 @@ class CedarRunResult:
     run: VerificationRun | None = None
 
 
-def build_cedar(bundle: DatasetBundle, seed: int = 0) -> CedarSystem:
+def build_cedar(
+    bundle: DatasetBundle,
+    seed: int = 0,
+    config: VerifierConfig | None = None,
+) -> CedarSystem:
     """Wire the paper's four verification approaches over a bundle.
 
     Section 7.1: one-shot with GPT-3.5 and GPT-4o, agents with GPT-4o and
-    GPT-4 ("GPT-4.0", i.e. GPT-4-turbo).
+    GPT-4 ("GPT-4.0", i.e. GPT-4-turbo). A ``config`` selects the
+    executor: the default (``workers=1``) reproduces the paper's
+    sequential runs; ``workers>1`` fans documents out over threads.
     """
-    ledger = CostLedger()
+    base = config if config is not None else VerifierConfig()
+    ledger = base.ledger if base.ledger is not None else CostLedger()
     world = bundle.world
     oneshot_35 = OneShotMethod(
         SimulatedLLM("gpt-3.5-turbo", world, ledger, seed=seed)
@@ -99,7 +108,8 @@ def build_cedar(bundle: DatasetBundle, seed: int = 0) -> CedarSystem:
                                           seed=seed + 3))
     )
     methods = [oneshot_35, oneshot_4o, agent_4o, agent_4t]
-    return CedarSystem(ledger, methods, MultiStageVerifier(ledger))
+    verifier = ParallelVerifier(config=replace(base, ledger=ledger))
+    return CedarSystem(ledger, methods, verifier)
 
 
 def reset_claims(documents: list[Document]) -> None:
@@ -126,14 +136,16 @@ def run_cedar(
     profiles: dict[str, MethodProfile] | None = None,
     planned: PlannedSchedule | None = None,
     documents: list[Document] | None = None,
+    config: VerifierConfig | None = None,
 ) -> CedarRunResult:
     """Full CEDAR run: profile -> schedule -> verify -> score.
 
     ``profiles`` and ``planned`` can be injected (e.g. by the Figure 7
     cross-domain study); otherwise profiling runs on the bundle's leading
-    documents and Algorithm 10 derives the schedule.
+    documents and Algorithm 10 derives the schedule. ``config`` tunes the
+    executor (worker count, response cache, retry policy).
     """
-    system = build_cedar(bundle, seed=seed)
+    system = build_cedar(bundle, seed=seed, config=config)
     target_documents = documents if documents is not None else bundle.documents
     if profiles is None:
         sample = bundle.documents[:profile_docs]

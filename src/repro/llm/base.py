@@ -80,6 +80,44 @@ class LLMClient(ABC):
         """Produce the raw completion text for a prompt."""
 
 
+class DelegatingLLMClient(LLMClient):
+    """Base class for clients that wrap another client.
+
+    The cache and resilience layers stack on top of any concrete client
+    (simulated or hosted) without re-billing: they override
+    :meth:`complete` and forward to the inner client, whose own
+    ``complete`` performs the single ledger recording. Unknown attributes
+    (``seed``, ``world``, ``agent_policy``, ``calls``…) resolve against
+    the innermost client so wrapped clients stay drop-in.
+    """
+
+    def __init__(self, inner: LLMClient) -> None:
+        # Deliberately skip LLMClient.__init__: spec and ledger are shared
+        # with (not duplicated from) the wrapped client.
+        self.inner = inner
+        self.spec = inner.spec
+        self.ledger = inner.ledger
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> ChatResponse:
+        return self.inner.complete(prompt, temperature)
+
+    def _generate(self, prompt: str, temperature: float) -> str:
+        return self.inner._generate(prompt, temperature)
+
+    def unwrap(self) -> LLMClient:
+        """The innermost concrete client under any stack of wrappers."""
+        client: LLMClient = self.inner
+        while isinstance(client, DelegatingLLMClient):
+            client = client.inner
+        return client
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes not set on the wrapper itself.
+        if name == "inner":  # guard against recursion before __init__ ran
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
 class ScriptedLLM(LLMClient):
     """A client replaying canned responses, for tests.
 

@@ -1,0 +1,153 @@
+"""Thread-safe LLM response cache with LRU eviction.
+
+Identical temperature-0 calls are deterministic — for the offline
+simulation by construction (the RNG seed is a pure function of model,
+claim, and prompt) and for hosted APIs by convention — so re-issuing them
+buys nothing but latency and spend. The cache memoises those calls keyed
+on ``(model, prompt, temperature, seed)``.
+
+Calls at temperature > 0 **bypass** the cache entirely. The paper's cost
+model rests on Assumption 1: retries of a method are *independent* trials.
+Serving a cached completion for a retry would collapse those trials into
+one draw, silently breaking Theorems 6.1-6.2 (and the repro's simulated
+retries, which must advance the per-claim RNG). Bypasses are counted so
+the stats stay honest about how much traffic was cacheable at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .base import ChatResponse, DelegatingLLMClient, LLMClient
+
+#: Default number of responses an :class:`LLMCache` retains.
+DEFAULT_CACHE_SIZE = 1024
+
+#: Cache key: (model, prompt, temperature, client seed or None).
+CacheKey = tuple[str, str, float, object]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing one cache's traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over cacheable lookups (bypasses excluded)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LLMCache:
+    """An LRU map from prompts to :class:`ChatResponse` objects.
+
+    Safe for concurrent use: one lock guards the map and the counters.
+    Intended to be shared — across the methods of one verifier, and
+    across repeated runs over the same documents (where the hit rate is
+    highest).
+    """
+
+    def __init__(self, max_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = max_size
+        self._store: OrderedDict[CacheKey, ChatResponse] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._bypasses = 0
+        self._evictions = 0
+
+    def get(self, key: CacheKey) -> ChatResponse | None:
+        """Look up a response, refreshing its recency on a hit."""
+        with self._lock:
+            response = self._store.get(key)
+            if response is None:
+                self._misses += 1
+                return None
+            self._store.move_to_end(key)
+            self._hits += 1
+            return response
+
+    def put(self, key: CacheKey, response: ChatResponse) -> None:
+        """Insert a response, evicting the least recently used on overflow."""
+        with self._lock:
+            self._store[key] = response
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_size:
+                self._store.popitem(last=False)
+                self._evictions += 1
+
+    def note_bypass(self) -> None:
+        """Count a call that skipped the cache (temperature > 0)."""
+        with self._lock:
+            self._bypasses += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                bypasses=self._bypasses,
+                evictions=self._evictions,
+                size=len(self._store),
+                max_size=self.max_size,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+
+class CachingLLMClient(DelegatingLLMClient):
+    """Wrap a client so temperature-0 completions are served from a cache.
+
+    A hit returns the stored response without touching the inner client —
+    and therefore without recording a ledger entry: the whole point is
+    that no tokens were spent. Calls at temperature > 0 pass straight
+    through (see the module docstring for why).
+    """
+
+    def __init__(self, inner: LLMClient, cache: LLMCache) -> None:
+        super().__init__(inner)
+        self.cache = cache
+
+    def complete(self, prompt: str, temperature: float = 0.0) -> ChatResponse:
+        if temperature > 0.0:
+            self.cache.note_bypass()
+            return self.inner.complete(prompt, temperature)
+        key = self._key(prompt, temperature)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        response = self.inner.complete(prompt, temperature)
+        self.cache.put(key, response)
+        return response
+
+    def _key(self, prompt: str, temperature: float) -> CacheKey:
+        # The simulated client's seed is part of its identity: two clients
+        # with different seeds answer the same prompt differently. Hosted
+        # clients have no seed; None keeps them in one namespace.
+        return (
+            self.model_name,
+            prompt,
+            temperature,
+            getattr(self.inner, "seed", None),
+        )

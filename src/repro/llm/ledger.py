@@ -5,12 +5,22 @@ All LLM calls record an entry here. The ledger supports nested *tags*
 experiment harness can attribute spending to individual claims and methods
 — which is what the profiling stage (Section 6) and the cost columns of the
 evaluation (Section 7) consume.
+
+The ledger is safe to share across worker threads: the tag stack is
+thread-local (each worker attributes its own calls), appends to the shared
+entry list take a lock, and :meth:`capture`/:meth:`absorb` let an executor
+route a worker's entries into a private sub-ledger that is merged back in
+a deterministic order once the worker joins — so a parallel run produces
+the same entry sequence (and therefore the same totals) as a sequential
+one.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 
 @dataclass(frozen=True)
@@ -27,6 +37,23 @@ class LedgerEntry:
     @property
     def total_tokens(self) -> int:
         return self.prompt_tokens + self.completion_tokens
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retry decision taken by the resilience layer.
+
+    Recorded *in addition to* the failed call's normal entry (if the
+    failure happened after billing) so operators can audit how much of a
+    run's latency went to backoff and which models were flaky.
+    """
+
+    model: str
+    attempt: int            # 1-based attempt that just failed
+    delay_seconds: float    # backoff applied before the next attempt
+    error: str              # repr of the classified failure
+    gave_up: bool = False   # True when the policy exhausted its attempts
+    tags: tuple[str, ...] = ()
 
 
 @dataclass
@@ -51,12 +78,36 @@ class LedgerTotals:
         return self.prompt_tokens + self.completion_tokens
 
 
+@dataclass
+class LedgerDelta:
+    """A worker's private slice of ledger activity (see ``capture``)."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+    events: list[RetryEvent] = field(default_factory=list)
+
+
 class CostLedger:
     """Append-only record of LLM spending with tag attribution."""
 
     def __init__(self) -> None:
         self.entries: list[LedgerEntry] = []
-        self._tag_stack: list[str] = []
+        self.events: list[RetryEvent] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- thread-local state --------------------------------------------------
+
+    @property
+    def _tag_stack(self) -> list[str]:
+        stack = getattr(self._local, "tags", None)
+        if stack is None:
+            stack = []
+            self._local.tags = stack
+        return stack
+
+    @property
+    def _sink(self) -> LedgerDelta | None:
+        return getattr(self._local, "sink", None)
 
     def record(
         self,
@@ -67,25 +118,103 @@ class CostLedger:
         latency_seconds: float,
     ) -> None:
         """Record one call under the currently active tags."""
-        self.entries.append(
-            LedgerEntry(
-                model=model,
-                prompt_tokens=prompt_tokens,
-                completion_tokens=completion_tokens,
-                cost=cost,
-                latency_seconds=latency_seconds,
-                tags=tuple(self._tag_stack),
-            )
+        entry = LedgerEntry(
+            model=model,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            cost=cost,
+            latency_seconds=latency_seconds,
+            tags=tuple(self._tag_stack),
         )
+        sink = self._sink
+        if sink is not None:
+            sink.entries.append(entry)
+        else:
+            with self._lock:
+                self.entries.append(entry)
+
+    def record_retry(
+        self,
+        model: str,
+        attempt: int,
+        delay_seconds: float,
+        error: str,
+        gave_up: bool = False,
+    ) -> None:
+        """Record one retry/backoff decision under the active tags."""
+        event = RetryEvent(
+            model=model,
+            attempt=attempt,
+            delay_seconds=delay_seconds,
+            error=error,
+            gave_up=gave_up,
+            tags=tuple(self._tag_stack),
+        )
+        sink = self._sink
+        if sink is not None:
+            sink.events.append(event)
+        else:
+            with self._lock:
+                self.events.append(event)
 
     @contextmanager
     def tagged(self, tag: str):
         """Attribute all calls inside the block to ``tag`` (nestable)."""
-        self._tag_stack.append(tag)
+        stack = self._tag_stack
+        stack.append(tag)
         try:
             yield self
         finally:
-            self._tag_stack.pop()
+            stack.pop()
+
+    def current_tags(self) -> tuple[str, ...]:
+        """Snapshot of this thread's active tag stack."""
+        return tuple(self._tag_stack)
+
+    @contextmanager
+    def scoped(self, tags: Sequence[str]):
+        """Replay a tag snapshot on this thread (for handed-off work).
+
+        A claim task running on a pool thread has an empty tag stack; the
+        executor passes it the submitting thread's :meth:`current_tags` so
+        its entries are attributed exactly as they would have been inline.
+        """
+        stack = self._tag_stack
+        previous = list(stack)
+        stack[:] = list(tags)
+        try:
+            yield self
+        finally:
+            stack[:] = previous
+
+    @contextmanager
+    def capture(self) -> Iterator[LedgerDelta]:
+        """Buffer this thread's records into a private :class:`LedgerDelta`.
+
+        Nothing reaches the shared entry list until the caller hands the
+        delta to :meth:`absorb` — the per-worker sub-ledger half of the
+        merge-on-join protocol.
+        """
+        delta = LedgerDelta()
+        previous = self._sink
+        self._local.sink = delta
+        try:
+            yield delta
+        finally:
+            self._local.sink = previous
+
+    def absorb(self, delta: LedgerDelta) -> None:
+        """Merge a captured delta into this thread's sink or the ledger."""
+        sink = self._sink
+        if sink is not None:
+            sink.entries.extend(delta.entries)
+            sink.events.extend(delta.events)
+        else:
+            with self._lock:
+                self.entries.extend(delta.entries)
+                self.events.extend(delta.events)
+
+    # -- aggregation ---------------------------------------------------------
 
     def totals(self, tag: str | None = None) -> LedgerTotals:
         """Aggregate all entries, optionally restricted to one tag."""
@@ -125,6 +254,10 @@ class CostLedger:
     @property
     def total_latency_seconds(self) -> float:
         return sum(e.latency_seconds for e in self.entries)
+
+    @property
+    def retry_count(self) -> int:
+        return len(self.events)
 
     def __len__(self) -> int:
         return len(self.entries)

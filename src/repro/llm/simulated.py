@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -169,12 +170,14 @@ class SimulatedLLM(LLMClient):
         self.seed = seed
         self.behaviour = behaviour or BEHAVIOURS[model_name]
         self.agent_policy: AgentPolicy | None = None
-        self._call_counter = 0
+        # Per-claim attempt counters (see _rng). Guarded by a lock: one
+        # client may serve several worker threads concurrently.
+        self._claim_calls: dict[str, int] = {}
+        self._counter_lock = threading.Lock()
 
     # -- generation ---------------------------------------------------------
 
     def _generate(self, prompt: str, temperature: float) -> str:
-        self._call_counter += 1
         recognised = self.world.recognise(prompt)
         if recognised is None:
             return (
@@ -285,14 +288,22 @@ class SimulatedLLM(LLMClient):
         At temperature 0 the seed depends only on (model, claim, prompt), so
         identical calls reproduce identical output — re-trying at zero
         temperature is pointless, exactly as with a real API. At positive
-        temperatures the per-client call counter enters the seed, making
-        retries independent draws (paper Assumption 1).
+        temperatures a per-*claim* attempt counter enters the seed, making
+        retries independent draws (paper Assumption 1). The counter is
+        scoped to the claim, not the client, so a claim's draws do not
+        depend on how many calls other claims made first — verdicts are a
+        pure function of the seed regardless of document/claim
+        interleaving, which is what lets the parallel executor reproduce a
+        sequential run exactly.
         """
         parts = [str(self.seed), self.model_name, knowledge.claim_id]
         if temperature <= 0.0:
             parts += ["det", _digest(prompt)]
         else:
-            parts += [f"t{temperature}", str(self._call_counter)]
+            with self._counter_lock:
+                count = self._claim_calls.get(knowledge.claim_id, 0) + 1
+                self._claim_calls[knowledge.claim_id] = count
+            parts += [f"t{temperature}", str(count)]
         return random.Random(int(_digest("|".join(parts)), 16))
 
     def _render(

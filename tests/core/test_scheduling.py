@@ -79,6 +79,14 @@ class TestParetoSchedules:
         with pytest.raises(ValueError):
             pareto_schedules(PROFILES, max_tries=0)
 
+    def test_frontier_never_contains_zero_try_stages(self):
+        # Schedules are canonicalised before scoring: a zero-try stage is
+        # an explicit skip (ScheduleEntry documents it as such), and the
+        # DP must never emit one — not in the frontier, not in the final
+        # selection.
+        for scored in pareto_schedules(PROFILES, max_tries=2):
+            assert all(stage.tries > 0 for stage in scored.schedule)
+
     def test_exhaustive_comparison_small_instance(self):
         """The DP frontier must dominate every brute-force schedule."""
         profiles = {"cheap": CHEAP, "mid": MID}
