@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-parallel experiments
+.PHONY: test bench bench-parallel bench-service serve experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,14 @@ bench:
 # Sequential vs 4-worker executor on simulated per-token latency.
 bench-parallel:
 	$(PYTHON) -m repro.experiments parallel
+
+# Service throughput with vs without cross-request micro-batching.
+bench-service:
+	$(PYTHON) -m repro.experiments service
+
+# HTTP front end for the verification service (Ctrl-C drains and exits).
+serve:
+	$(PYTHON) -m repro.service
 
 experiments:
 	$(PYTHON) -m repro.experiments all --fast

@@ -1,0 +1,25 @@
+"""Verification service benchmark — throughput with vs without batching."""
+
+from repro.experiments.service_bench import (
+    format_service_bench,
+    run_service_bench,
+)
+
+
+def test_service(one_round):
+    result = one_round(run_service_bench)
+    print()
+    print(format_service_bench(result))
+    # The service's contract: every submitted job completes, jobs
+    # arriving together actually coalesce (mean batch size > 1), and the
+    # coalescing buys warm-cache throughput over the one-job-per-batch
+    # configuration.
+    assert result.all_completed
+    assert result.batching_observed
+    assert result.warm_speedup > 1.0
+
+
+if __name__ == "__main__":
+    from repro.experiments.service_bench import main
+
+    main()

@@ -31,6 +31,7 @@ from .pipeline import (
     ClaimReport,
     MultiStageVerifier,
     ScheduleEntry,
+    VerificationObserver,
     VerificationRun,
     VerifierConfig,
 )
@@ -43,7 +44,13 @@ from .plausibility import (
 )
 from .profiling import LABEL_KEY, profile_method, profile_methods
 from .reconstruction import reconstruct
-from .reports import claim_records, document_report, to_json, to_markdown
+from .reports import (
+    claim_record,
+    claim_records,
+    document_report,
+    to_json,
+    to_markdown,
+)
 from .scheduling import (
     DEFAULT_MAX_TRIES,
     ScoredSchedule,
@@ -78,6 +85,7 @@ __all__ = [
     "Span",
     "TranslationResult",
     "VerificationMethod",
+    "VerificationObserver",
     "VerificationRun",
     "VerifierConfig",
     "assess_query",
@@ -94,6 +102,7 @@ __all__ = [
     "profile_method",
     "profile_methods",
     "prune",
+    "claim_record",
     "claim_records",
     "document_report",
     "reconstruct",

@@ -41,6 +41,7 @@ from .pipeline import (
     ClaimReport,
     MultiStageVerifier,
     ScheduleEntry,
+    VerificationObserver,
     VerificationRun,
     VerifierConfig,
 )
@@ -131,6 +132,7 @@ def verify(
     *,
     schedule: list[ScheduleEntry],
     config: VerifierConfig | None = None,
+    observer: VerificationObserver | None = None,
 ) -> VerificationRun:
     """Verify documents against their data: the package's front door.
 
@@ -140,7 +142,11 @@ def verify(
     articles reference a single dataset). The ``config`` selects the
     execution strategy: ``workers=1`` (default) runs the classic
     sequential Algorithm 1, ``workers>1`` fans out over threads, and the
-    cache/retry settings apply to either.
+    cache/retry settings apply to either. An ``observer``
+    (:class:`~repro.core.pipeline.VerificationObserver`) receives
+    streaming progress callbacks — stage starts and per-claim verdicts —
+    as the run advances; ``repro.service`` uses this hook to stream
+    events to clients while a batch is still in flight.
 
     Returns the :class:`VerificationRun`; the verifier (with its ledger
     and cache stats) is attached as ``run.verifier`` for inspection::
@@ -157,6 +163,6 @@ def verify(
             document.data = database
     config = config if config is not None else VerifierConfig()
     verifier = ParallelVerifier(config)
-    run = verifier.verify_documents(documents, schedule)
+    run = verifier.verify_documents(documents, schedule, observer=observer)
     run.verifier = verifier
     return run

@@ -44,12 +44,16 @@ class VerifierConfig:
     a thread pool of that size. ``cache_size > 0`` memoises temperature-0
     completions (retries at temperature > 0 always bypass the cache —
     Assumption 1 needs them to be independent draws), and ``retry`` wraps
-    every model call in transient-failure retry with backoff.
+    every model call in transient-failure retry with backoff. A ``cache``
+    *instance* wins over ``cache_size`` — the service layer passes one
+    shared :class:`~repro.llm.cache.LLMCache` to every verifier it owns so
+    requests warm each other's entries.
     """
 
     workers: int = 1
     use_samples: bool = True
     cache_size: int = 0                    # 0 disables response caching
+    cache: LLMCache | None = None          # shared instance, wins over size
     retry: RetryPolicy | None = None       # None disables retry/backoff
     ledger: CostLedger | None = None       # None means a fresh ledger
 
@@ -63,6 +67,8 @@ class VerifierConfig:
         return self.ledger if self.ledger is not None else CostLedger()
 
     def make_cache(self) -> LLMCache | None:
+        if self.cache is not None:
+            return self.cache
         return LLMCache(self.cache_size) if self.cache_size > 0 else None
 
 
@@ -110,6 +116,33 @@ class VerificationRun:
         return self.reports[claim.claim_id]
 
 
+class VerificationObserver:
+    """Streaming hooks into a verification run (every method a no-op).
+
+    The service layer subclasses this to emit per-claim events the moment
+    they land, instead of waiting for ``verify_documents`` to return.
+    With a parallel executor the calls arrive from worker threads, so
+    implementations must be thread-safe. Observers see state but never
+    steer it — the one exception is :meth:`should_verify`, which lets a
+    caller skip a document whose job was cancelled before its turn.
+    Observer calls never influence verdicts, so the determinism contract
+    of :mod:`repro.core.executor` is unaffected.
+    """
+
+    def should_verify(self, document: Document) -> bool:
+        """Return False to skip a document (its claims stay unresolved)."""
+        return True
+
+    def document_started(self, document: Document) -> None:
+        """Called once per document, before its first schedule stage."""
+
+    def stage_started(self, document: Document, entry: ScheduleEntry) -> None:
+        """Called when a schedule stage begins work on a document."""
+
+    def claim_resolved(self, claim: Claim, report: ClaimReport) -> None:
+        """Called when a claim reaches its final verdict (incl. fallback)."""
+
+
 class MultiStageVerifier:
     """Executes Algorithm 1 over documents with a given schedule."""
 
@@ -120,7 +153,17 @@ class MultiStageVerifier:
         *,
         ledger: CostLedger | None = None,
     ) -> None:
-        config = _coerce_config(config, use_samples, ledger)
+        config, legacy = _coerce_config(config, use_samples, ledger)
+        if legacy:
+            # stacklevel=2 points the warning at the code constructing the
+            # verifier, not at this frame.
+            warnings.warn(
+                "MultiStageVerifier(ledger=..., use_samples=...) is "
+                "deprecated; pass MultiStageVerifier(config="
+                "VerifierConfig(ledger=..., use_samples=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config
         self.ledger = config.make_ledger()
         #: When False, the few-shot sample harvesting of Algorithm 1 is
@@ -129,13 +172,30 @@ class MultiStageVerifier:
         #: Shared across runs of this verifier so repeat verification of
         #: the same documents hits warm entries. None when disabled.
         self.cache = config.make_cache()
+        #: Streaming hooks (see :class:`VerificationObserver`). Usually
+        #: passed per run via ``verify_documents(..., observer=...)``.
+        self.observer: VerificationObserver | None = None
 
     def verify_documents(
-        self, documents: list[Document], schedule: list[ScheduleEntry]
+        self,
+        documents: list[Document],
+        schedule: list[ScheduleEntry],
+        observer: VerificationObserver | None = None,
     ) -> VerificationRun:
-        """Verify every claim of every document (Algorithm 1)."""
+        """Verify every claim of every document (Algorithm 1).
+
+        ``observer`` receives streaming progress callbacks for the
+        duration of this run (it replaces any observer set as an
+        attribute, which is restored afterwards).
+        """
         run = VerificationRun(documents)
-        self._execute(documents, self._instrument(schedule), run)
+        previous = self.observer
+        if observer is not None:
+            self.observer = observer
+        try:
+            self._execute(documents, self._instrument(schedule), run)
+        finally:
+            self.observer = previous
         return run
 
     def verify_document(
@@ -189,10 +249,17 @@ class MultiStageVerifier:
     ) -> None:
         for claim in document.claims:
             run.reports[claim.claim_id] = ClaimReport(claim.claim_id)
+        observer = self.observer
+        if observer is not None:
+            if not observer.should_verify(document):
+                return
+            observer.document_started(document)
         remaining = list(document.claims)
         for entry in schedule:
             if entry.tries == 0:
                 continue
+            if observer is not None:
+                observer.stage_started(document, entry)
             sample: Sample | None = None
             for _ in range(entry.tries):
                 if not remaining:
@@ -311,6 +378,8 @@ class MultiStageVerifier:
         claim.correct = validate_claim(translation.query, claim, database)
         report.plausible = True
         report.verified_by = method.name
+        if self.observer is not None:
+            self.observer.claim_resolved(claim, report)
         return True
 
     def _apply_fallback(self, claim: Claim, report: ClaimReport) -> None:
@@ -322,18 +391,23 @@ class MultiStageVerifier:
         else:
             claim.correct = True
             claim.query = None
+        if self.observer is not None:
+            self.observer.claim_resolved(claim, report)
 
 
 def _coerce_config(
     config: VerifierConfig | CostLedger | None,
     use_samples: bool | None,
     ledger: CostLedger | None,
-) -> VerifierConfig:
+) -> tuple[VerifierConfig, bool]:
     """Map the legacy ``(ledger, use_samples)`` signature onto a config.
 
     Passing a :class:`CostLedger` positionally, or the ``ledger=`` /
     ``use_samples=`` keywords, is deprecated in favour of
-    ``MultiStageVerifier(config=VerifierConfig(...))``.
+    ``MultiStageVerifier(config=VerifierConfig(...))``. Returns the
+    coerced config plus a flag telling the caller to emit the
+    :class:`DeprecationWarning` (from ``__init__``, so ``stacklevel=2``
+    lands on the caller's code).
     """
     if isinstance(config, CostLedger):
         if ledger is not None:
@@ -342,21 +416,14 @@ def _coerce_config(
         ledger = config
         config = None
     if ledger is not None or use_samples is not None:
-        warnings.warn(
-            "MultiStageVerifier(ledger=..., use_samples=...) is deprecated; "
-            "pass MultiStageVerifier(config=VerifierConfig(ledger=..., "
-            "use_samples=...)) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
         base = config if config is not None else VerifierConfig()
         overrides: dict = {}
         if ledger is not None:
             overrides["ledger"] = ledger
         if use_samples is not None:
             overrides["use_samples"] = use_samples
-        return replace(base, **overrides)
-    return config if config is not None else VerifierConfig()
+        return replace(base, **overrides), True
+    return (config if config is not None else VerifierConfig()), False
 
 
 def _make_sample(claim: Claim) -> Sample:

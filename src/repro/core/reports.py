@@ -3,43 +3,60 @@
 The demo paper's user-facing output is an annotated document: each claim
 marked up with its verdict and the SQL evidence. This module renders a
 :class:`~repro.core.pipeline.VerificationRun` as markdown (for people)
-or as plain dictionaries (for JSON export / downstream tooling).
+or as plain dictionaries (for JSON export / downstream tooling). The
+single-claim renderer :func:`claim_record` is also what the service
+layer serialises into its streaming ``claim_verdict`` events, so a
+claim looks the same whether it arrived in a batch report or over the
+wire.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.llm.cache import CacheStats, LLMCache
 from repro.llm.ledger import CostLedger
 
-from .claims import Document
-from .pipeline import VerificationRun
+from .claims import Claim, Document
+from .pipeline import ClaimReport, VerificationRun
+
+
+def claim_record(claim: Claim, report: ClaimReport) -> dict:
+    """One claim's verdict as a plain JSON-serialisable dictionary."""
+    return {
+        "claim_id": claim.claim_id,
+        "sentence": claim.sentence,
+        "claimed_value": claim.value_text,
+        "verdict": "correct" if claim.correct else "incorrect",
+        "query": claim.query,
+        "verified_by": report.verified_by,
+        "attempts": report.attempts,
+        "fallback": report.fallback,
+    }
 
 
 def claim_records(
     document: Document, run: VerificationRun
 ) -> list[dict]:
     """One plain dictionary per claim, JSON-serialisable."""
-    records = []
-    for claim in document.claims:
-        report = run.reports[claim.claim_id]
-        records.append({
-            "claim_id": claim.claim_id,
-            "sentence": claim.sentence,
-            "claimed_value": claim.value_text,
-            "verdict": "correct" if claim.correct else "incorrect",
-            "query": claim.query,
-            "verified_by": report.verified_by,
-            "attempts": report.attempts,
-            "fallback": report.fallback,
-        })
-    return records
+    return [
+        claim_record(claim, run.reports[claim.claim_id])
+        for claim in document.claims
+    ]
+
+
+def _cache_stats(cache: LLMCache | CacheStats | None) -> CacheStats | None:
+    """Accept either a live cache or a stats snapshot."""
+    if cache is None:
+        return None
+    return cache.stats if isinstance(cache, LLMCache) else cache
 
 
 def document_report(
     document: Document,
     run: VerificationRun,
     ledger: CostLedger | None = None,
+    cache: LLMCache | CacheStats | None = None,
 ) -> dict:
     """Full report for one document, JSON-serialisable."""
     records = claim_records(document, run)
@@ -63,6 +80,9 @@ def document_report(
             "llm_calls": totals.calls,
             "tokens": totals.total_tokens,
         }
+    stats = _cache_stats(cache)
+    if stats is not None:
+        report["cache"] = stats.to_dict()
     return report
 
 
@@ -71,22 +91,29 @@ def to_json(
     run: VerificationRun,
     ledger: CostLedger | None = None,
     indent: int = 2,
+    cache: LLMCache | CacheStats | None = None,
 ) -> str:
     """Serialise the document report as JSON text."""
-    return json.dumps(document_report(document, run, ledger), indent=indent)
+    return json.dumps(
+        document_report(document, run, ledger, cache=cache), indent=indent
+    )
 
 
 def to_markdown(
     document: Document,
     run: VerificationRun,
     ledger: CostLedger | None = None,
+    cache: LLMCache | CacheStats | None = None,
 ) -> str:
     """Render the annotated document as markdown.
 
     Flagged claims carry a warning marker and their SQL evidence in a
-    details block, mirroring the demo front-end's presentation.
+    details block, mirroring the demo front-end's presentation. A
+    ``cache`` (live :class:`~repro.llm.cache.LLMCache` or a
+    :class:`~repro.llm.cache.CacheStats` snapshot) adds a response-cache
+    line to the spend summary.
     """
-    report = document_report(document, run, ledger)
+    report = document_report(document, run, ledger, cache=cache)
     lines = [f"# Verification report — {document.title or document.doc_id}",
              ""]
     summary = report["summary"]
@@ -99,6 +126,15 @@ def to_markdown(
         lines.append(
             f"Verification spend: ${spend['cost_usd']:.4f} across "
             f"{spend['llm_calls']} LLM calls."
+        )
+    if "cache" in report:
+        stats = report["cache"]
+        lookups = stats["hits"] + stats["misses"]
+        lines.append(
+            f"Response cache: {stats['hits']} hits / {lookups} lookups "
+            f"({100.0 * stats['hit_rate']:.0f}% hit rate), "
+            f"{stats['bypasses']} retry bypasses, "
+            f"{stats['evictions']} evictions."
         )
     lines.append("")
     for record in report["claims"]:

@@ -49,6 +49,47 @@ class CacheStats:
         """Hits over cacheable lookups (bypasses excluded)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def __sub__(self, earlier: "CacheStats") -> "CacheStats":
+        """Traffic between two snapshots of the *same* cache.
+
+        ``later - earlier`` isolates one window's counters — e.g. the
+        hits a single job or batch contributed. The size fields describe
+        the cache itself, not traffic, so the later snapshot's values are
+        kept as-is.
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            bypasses=self.bypasses - earlier.bypasses,
+            evictions=self.evictions - earlier.evictions,
+            size=self.size,
+            max_size=self.max_size,
+        )
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate the traffic of two *different* caches."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            bypasses=self.bypasses + other.bypasses,
+            evictions=self.evictions + other.evictions,
+            size=self.size + other.size,
+            max_size=self.max_size + other.max_size,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (reports, ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
 
 class LLMCache:
     """An LRU map from prompts to :class:`ChatResponse` objects.

@@ -224,6 +224,23 @@ class CostLedger:
                 totals.add(entry)
         return totals
 
+    def totals_for_tags(
+        self, tags: Sequence[str] | set[str], since: int = 0
+    ) -> LedgerTotals:
+        """Aggregate entries carrying *any* of ``tags``, in one pass.
+
+        The service layer computes a job's spend this way: a job owns a
+        set of ``doc:<id>`` tags, and ``since`` (a :meth:`checkpoint`
+        taken when the job's batch started) keeps entries from earlier
+        verifications of the same document ids out of the total.
+        """
+        wanted = set(tags)
+        totals = LedgerTotals()
+        for entry in self.entries[since:]:
+            if wanted.intersection(entry.tags):
+                totals.add(entry)
+        return totals
+
     def totals_by_tag_prefix(self, prefix: str) -> dict[str, LedgerTotals]:
         """Aggregate entries per tag, over tags starting with ``prefix``.
 

@@ -1,0 +1,79 @@
+"""Embeddable verification service (queueing, batching, streaming).
+
+The package turns the concurrent executor into a long-lived service:
+
+* :class:`VerificationService` — bounded-queue admission control,
+  cross-request micro-batching onto shared verifiers (one response
+  cache and ledger for the whole service), streaming job events,
+  cancellation, and drain-on-shutdown.
+* :mod:`repro.service.http` — a stdlib ``http.server`` front end
+  (``python -m repro.service``) exposing submit / events / stats.
+
+Importing this package never imports the HTTP layer; embedders that
+just want ``VerificationService`` pay for nothing else.
+"""
+
+from .events import (
+    ClaimAccepted,
+    ClaimVerdict,
+    JobCancelled,
+    JobDone,
+    JobEvent,
+    JobFailed,
+    JobQueued,
+    JobStarted,
+    StageStarted,
+)
+from .queue import (
+    REASON_CLIENT_LIMIT,
+    REASON_CONFLICT,
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    AdmissionError,
+    BoundedJobQueue,
+    RejectionReason,
+)
+from .service import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobHandle,
+    ServiceConfig,
+    VerificationService,
+    clone_document,
+)
+from .stats import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "AdmissionError",
+    "BoundedJobQueue",
+    "CANCELLED",
+    "COMPLETED",
+    "ClaimAccepted",
+    "ClaimVerdict",
+    "FAILED",
+    "Job",
+    "JobCancelled",
+    "JobDone",
+    "JobEvent",
+    "JobFailed",
+    "JobHandle",
+    "JobQueued",
+    "JobStarted",
+    "LatencyHistogram",
+    "QUEUED",
+    "REASON_CLIENT_LIMIT",
+    "REASON_CONFLICT",
+    "REASON_DRAINING",
+    "REASON_QUEUE_FULL",
+    "RUNNING",
+    "RejectionReason",
+    "ServiceConfig",
+    "ServiceStats",
+    "StageStarted",
+    "VerificationService",
+    "clone_document",
+]

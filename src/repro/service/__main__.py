@@ -1,0 +1,69 @@
+"""CLI entry point: ``python -m repro.service`` (or ``make serve``).
+
+Starts the verification service behind the stdlib HTTP front end and
+blocks until interrupted; Ctrl-C drains accepted jobs before exiting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .http import ServiceApp, make_server
+from .service import ServiceConfig, VerificationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve CEDAR claim verification over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="0 picks a free port")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="verifier threads per batch")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="bounded queue depth (admission limit)")
+    parser.add_argument("--per-client", type=int, default=8,
+                        help="in-flight job cap per client_id")
+    parser.add_argument("--batch-window", type=float, default=0.05,
+                        help="seconds to linger coalescing jobs")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="jobs coalesced into one batch")
+    parser.add_argument("--cache-size", type=int, default=1024,
+                        help="shared response cache entries (0 disables)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true",
+                        help="log HTTP requests")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    service = VerificationService(ServiceConfig(
+        max_queue_depth=arguments.queue_depth,
+        per_client_limit=arguments.per_client,
+        max_batch_jobs=arguments.max_batch,
+        batch_window=arguments.batch_window,
+        workers=arguments.workers,
+        cache_size=arguments.cache_size,
+    )).start()
+    app = ServiceApp(service, seed=arguments.seed)
+    server = make_server(arguments.host, arguments.port, app,
+                         verbose=arguments.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving CEDAR verification on http://{host}:{port}  "
+          "(POST /verify, GET /stats; Ctrl-C drains and exits)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining accepted jobs …")
+    finally:
+        server.server_close()
+        service.shutdown(drain=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Stdlib HTTP front end for the verification service.
+
+``python -m repro.service`` serves these endpoints:
+
+* ``POST /verify`` — body ``{"dataset": "tabfact", "document": 0}``
+  (optional ``"client_id"``, ``"priority"``). Clones the dataset
+  document under a request-unique tag and submits it; replies ``202``
+  with the job id, or a structured rejection: ``429`` (queue full /
+  client limit), ``503`` (draining), ``409`` (claim-id conflict).
+* ``GET /jobs/<id>`` — job state summary.
+* ``GET /jobs/<id>/events`` — the job's event stream as ndjson.
+  ``?wait=1`` streams until the terminal event (bounded by
+  ``&timeout=<seconds>``); without it, replays the events so far.
+* ``GET /healthz`` — liveness plus draining flag.
+* ``GET /stats`` — queue depth, batch sizes, cache hit rate, ledger
+  spend, and the p50/p95 latency histogram.
+
+Every request against a dataset shares one service-wide response cache
+and ledger, and jobs arriving close together coalesce into one verifier
+batch — the ``batches.mean_size`` stat shows it happening. The app is
+deliberately framework-free: ``ThreadingHTTPServer`` plus hand-rolled
+routing is all a demo-scale service needs, and it keeps the repo
+dependency-light.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterator
+from urllib.parse import parse_qs, urlparse
+
+from repro.core import ScheduleEntry, VerifierConfig
+from repro.datasets import (
+    DatasetBundle,
+    build_aggchecker,
+    build_tabfact,
+    build_wikitext,
+)
+from repro.experiments import build_cedar
+
+from .events import JobEvent
+from .queue import (
+    REASON_CLIENT_LIMIT,
+    REASON_CONFLICT,
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    AdmissionError,
+)
+from .service import ServiceConfig, VerificationService, clone_document
+
+_DEFAULT_DATASETS: dict[str, Callable[[], DatasetBundle]] = {
+    "aggchecker": lambda: build_aggchecker(document_count=12,
+                                           total_claims=72),
+    "tabfact": lambda: build_tabfact(table_count=8, total_claims=28),
+    "wikitext": lambda: build_wikitext(document_count=5, total_claims=18),
+}
+
+#: HTTP status per admission-rejection code.
+_REJECTION_STATUS = {
+    REASON_QUEUE_FULL: 429,
+    REASON_CLIENT_LIMIT: 429,
+    REASON_DRAINING: 503,
+    REASON_CONFLICT: 409,
+}
+
+
+class ServiceApp:
+    """Routes requests onto a :class:`VerificationService`.
+
+    Dataset bundles (and the verification methods over them) are built
+    lazily on first use and share the service's ledger, so ``/stats``
+    accounts for every request's spend in one place. All jobs against a
+    dataset use one fixed single-try schedule — identical schedules are
+    what makes cross-request batching possible.
+    """
+
+    def __init__(
+        self,
+        service: VerificationService | None = None,
+        datasets: dict[str, Callable[[], DatasetBundle]] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.service = service if service is not None else (
+            VerificationService().start()
+        )
+        self._builders = dict(
+            datasets if datasets is not None else _DEFAULT_DATASETS
+        )
+        self._seed = seed
+        self._datasets: dict[str, tuple[DatasetBundle,
+                                        list[ScheduleEntry]]] = {}
+        self._lock = threading.Lock()
+        self._request_seq = itertools.count(1)
+
+    def _dataset(self, name: str) -> tuple[DatasetBundle,
+                                           list[ScheduleEntry]]:
+        with self._lock:
+            entry = self._datasets.get(name)
+            if entry is None:
+                bundle = self._builders[name]()
+                system = build_cedar(
+                    bundle, seed=self._seed,
+                    config=VerifierConfig(ledger=self.service.ledger),
+                )
+                # Single-try stages: deterministic (temperature 0
+                # everywhere) and maximally cacheable across requests.
+                schedule = [ScheduleEntry(method, 1)
+                            for method in system.methods[:3]]
+                entry = (bundle, schedule)
+                self._datasets[name] = entry
+            return entry
+
+    # -- routes --------------------------------------------------------------
+
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        name = payload.get("dataset", "aggchecker")
+        if name not in self._builders:
+            return 400, {"error": f"unknown dataset {name!r}",
+                         "datasets": sorted(self._builders)}
+        index = payload.get("document", 0)
+        if not isinstance(index, int):
+            return 400, {"error": "document must be an integer index"}
+        bundle, schedule = self._dataset(name)
+        if not 0 <= index < len(bundle.documents):
+            return 400, {
+                "error": f"document index out of range "
+                         f"(0..{len(bundle.documents) - 1})",
+            }
+        document = clone_document(
+            bundle.documents[index], f"r{next(self._request_seq):05d}"
+        )
+        try:
+            handle = self.service.submit(
+                document,
+                schedule,
+                client_id=str(payload.get("client_id", "default")),
+                priority=int(payload.get("priority", 0)),
+            )
+        except AdmissionError as error:
+            status = _REJECTION_STATUS.get(error.reason.code, 429)
+            return status, {"rejected": error.reason.to_dict()}
+        return 202, {
+            "job_id": handle.job_id,
+            "state": handle.state,
+            "claims": len(document.claims),
+            "events_url": f"/jobs/{handle.job_id}/events",
+        }
+
+    def job_summary(self, job_id: str) -> tuple[int, dict]:
+        handle = self.service.job(job_id)
+        if handle is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        body = {"job_id": job_id, "state": handle.state,
+                "events": len(handle.events_snapshot())}
+        if handle.error:
+            body["error"] = handle.error
+        return 200, body
+
+    def job_events(
+        self, job_id: str, wait: bool, timeout: float
+    ) -> Iterator[JobEvent] | None:
+        """The job's events — live (bounded by ``timeout``) or replayed."""
+        handle = self.service.job(job_id)
+        if handle is None:
+            return None
+        if wait:
+            return handle.events(timeout=timeout)
+        return iter(handle.events_snapshot())
+
+    def health(self) -> tuple[int, dict]:
+        return 200, {"status": "ok", "draining": self.service.draining}
+
+    def stats(self) -> tuple[int, dict]:
+        return 200, self.service.stats().to_dict()
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin adapter from HTTP to :class:`ServiceApp` routes."""
+
+    app: ServiceApp  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: dict) -> None:
+        payload = json.dumps(body, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_ndjson(self, events: Iterator[JobEvent]) -> None:
+        # Length unknown up front (events may still be landing), so the
+        # stream is chunked and flushed per event.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for event in events:
+                line = (event.to_json() + "\n").encode()
+                self.wfile.write(f"{len(line):x}\r\n".encode())
+                self.wfile.write(line + b"\r\n")
+                self.wfile.flush()
+        except TimeoutError:
+            pass  # ?wait deadline hit: end the stream where it stands
+        self.wfile.write(b"0\r\n\r\n")
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's casing)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts == ["healthz"]:
+            self._send_json(*self.app.health())
+        elif parts == ["stats"]:
+            self._send_json(*self.app.stats())
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._send_json(*self.app.job_summary(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            query = parse_qs(url.query)
+            wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+            timeout = float(query.get("timeout", ["30"])[0])
+            events = self.app.job_events(parts[1], wait, timeout)
+            if events is None:
+                self._send_json(404, {"error": f"no job {parts[1]!r}"})
+            else:
+                self._send_ndjson(events)
+        else:
+            self._send_json(404, {"error": f"no route for {url.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        if url.path.rstrip("/") != "/verify":
+            self._send_json(404, {"error": f"no route for {url.path}"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"bad request body: {error}"})
+            return
+        self._send_json(*self.app.submit(payload))
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    app: ServiceApp | None = None,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (but don't start) the HTTP server; ``port=0`` picks a free
+    port — read it back from ``server.server_address``."""
+    app = app if app is not None else ServiceApp()
+    handler = type("BoundHandler", (ServiceRequestHandler,), {"app": app})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.app = app  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,715 @@
+"""The embeddable verification service.
+
+``VerificationService`` turns the PR 1 engine (:class:`ParallelVerifier`
+with its shared response cache, retry layer, and thread-safe ledger)
+into something that can sit under concurrent traffic:
+
+* **Admission control** — a bounded priority queue rejects-with-reason
+  when full, per-client in-flight caps stop one caller from starving the
+  rest, and claim-id conflicts with in-flight jobs are refused rather
+  than silently corrupting shared state.
+* **Micro-batching** — a dispatcher coalesces queued jobs whose batch
+  key (database identity, schedule stages) matches into one
+  ``verify_documents`` call on a shared verifier, so the response cache,
+  worker pools, and ledger are amortised across requests instead of
+  re-paid per call.
+* **Streaming** — every job exposes an event iterator (accepted → stage
+  started → verdict → done) fed by the executor's
+  :class:`~repro.core.pipeline.VerificationObserver` hooks, so callers
+  see per-claim verdicts while the batch is still running.
+* **Cancellation and drain** — a queued job cancels instantly; a running
+  job stops emitting events and its remaining documents are skipped.
+  ``shutdown(drain=True)`` refuses new work, flushes everything already
+  accepted, and joins the dispatchers.
+
+Submitted documents must carry claim ids that are unique among in-flight
+jobs (the reports map and ledger tags key on them); use
+:func:`clone_document` to derive a uniquely-tagged copy when submitting
+the same document many times.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core import (
+    ParallelVerifier,
+    ScheduleEntry,
+    VerificationObserver,
+    VerificationRun,
+    VerifierConfig,
+)
+from repro.core.claims import Claim, Document
+from repro.core.pipeline import ClaimReport
+from repro.core.reports import claim_record
+from repro.llm.cache import LLMCache
+from repro.llm.ledger import CostLedger
+from repro.llm.resilience import RetryPolicy
+
+from .events import (
+    ClaimAccepted,
+    ClaimVerdict,
+    JobCancelled,
+    JobDone,
+    JobEvent,
+    JobQueued,
+    JobStarted,
+    StageStarted,
+)
+from .events import JobFailed
+from .queue import (
+    REASON_CLIENT_LIMIT,
+    REASON_CONFLICT,
+    REASON_DRAINING,
+    AdmissionError,
+    BoundedJobQueue,
+    RejectionReason,
+)
+from .stats import LatencyHistogram, ServiceStats
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_TERMINAL_STATES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs plus the executor settings it builds on."""
+
+    max_queue_depth: int = 64
+    per_client_limit: int = 8       # queued + running jobs per client_id
+    max_batch_jobs: int = 8         # jobs coalesced into one batch
+    batch_window: float = 0.0       # seconds to linger for coalescible jobs
+    dispatchers: int = 1            # batch-runner threads
+    workers: int = 4                # ParallelVerifier pool width per batch
+    cache_size: int = 1024          # shared response cache; 0 disables
+    #: Algorithm 1's few-shot sample harvesting. Note the re-pass it
+    #: triggers runs at retry temperature, and those draws are
+    #: independent across jobs (Assumption 1) — disable it when
+    #: bit-identical verdicts across repeat submissions are required.
+    use_samples: bool = True
+    retry: RetryPolicy | None = None
+    ledger: CostLedger | None = None
+    poll_interval: float = 0.02     # dispatcher shutdown-poll cadence
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.per_client_limit < 1:
+            raise ValueError("per_client_limit must be at least 1")
+        if self.max_batch_jobs < 1:
+            raise ValueError("max_batch_jobs must be at least 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.dispatchers < 1:
+            raise ValueError("dispatchers must be at least 1")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+
+
+def clone_document(document: Document, tag: str) -> Document:
+    """A verification-fresh copy of ``document`` with ``tag``-unique ids.
+
+    Claims are re-created with cleared ``query``/``correct`` state and
+    ids prefixed by ``tag``; the database (and claim metadata) is shared,
+    not copied. This is how the HTTP front end lets many requests verify
+    the same dataset document concurrently without mutating one shared
+    object — and since the simulated-LLM world keys on sentences, clones
+    verify identically to the original.
+    """
+    claims = [
+        Claim(
+            sentence=claim.sentence,
+            span=claim.span,
+            context=claim.context,
+            claim_id=f"{tag}/{claim.claim_id}",
+            metadata=claim.metadata,
+        )
+        for claim in document.claims
+    ]
+    return Document(
+        doc_id=f"{tag}/{document.doc_id}",
+        claims=claims,
+        data=document.data,
+        domain=document.domain,
+        title=document.title,
+    )
+
+
+class Job:
+    """One accepted verification request and its event stream."""
+
+    def __init__(
+        self,
+        job_id: str,
+        documents: list[Document],
+        schedule: list[ScheduleEntry],
+        client_id: str,
+        priority: int,
+    ) -> None:
+        self.job_id = job_id
+        self.documents = documents
+        self.schedule = schedule
+        self.client_id = client_id
+        self.priority = priority
+        self.state = QUEUED
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.run: VerificationRun | None = None
+        self.spend: dict | None = None
+        self.error: str | None = None
+        self._events: list[JobEvent] = []
+        self._cond = threading.Condition()
+        self._cancelled = False
+        self._closed = False
+
+    # -- event stream --------------------------------------------------------
+
+    def emit(self, event: JobEvent, force: bool = False) -> None:
+        """Append an event; after cancellation only forced (terminal)
+        events get through — a cancelled job stops emitting."""
+        with self._cond:
+            if self._closed or (self._cancelled and not force):
+                return
+            self._events.append(event)
+            if event.terminal:
+                self._closed = True
+            self._cond.notify_all()
+
+    def event_at(self, index: int, timeout: float | None) -> JobEvent | None:
+        """Block until event ``index`` exists (None once the stream ended)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._events) <= index and not self._closed:
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"no event {index} for job {self.job_id} "
+                            f"within {timeout}s"
+                        )
+                    self._cond.wait(remaining)
+            if index < len(self._events):
+                return self._events[index]
+            return None
+
+    def events_snapshot(self) -> list[JobEvent]:
+        with self._cond:
+            return list(self._events)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """True once the job reached a terminal event."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._closed:
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+            return True
+
+    # -- cancellation --------------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def request_cancel(self) -> bool:
+        with self._cond:
+            if self._closed or self._cancelled:
+                return False
+            self._cancelled = True
+            return True
+
+    def claim_ids(self) -> list[str]:
+        return [c.claim_id for d in self.documents for c in d.claims]
+
+
+class JobHandle:
+    """Caller-facing view of a submitted job."""
+
+    def __init__(self, job: Job, service: "VerificationService") -> None:
+        self._job = job
+        self._service = service
+
+    @property
+    def job_id(self) -> str:
+        return self._job.job_id
+
+    @property
+    def state(self) -> str:
+        return self._job.state
+
+    @property
+    def error(self) -> str | None:
+        return self._job.error
+
+    def events(self, timeout: float | None = None) -> Iterator[JobEvent]:
+        """Yield events as they land, ending after the terminal event.
+
+        ``timeout`` bounds the wait for each *next* event; exceeding it
+        raises :class:`TimeoutError`.
+        """
+        index = 0
+        while True:
+            event = self._job.event_at(index, timeout)
+            if event is None:
+                return
+            yield event
+            index += 1
+            if event.terminal:
+                return
+
+    def events_snapshot(self) -> list[JobEvent]:
+        """The events emitted so far, without blocking."""
+        return self._job.events_snapshot()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._job.wait(timeout)
+
+    def cancel(self) -> bool:
+        return self._service.cancel(self.job_id)
+
+    def result(self, timeout: float | None = None) -> VerificationRun:
+        """Block until done and return the job's VerificationRun."""
+        if not self._job.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still {self._job.state}")
+        if self._job.state == COMPLETED:
+            assert self._job.run is not None
+            return self._job.run
+        raise RuntimeError(
+            f"job {self.job_id} {self._job.state}"
+            + (f": {self._job.error}" if self._job.error else "")
+        )
+
+
+class _StreamingObserver(VerificationObserver):
+    """Fan one batch's verifier progress out to each job's event stream.
+
+    Called from verifier worker threads; Job.emit is the synchronisation
+    point. Documents of cancelled jobs are skipped via ``should_verify``.
+    """
+
+    def __init__(
+        self, doc_jobs: dict[str, Job], claim_jobs: dict[str, Job]
+    ) -> None:
+        self._doc_jobs = doc_jobs
+        self._claim_jobs = claim_jobs
+
+    def should_verify(self, document: Document) -> bool:
+        job = self._doc_jobs.get(document.doc_id)
+        return job is not None and not job.cancelled
+
+    def stage_started(self, document: Document, entry: ScheduleEntry) -> None:
+        job = self._doc_jobs.get(document.doc_id)
+        if job is not None:
+            job.emit(StageStarted(
+                job_id=job.job_id,
+                doc_id=document.doc_id,
+                method=entry.method.name,
+                tries=entry.tries,
+            ))
+
+    def claim_resolved(self, claim: Claim, report: ClaimReport) -> None:
+        job = self._claim_jobs.get(claim.claim_id)
+        if job is not None:
+            record = claim_record(claim, report)
+            job.emit(ClaimVerdict(
+                job_id=job.job_id,
+                claim_id=claim.claim_id,
+                verdict=record["verdict"],
+                query=record["query"],
+                verified_by=record["verified_by"],
+                attempts=record["attempts"],
+                fallback=record["fallback"],
+            ))
+
+
+class VerificationService:
+    """Accepts, batches, executes, and streams verification jobs."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.ledger = (
+            self.config.ledger
+            if self.config.ledger is not None else CostLedger()
+        )
+        #: One response cache shared by every verifier the service owns,
+        #: so requests warm each other's entries (the cross-request half
+        #: of the PR 1 cache).
+        self.cache = (
+            LLMCache(self.config.cache_size)
+            if self.config.cache_size > 0 else None
+        )
+        self._queue = BoundedJobQueue(self.config.max_queue_depth)
+        self._jobs: dict[str, Job] = {}
+        self._verifiers: dict[tuple, ParallelVerifier] = {}
+        self._lock = threading.RLock()
+        self._inflight: dict[str, int] = {}
+        self._active_claim_ids: set[str] = set()
+        self._job_seq = itertools.count(1)
+        self._batch_seq = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._draining = False
+        self._started = False
+        self._counts = {"submitted": 0, "completed": 0, "failed": 0,
+                        "cancelled": 0, "rejected": 0}
+        self._batches = 0
+        self._batched_jobs = 0
+        self._max_batch = 0
+        self._running_jobs = 0
+        self._histogram = LatencyHistogram()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "VerificationService":
+        """Launch the dispatcher threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self.config.dispatchers):
+                thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"cedar-dispatch-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop the service, refusing new submissions immediately.
+
+        ``drain=True`` flushes every job already accepted (queued and
+        running) before returning; ``drain=False`` cancels the queued
+        jobs and only lets in-flight batches finish. On a service that
+        was never started, draining runs the queued jobs inline on the
+        calling thread — handy for one-shot embedding and tests.
+        """
+        with self._lock:
+            self._draining = True
+            started = self._started
+        if not drain:
+            while True:
+                job = self._queue.pop(timeout=0)
+                if job is None:
+                    break
+                job.request_cancel()
+                self._finalize(job, CANCELLED)
+        if not started and drain:
+            self._drain_inline()
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "VerificationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        documents: Sequence[Document] | Document,
+        schedule: list[ScheduleEntry],
+        *,
+        client_id: str = "default",
+        priority: int = 0,
+    ) -> JobHandle:
+        """Admit a job or raise :class:`AdmissionError` with the reason."""
+        if isinstance(documents, Document):
+            documents = [documents]
+        documents = list(documents)
+        if not documents:
+            raise ValueError("submit needs at least one document")
+        if not schedule:
+            raise ValueError("submit needs a non-empty schedule")
+        with self._lock:
+            if self._draining or self._stop.is_set():
+                self._counts["rejected"] += 1
+                raise AdmissionError(RejectionReason(
+                    REASON_DRAINING,
+                    "service is draining and not accepting new jobs",
+                ))
+            inflight = self._inflight.get(client_id, 0)
+            if inflight >= self.config.per_client_limit:
+                self._counts["rejected"] += 1
+                raise AdmissionError(RejectionReason(
+                    REASON_CLIENT_LIMIT,
+                    f"client {client_id!r} already has {inflight} jobs in "
+                    f"flight (limit {self.config.per_client_limit})",
+                ))
+            claim_ids = [c.claim_id for d in documents for c in d.claims]
+            if len(set(claim_ids)) != len(claim_ids) or any(
+                cid in self._active_claim_ids for cid in claim_ids
+            ):
+                self._counts["rejected"] += 1
+                raise AdmissionError(RejectionReason(
+                    REASON_CONFLICT,
+                    "claim ids overlap a job already in flight; "
+                    "submit clone_document() copies instead",
+                ))
+            job = Job(
+                job_id=f"job-{next(self._job_seq):06d}",
+                documents=documents,
+                schedule=schedule,
+                client_id=client_id,
+                priority=priority,
+            )
+            # Admission events go on the stream before the job becomes
+            # poppable, so JobStarted can never precede JobQueued.
+            job.emit(JobQueued(job_id=job.job_id, priority=priority,
+                               queue_depth=len(self._queue) + 1))
+            for document in documents:
+                for claim in document.claims:
+                    job.emit(ClaimAccepted(job_id=job.job_id,
+                                           claim_id=claim.claim_id,
+                                           sentence=claim.sentence))
+            try:
+                self._queue.offer(job, priority)
+            except AdmissionError:
+                self._counts["rejected"] += 1
+                raise
+            self._jobs[job.job_id] = job
+            self._inflight[client_id] = inflight + 1
+            self._active_claim_ids.update(claim_ids)
+            self._counts["submitted"] += 1
+        return JobHandle(job, self)
+
+    def job(self, job_id: str) -> JobHandle | None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        return JobHandle(job, self) if job is not None else None
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True if this call won the cancellation.
+
+        A still-queued job is finalised immediately; a running one stops
+        emitting events and is finalised when its batch completes.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None or not job.request_cancel():
+            return False
+        if self._queue.remove(job):
+            self._finalize(job, CANCELLED)
+        return True
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._queue.pop(timeout=self.config.poll_interval)
+            if job is None:
+                if self._stop.is_set() and len(self._queue) == 0:
+                    return
+                continue
+            self._run_batch(self._coalesce(job))
+
+    def _coalesce(self, first: Job) -> list[Job]:
+        """The micro-batcher: gather queued jobs sharing a batch key."""
+        if self.config.batch_window > 0 and not self._stop.is_set():
+            time.sleep(self.config.batch_window)
+        key = self._batch_key(first)
+        extra = self._queue.pop_matching(
+            lambda other: self._batch_key(other) == key,
+            self.config.max_batch_jobs - 1,
+        )
+        return [first, *extra]
+
+    @staticmethod
+    def _batch_key(job: Job) -> tuple:
+        """Jobs coalesce when they verify against the same databases with
+        the same schedule stages (identical method objects and budgets)."""
+        databases = tuple(sorted({id(doc.data) for doc in job.documents}))
+        stages = tuple((id(entry.method), entry.tries)
+                       for entry in job.schedule)
+        return (databases, stages)
+
+    def _verifier_for(self, job: Job) -> ParallelVerifier:
+        """One persistent verifier per schedule signature, all sharing the
+        service ledger and response cache."""
+        key = tuple((id(entry.method), entry.tries) for entry in job.schedule)
+        with self._lock:
+            verifier = self._verifiers.get(key)
+            if verifier is None:
+                verifier = ParallelVerifier(config=VerifierConfig(
+                    workers=self.config.workers,
+                    use_samples=self.config.use_samples,
+                    cache=self.cache,
+                    retry=self.config.retry,
+                    ledger=self.ledger,
+                ))
+                self._verifiers[key] = verifier
+            return verifier
+
+    def _run_batch(self, batch: list[Job]) -> None:
+        batch_id = next(self._batch_seq)
+        runnable: list[Job] = []
+        for job in batch:
+            if job.cancelled:
+                self._finalize(job, CANCELLED)
+            else:
+                runnable.append(job)
+        if not runnable:
+            return
+        with self._lock:
+            self._batches += 1
+            self._batched_jobs += len(runnable)
+            self._max_batch = max(self._max_batch, len(runnable))
+            self._running_jobs += len(runnable)
+        documents: list[Document] = []
+        doc_jobs: dict[str, Job] = {}
+        claim_jobs: dict[str, Job] = {}
+        for job in runnable:
+            job.state = RUNNING
+            job.started_at = time.monotonic()
+            job.emit(JobStarted(job_id=job.job_id, batch_id=batch_id,
+                                batch_jobs=len(runnable)))
+            for document in job.documents:
+                documents.append(document)
+                doc_jobs[document.doc_id] = job
+                for claim in document.claims:
+                    claim_jobs[claim.claim_id] = job
+        verifier = self._verifier_for(runnable[0])
+        checkpoint = verifier.ledger.checkpoint()
+        try:
+            run = verifier.verify_documents(
+                documents,
+                runnable[0].schedule,
+                observer=_StreamingObserver(doc_jobs, claim_jobs),
+            )
+        except Exception as error:  # the whole batch is poisoned
+            message = f"{type(error).__name__}: {error}"
+            for job in runnable:
+                self._finalize(job, CANCELLED if job.cancelled else FAILED,
+                               error=message)
+            return
+        finally:
+            with self._lock:
+                self._running_jobs -= len(runnable)
+        for job in runnable:
+            if job.cancelled:
+                self._finalize(job, CANCELLED)
+                continue
+            job.run = VerificationRun(job.documents, {
+                claim.claim_id: run.reports[claim.claim_id]
+                for document in job.documents
+                for claim in document.claims
+            })
+            totals = verifier.ledger.totals_for_tags(
+                {f"doc:{document.doc_id}" for document in job.documents},
+                since=checkpoint,
+            )
+            job.spend = {
+                "cost_usd": round(totals.cost, 6),
+                "llm_calls": totals.calls,
+                "tokens": totals.total_tokens,
+            }
+            self._finalize(job, COMPLETED)
+
+    def _drain_inline(self) -> None:
+        """Run remaining queued jobs on the calling thread (never-started
+        services only: one-shot embedding and deterministic tests)."""
+        while True:
+            job = self._queue.pop(timeout=0)
+            if job is None:
+                return
+            self._run_batch(self._coalesce(job))
+
+    # -- completion ----------------------------------------------------------
+
+    def _finalize(self, job: Job, state: str, error: str | None = None) -> None:
+        with self._lock:
+            if job.state in _TERMINAL_STATES:
+                return
+            job.state = state
+            job.finished_at = time.monotonic()
+            job.error = error
+            remaining = self._inflight.get(job.client_id, 1) - 1
+            if remaining > 0:
+                self._inflight[job.client_id] = remaining
+            else:
+                self._inflight.pop(job.client_id, None)
+            for claim_id in job.claim_ids():
+                self._active_claim_ids.discard(claim_id)
+            counter = {COMPLETED: "completed", FAILED: "failed",
+                       CANCELLED: "cancelled"}[state]
+            self._counts[counter] += 1
+        latency = job.finished_at - job.submitted_at
+        if state == COMPLETED:
+            self._histogram.record(latency)
+            flagged = sum(
+                1 for document in job.documents
+                for claim in document.claims if claim.correct is False
+            )
+            job.emit(JobDone(
+                job_id=job.job_id,
+                claims=len(job.claim_ids()),
+                flagged=flagged,
+                spend=job.spend,
+                latency_seconds=round(latency, 6),
+            ))
+        elif state == FAILED:
+            job.emit(JobFailed(job_id=job.job_id, error=error or ""),
+                     force=True)
+        else:
+            job.emit(JobCancelled(job_id=job.job_id), force=True)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            jobs = dict(self._counts)
+            batches = {
+                "count": self._batches,
+                "jobs": self._batched_jobs,
+                "mean_size": (round(self._batched_jobs / self._batches, 2)
+                              if self._batches else 0.0),
+                "max_size": self._max_batch,
+            }
+            running = self._running_jobs
+            draining = self._draining
+        totals = self.ledger.totals()
+        return ServiceStats(
+            queue_depth=len(self._queue),
+            running_jobs=running,
+            draining=draining,
+            jobs=jobs,
+            batches=batches,
+            cache=self.cache.stats.to_dict() if self.cache else None,
+            ledger={
+                "entries": len(self.ledger),
+                "calls": totals.calls,
+                "cost_usd": round(totals.cost, 6),
+                "tokens": totals.total_tokens,
+                "retries": self.ledger.retry_count,
+            },
+            latency=self._histogram.snapshot(),
+        )

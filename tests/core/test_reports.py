@@ -4,15 +4,21 @@ import json
 
 import pytest
 
-from repro.core import MultiStageVerifier, OneShotMethod, ScheduleEntry
+from repro.core import (
+    MultiStageVerifier,
+    OneShotMethod,
+    ScheduleEntry,
+    VerifierConfig,
+)
 from repro.core.claims import Claim, Document, Span
 from repro.core.reports import (
+    claim_record,
     claim_records,
     document_report,
     to_json,
     to_markdown,
 )
-from repro.llm import CostLedger, ScriptedLLM
+from repro.llm import CacheStats, CostLedger, LLMCache, ScriptedLLM
 from repro.sqlengine import Database, Table
 
 
@@ -33,7 +39,7 @@ def verified():
          "```sql\nSELECT v FROM t WHERE name = 'b'\n```"],
         ledger=ledger,
     )
-    verifier = MultiStageVerifier(ledger)
+    verifier = MultiStageVerifier(config=VerifierConfig(ledger=ledger))
     run = verifier.verify_documents(
         [document], [ScheduleEntry(OneShotMethod(client), 1)]
     )
@@ -90,9 +96,55 @@ class TestMarkdown:
                       metadata={"label_correct": False})
         document = Document("fdoc", [claim], database)
         client = ScriptedLLM(["no sql at all"])
-        verifier = MultiStageVerifier(client.ledger)
+        verifier = MultiStageVerifier(
+            config=VerifierConfig(ledger=client.ledger)
+        )
         run = verifier.verify_documents(
             [document], [ScheduleEntry(OneShotMethod(client), 1)]
         )
         text = to_markdown(document, run)
         assert "fallback verdict" in text
+
+
+class TestSingleClaimRecord:
+    def test_claim_record_matches_claim_records(self, verified):
+        document, run, _ = verified
+        claim = document.claims[0]
+        record = claim_record(claim, run.reports[claim.claim_id])
+        assert record == claim_records(document, run)[0]
+        assert record["claim_id"] == claim.claim_id
+
+
+class TestCacheStatsRendering:
+    def make_stats(self):
+        return CacheStats(hits=3, misses=1, bypasses=2, evictions=1,
+                          size=4, max_size=16)
+
+    def test_report_includes_cache_section(self, verified):
+        document, run, _ = verified
+        report = document_report(document, run, cache=self.make_stats())
+        assert report["cache"]["hits"] == 3
+        assert report["cache"]["lookups"] == 4
+        assert report["cache"]["hit_rate"] == 0.75
+
+    def test_cache_section_optional(self, verified):
+        document, run, _ = verified
+        assert "cache" not in document_report(document, run)
+
+    def test_live_cache_accepted(self, verified):
+        document, run, _ = verified
+        report = document_report(document, run, cache=LLMCache(8))
+        assert report["cache"]["lookups"] == 0
+
+    def test_markdown_cache_line(self, verified):
+        document, run, ledger = verified
+        text = to_markdown(document, run, ledger, cache=self.make_stats())
+        assert ("Response cache: 3 hits / 4 lookups (75% hit rate), "
+                "2 retry bypasses, 1 evictions.") in text
+
+    def test_json_round_trips_cache(self, verified):
+        document, run, ledger = verified
+        parsed = json.loads(
+            to_json(document, run, ledger, cache=self.make_stats())
+        )
+        assert parsed["cache"]["bypasses"] == 2

@@ -1,0 +1,137 @@
+"""Smoke test for the stdlib HTTP front end.
+
+Boots a real ``ThreadingHTTPServer`` on a free port with a tiny injected
+dataset and exercises every route once over actual sockets: submit,
+stream, summary, stats, health, and the error paths. Kept small so it
+can run in tier-1; load behaviour is covered by the service tests and
+``benchmarks/bench_service.py``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets import build_aggchecker
+from repro.service import ServiceConfig, VerificationService
+from repro.service.http import ServiceApp, make_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = VerificationService(
+        ServiceConfig(workers=2, use_samples=False)
+    ).start()
+    app = ServiceApp(
+        service=service,
+        datasets={"tiny": lambda: build_aggchecker(document_count=2,
+                                                   total_claims=6)},
+    )
+    http_server = make_server(port=0, app=app)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    host, port = http_server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.shutdown(drain=False)
+        thread.join(timeout=5.0)
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def post_json(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttpSmoke:
+    def test_healthz(self, server):
+        status, body = get_json(f"{server}/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "draining": False}
+
+    def test_submit_stream_and_summary(self, server):
+        status, body = post_json(
+            f"{server}/verify", {"dataset": "tiny", "document": 0}
+        )
+        assert status == 202
+        assert body["state"] == "queued"
+        assert body["claims"] > 0
+        job_id = body["job_id"]
+        assert body["events_url"] == f"/jobs/{job_id}/events"
+
+        # ?wait=1 streams ndjson until the terminal event.
+        with urllib.request.urlopen(
+            f"{server}{body['events_url']}?wait=1&timeout=30", timeout=40
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            events = [json.loads(line) for line in response if line.strip()]
+        assert events[0]["event"] == "job_queued"
+        assert events[-1]["event"] == "job_done"
+        assert events[-1]["claims"] == body["claims"]
+        verdicts = [e for e in events if e["event"] == "claim_verdict"]
+        assert len(verdicts) == body["claims"]
+
+        status, summary = get_json(f"{server}/jobs/{job_id}")
+        assert status == 200
+        assert summary["state"] == "completed"
+        assert summary["events"] == len(events)
+
+        # Without ?wait the stream is an instant replay.
+        status, _ = get_json(f"{server}/jobs/{job_id}")
+        with urllib.request.urlopen(
+            f"{server}{body['events_url']}", timeout=10
+        ) as response:
+            replay = [json.loads(line) for line in response if line.strip()]
+        assert replay == events
+
+    def test_stats_route(self, server):
+        status, body = get_json(f"{server}/stats")
+        assert status == 200
+        assert body["queue_depth"] == 0
+        assert "hit_rate" in body["cache"]
+        assert "p95_seconds" in body["latency"]
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{server}/nope")
+        assert excinfo.value.code == 404
+
+    def test_unknown_job_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{server}/jobs/job-999999/events")
+        assert excinfo.value.code == 404
+
+    def test_bad_body_400(self, server):
+        request = urllib.request.Request(
+            f"{server}/verify", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_dataset_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(f"{server}/verify", {"dataset": "missing"})
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["datasets"] == ["tiny"]
+
+    def test_document_index_validation(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(f"{server}/verify", {"dataset": "tiny", "document": 99})
+        assert excinfo.value.code == 400
