@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterator
@@ -123,6 +124,10 @@ class ServiceApp:
         index = payload.get("document", 0)
         if not isinstance(index, int):
             return 400, {"error": "document must be an integer index"}
+        try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return 400, {"error": "priority must be an integer"}
         bundle, schedule = self._dataset(name)
         if not 0 <= index < len(bundle.documents):
             return 400, {
@@ -137,7 +142,7 @@ class ServiceApp:
                 document,
                 schedule,
                 client_id=str(payload.get("client_id", "default")),
-                priority=int(payload.get("priority", 0)),
+                priority=priority,
             )
         except AdmissionError as error:
             status = _REJECTION_STATUS.get(error.reason.code, 429)
@@ -228,7 +233,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             query = parse_qs(url.query)
             wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
-            timeout = float(query.get("timeout", ["30"])[0])
+            try:
+                timeout = float(query.get("timeout", ["30"])[0])
+                if not math.isfinite(timeout) or timeout < 0:
+                    raise ValueError
+            except ValueError:
+                self._send_json(
+                    400,
+                    {"error": "timeout must be a non-negative number"},
+                )
+                return
             events = self.app.job_events(parts[1], wait, timeout)
             if events is None:
                 self._send_json(404, {"error": f"no job {parts[1]!r}"})

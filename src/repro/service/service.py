@@ -22,10 +22,10 @@ into something that can sit under concurrent traffic:
   ``shutdown(drain=True)`` refuses new work, flushes everything already
   accepted, and joins the dispatchers.
 
-Submitted documents must carry claim ids that are unique among in-flight
-jobs (the reports map and ledger tags key on them); use
-:func:`clone_document` to derive a uniquely-tagged copy when submitting
-the same document many times.
+Submitted documents must carry doc ids and claim ids that are unique
+among in-flight jobs (the observer maps, reports map, and ledger tags
+key on them); use :func:`clone_document` to derive a uniquely-tagged
+copy when submitting the same document many times.
 """
 
 from __future__ import annotations
@@ -360,10 +360,13 @@ class VerificationService:
         )
         self._queue = BoundedJobQueue(self.config.max_queue_depth)
         self._jobs: dict[str, Job] = {}
-        self._verifiers: dict[tuple, ParallelVerifier] = {}
+        self._verifiers: dict[
+            tuple, tuple[ParallelVerifier, threading.Lock]
+        ] = {}
         self._lock = threading.RLock()
         self._inflight: dict[str, int] = {}
         self._active_claim_ids: set[str] = set()
+        self._active_doc_ids: set[str] = set()
         self._job_seq = itertools.count(1)
         self._batch_seq = itertools.count(1)
         self._threads: list[threading.Thread] = []
@@ -465,14 +468,21 @@ class VerificationService:
                     f"client {client_id!r} already has {inflight} jobs in "
                     f"flight (limit {self.config.per_client_limit})",
                 ))
+            # Doc ids key the observer maps and ledger tags, claim ids
+            # key the reports map — both must be unique in flight or a
+            # coalesced batch misroutes events and double-bills spend.
             claim_ids = [c.claim_id for d in documents for c in d.claims]
-            if len(set(claim_ids)) != len(claim_ids) or any(
-                cid in self._active_claim_ids for cid in claim_ids
+            doc_ids = [d.doc_id for d in documents]
+            if (
+                len(set(claim_ids)) != len(claim_ids)
+                or len(set(doc_ids)) != len(doc_ids)
+                or any(cid in self._active_claim_ids for cid in claim_ids)
+                or any(did in self._active_doc_ids for did in doc_ids)
             ):
                 self._counts["rejected"] += 1
                 raise AdmissionError(RejectionReason(
                     REASON_CONFLICT,
-                    "claim ids overlap a job already in flight; "
+                    "doc or claim ids overlap a job already in flight; "
                     "submit clone_document() copies instead",
                 ))
             job = Job(
@@ -499,6 +509,7 @@ class VerificationService:
             self._jobs[job.job_id] = job
             self._inflight[client_id] = inflight + 1
             self._active_claim_ids.update(claim_ids)
+            self._active_doc_ids.update(doc_ids)
             self._counts["submitted"] += 1
         return JobHandle(job, self)
 
@@ -511,12 +522,19 @@ class VerificationService:
         """Cancel a job; True if this call won the cancellation.
 
         A still-queued job is finalised immediately; a running one stops
-        emitting events and is finalised when its batch completes.
+        emitting events and is finalised when its batch completes. A job
+        whose state is already terminal refuses the cancel (checked
+        under the service lock, the same lock :meth:`_finalize` sets the
+        state under). A cancel that lands in the instant a batch is
+        finishing may still see the job complete — the terminal
+        ``JobDone`` is emitted forced, so the stream closes either way.
         """
         with self._lock:
             job = self._jobs.get(job_id)
-        if job is None or not job.request_cancel():
-            return False
+            if job is None or job.state in _TERMINAL_STATES:
+                return False
+            if not job.request_cancel():
+                return False
         if self._queue.remove(job):
             self._finalize(job, CANCELLED)
         return True
@@ -552,13 +570,23 @@ class VerificationService:
                        for entry in job.schedule)
         return (databases, stages)
 
-    def _verifier_for(self, job: Job) -> ParallelVerifier:
-        """One persistent verifier per schedule signature, all sharing the
-        service ledger and response cache."""
-        key = tuple((id(entry.method), entry.tries) for entry in job.schedule)
+    def _verifier_for(
+        self, key: tuple
+    ) -> tuple[ParallelVerifier, threading.Lock]:
+        """One persistent verifier per batch key, all sharing the service
+        ledger and response cache, each guarded by its own mutex.
+
+        ``ParallelVerifier`` keeps per-run state on the instance (the
+        streaming observer and the claims pool), so two dispatchers must
+        never run ``verify_documents`` on the same verifier at once —
+        batch A's observer would be stomped by batch B's and A's
+        documents silently skipped. The mutex serialises same-key
+        batches; different keys get different verifiers and still run
+        concurrently.
+        """
         with self._lock:
-            verifier = self._verifiers.get(key)
-            if verifier is None:
+            entry = self._verifiers.get(key)
+            if entry is None:
                 verifier = ParallelVerifier(config=VerifierConfig(
                     workers=self.config.workers,
                     use_samples=self.config.use_samples,
@@ -566,8 +594,9 @@ class VerificationService:
                     retry=self.config.retry,
                     ledger=self.ledger,
                 ))
-                self._verifiers[key] = verifier
-            return verifier
+                entry = (verifier, threading.Lock())
+                self._verifiers[key] = entry
+            return entry
 
     def _run_batch(self, batch: list[Job]) -> None:
         batch_id = next(self._batch_seq)
@@ -597,14 +626,17 @@ class VerificationService:
                 doc_jobs[document.doc_id] = job
                 for claim in document.claims:
                     claim_jobs[claim.claim_id] = job
-        verifier = self._verifier_for(runnable[0])
-        checkpoint = verifier.ledger.checkpoint()
+        verifier, verifier_lock = self._verifier_for(
+            self._batch_key(runnable[0])
+        )
         try:
-            run = verifier.verify_documents(
-                documents,
-                runnable[0].schedule,
-                observer=_StreamingObserver(doc_jobs, claim_jobs),
-            )
+            with verifier_lock:
+                checkpoint = verifier.ledger.checkpoint()
+                run = verifier.verify_documents(
+                    documents,
+                    runnable[0].schedule,
+                    observer=_StreamingObserver(doc_jobs, claim_jobs),
+                )
         except Exception as error:  # the whole batch is poisoned
             message = f"{type(error).__name__}: {error}"
             for job in runnable:
@@ -659,6 +691,8 @@ class VerificationService:
                 self._inflight.pop(job.client_id, None)
             for claim_id in job.claim_ids():
                 self._active_claim_ids.discard(claim_id)
+            for document in job.documents:
+                self._active_doc_ids.discard(document.doc_id)
             counter = {COMPLETED: "completed", FAILED: "failed",
                        CANCELLED: "cancelled"}[state]
             self._counts[counter] += 1
@@ -669,13 +703,17 @@ class VerificationService:
                 1 for document in job.documents
                 for claim in document.claims if claim.correct is False
             )
+            # Forced: a terminal event must always close the stream,
+            # even if a cancel() raced in after the state flipped to
+            # COMPLETED (the cancel itself is then a no-op — see
+            # :meth:`cancel`).
             job.emit(JobDone(
                 job_id=job.job_id,
                 claims=len(job.claim_ids()),
                 flagged=flagged,
                 spend=job.spend,
                 latency_seconds=round(latency, 6),
-            ))
+            ), force=True)
         elif state == FAILED:
             job.emit(JobFailed(job_id=job.job_id, error=error or ""),
                      force=True)

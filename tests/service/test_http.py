@@ -135,3 +135,19 @@ class TestHttpSmoke:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             post_json(f"{server}/verify", {"dataset": "tiny", "document": 99})
         assert excinfo.value.code == 400
+
+    def test_bad_priority_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(f"{server}/verify",
+                      {"dataset": "tiny", "priority": "urgent"})
+        assert excinfo.value.code == 400
+        assert "priority" in json.loads(excinfo.value.read())["error"]
+
+    def test_bad_events_timeout_400(self, server):
+        status, body = post_json(f"{server}/verify", {"dataset": "tiny"})
+        assert status == 202
+        for bad in ("soon", "nan", "-1"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_json(f"{server}{body['events_url']}?wait=1&timeout={bad}")
+            assert excinfo.value.code == 400
+            assert "timeout" in json.loads(excinfo.value.read())["error"]

@@ -144,6 +144,38 @@ class TestConcurrentAcceptance:
             len(first_run.documents[0].claims)
         assert type(events[-1]) is JobDone
 
+    def test_two_dispatchers_share_one_batch_key_safely(self):
+        # Eight jobs against one database all carry the same batch key,
+        # so with max_batch_jobs=2 two dispatchers repeatedly race for
+        # the same verifier. The per-verifier mutex must serialise them:
+        # no job's documents may be skipped or fed another batch's
+        # observer, and every verdict must match the direct baseline.
+        bundle = make_bundle()
+        expected = baseline_verdicts(bundle)
+        service, schedule = make_service(
+            bundle, dispatchers=2, max_batch_jobs=2, max_queue_depth=16,
+            workers=2,
+        )
+        service.start()
+        handles = [
+            service.submit(clone_document(bundle.documents[0], f"p{i:02d}"),
+                           schedule, client_id=f"client-{i}")
+            for i in range(8)
+        ]
+        try:
+            for handle in handles:
+                assert handle.wait(timeout=30)
+                assert handle.state == "completed", handle.error
+        finally:
+            service.shutdown(drain=True)
+        for handle in handles:
+            run = handle.result()
+            for document in run.documents:
+                for claim in document.claims:
+                    original_id = claim.claim_id.split("/", 1)[1]
+                    assert (claim.correct, claim.query) == \
+                        expected[original_id], claim.claim_id
+
     def test_streamed_verdicts_match_final_reports(self):
         bundle = make_bundle()
         service, schedule = make_service(bundle)
@@ -199,6 +231,31 @@ class TestAdmissionControl:
         service.submit(document, schedule)
         with pytest.raises(AdmissionError) as excinfo:
             service.submit(document, schedule)  # same claim ids, in flight
+        assert excinfo.value.reason.code == REASON_CONFLICT
+        service.shutdown(drain=False)
+
+    def test_conflicting_doc_ids_rejected(self):
+        # Distinct claim ids but a shared doc id must still be refused:
+        # doc ids key the observer maps and the ledger's doc tags.
+        bundle = make_bundle()
+        service, schedule = make_service(bundle)
+        first = clone_document(bundle.documents[0], "doc-a")
+        second = clone_document(bundle.documents[0], "doc-b")
+        second.doc_id = first.doc_id
+        service.submit(first, schedule)
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit(second, schedule)
+        assert excinfo.value.reason.code == REASON_CONFLICT
+        service.shutdown(drain=False)
+
+    def test_duplicate_doc_ids_within_a_submission_rejected(self):
+        bundle = make_bundle()
+        service, schedule = make_service(bundle)
+        first = clone_document(bundle.documents[0], "twin-a")
+        second = clone_document(bundle.documents[0], "twin-b")
+        second.doc_id = first.doc_id
+        with pytest.raises(AdmissionError) as excinfo:
+            service.submit([first, second], schedule)
         assert excinfo.value.reason.code == REASON_CONFLICT
         service.shutdown(drain=False)
 
@@ -260,6 +317,21 @@ class TestCancellation:
         service.shutdown(drain=True)
         with pytest.raises(RuntimeError):
             handle.result(timeout=1)
+
+    def test_cancel_refused_after_completion(self):
+        # A terminal job must refuse cancellation: its stream is closed
+        # by the (forced) JobDone and no JobCancelled may follow it.
+        bundle = make_bundle()
+        service, schedule = make_service(bundle)
+        handle = service.submit(clone_document(bundle.documents[0], "done"),
+                                schedule)
+        service.shutdown(drain=True)
+        assert handle.state == "completed"
+        assert handle.cancel() is False
+        assert handle.state == "completed"
+        events = handle.events_snapshot()
+        assert type(events[-1]) is JobDone
+        assert not any(isinstance(e, JobCancelled) for e in events)
 
 
 class TestDrainAccounting:
