@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-parallel bench-service serve experiments
+.PHONY: test bench bench-parallel bench-service bench-sqlengine serve experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,11 @@ bench-parallel:
 # Service throughput with vs without cross-request micro-batching.
 bench-service:
 	$(PYTHON) -m repro.experiments service
+
+# Compile-and-cache SQL engine vs the naive interpreter
+# (writes BENCH_sqlengine.json).
+bench-sqlengine:
+	$(PYTHON) -m repro.experiments sqlengine
 
 # HTTP front end for the verification service (Ctrl-C drains and exits).
 serve:

@@ -1,0 +1,25 @@
+"""SQL engine benchmark — plan cache, hash joins, result cache speedups."""
+
+from repro.experiments.sqlengine_bench import (
+    format_sqlengine_bench,
+    run_sqlengine_bench,
+)
+
+
+def test_sqlengine(one_round):
+    result = one_round(run_sqlengine_bench)
+    print()
+    print(format_sqlengine_bench(result))
+    # The engine's contract: the optimized paths never change results,
+    # and the acceptance floor is a 3x win on the repeated-query and
+    # equi-join workloads (observed wins are far larger).
+    assert result.all_identical
+    assert result.speedup("repeated-query") >= 3.0
+    assert result.speedup("equi-join") >= 3.0
+    assert result.speedup("agent-trace-replay") >= 3.0
+
+
+if __name__ == "__main__":
+    from repro.experiments.sqlengine_bench import main
+
+    main()

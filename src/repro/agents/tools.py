@@ -17,7 +17,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.embeddings import text_similarity
-from repro.sqlengine import Database, Engine, SqlValue, to_text
+from repro.sqlengine import Database, SqlValue, engine_for, to_text
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.values import coerce_numeric
 
@@ -96,7 +96,7 @@ class DatabaseQueryingTool(Tool):
         claim_value: SqlValue,
         claim_value_text: str,
     ) -> None:
-        self._engine = Engine(database)
+        self._engine = engine_for(database)
         self._claim_value = claim_value
         self._claim_value_text = claim_value_text
         self.queries: list[str] = []

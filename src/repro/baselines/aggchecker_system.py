@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core.claims import Claim, Document, same_order_of_magnitude
 from repro.core.plausibility import validate_claim
-from repro.sqlengine import Database, Engine
+from repro.sqlengine import Database, engine_for
 from repro.sqlengine.ast_nodes import quote_identifier, quote_string
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.values import coerce_numeric
@@ -68,7 +68,7 @@ class AggCheckerSystem(Baseline):
             # Textual claims are outside the system's model; pass through.
             return True
         claimed = coerce_numeric(claim.value)
-        engine = Engine(database)
+        engine = engine_for(database)
         # Rank candidates by the learned keyword prior FIRST, then evaluate
         # only the top few — the published system cannot afford to execute
         # its whole search space, and its prior is imperfect (modelled as

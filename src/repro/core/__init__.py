@@ -40,6 +40,7 @@ from .plausibility import (
     PLAUSIBILITY_SIMILARITY,
     QueryAssessment,
     assess_query,
+    claim_matches_result,
     validate_claim,
 )
 from .profiling import LABEL_KEY, profile_method, profile_methods
@@ -89,6 +90,7 @@ __all__ = [
     "VerificationRun",
     "VerifierConfig",
     "assess_query",
+    "claim_matches_result",
     "describe_schedule",
     "distinct_methods_used",
     "expected_latency",

@@ -22,16 +22,18 @@ import copy
 import warnings
 from dataclasses import dataclass, field, replace
 
+import time
+
 from repro.llm.base import LLMClient
 from repro.llm.cache import CachingLLMClient, LLMCache
 from repro.llm.ledger import CostLedger
 from repro.llm.resilience import ResilientLLMClient, RetryPolicy
-from repro.sqlengine import Database
+from repro.sqlengine import Database, QueryResultCache, engine_for
 
 from .claims import Claim, Document
 from .masking import mask_claim
 from .methods import Sample, VerificationMethod
-from .plausibility import assess_query, validate_claim
+from .plausibility import assess_query, claim_matches_result
 
 
 @dataclass
@@ -56,12 +58,20 @@ class VerifierConfig:
     cache: LLMCache | None = None          # shared instance, wins over size
     retry: RetryPolicy | None = None       # None disables retry/backoff
     ledger: CostLedger | None = None       # None means a fresh ledger
+    #: SQL query-result cache, mirroring the LLM cache knobs: a shared
+    #: instance wins over the size; size 0 disables result caching for
+    #: the verifier's databases entirely (the determinism guard runs
+    #: with it both on and off).
+    sql_cache_size: int = 256
+    sql_cache: QueryResultCache | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if self.sql_cache_size < 0:
+            raise ValueError("sql_cache_size must be non-negative")
 
     def make_ledger(self) -> CostLedger:
         return self.ledger if self.ledger is not None else CostLedger()
@@ -70,6 +80,13 @@ class VerifierConfig:
         if self.cache is not None:
             return self.cache
         return LLMCache(self.cache_size) if self.cache_size > 0 else None
+
+    def make_sql_cache(self) -> QueryResultCache | None:
+        if self.sql_cache is not None:
+            return self.sql_cache
+        if self.sql_cache_size > 0:
+            return QueryResultCache(self.sql_cache_size)
+        return None
 
 
 @dataclass(frozen=True)
@@ -172,6 +189,10 @@ class MultiStageVerifier:
         #: Shared across runs of this verifier so repeat verification of
         #: the same documents hits warm entries. None when disabled.
         self.cache = config.make_cache()
+        #: Query-result cache bound to every database this verifier
+        #: touches (via the database's shared engine). None disables SQL
+        #: result caching.
+        self.sql_cache = config.make_sql_cache()
         #: Streaming hooks (see :class:`VerificationObserver`). Usually
         #: passed per run via ``verify_documents(..., observer=...)``.
         self.observer: VerificationObserver | None = None
@@ -368,14 +389,21 @@ class MultiStageVerifier:
             )
         report.attempts += 1
         report.method_attempts[method.name] = prior_tries + 1
-        assessment = assess_query(translation.query, claim, database)
+        # One execution per candidate: CorrectQuery runs the SQL, and
+        # CorrectClaim below reuses its result instead of re-executing.
+        # The shared engine carries this verifier's result cache, so
+        # repeated candidates across retries/stages are cache hits.
+        engine = engine_for(database, self.sql_cache)
+        sql_started = time.perf_counter()
+        assessment = assess_query(translation.query, claim, database, engine)
+        self.ledger.record_sql(time.perf_counter() - sql_started)
         if assessment.executable:
             report.saw_executable = True
             report.last_executable_query = translation.query
         if not assessment.plausible:
             return False
         claim.query = translation.query
-        claim.correct = validate_claim(translation.query, claim, database)
+        claim.correct = claim_matches_result(assessment.result, claim)
         report.plausible = True
         report.verified_by = method.name
         if self.observer is not None:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.embeddings import text_similarity
-from repro.sqlengine import Database, Engine, SqlValue, to_text
+from repro.sqlengine import Database, Engine, SqlValue, engine_for, to_text
 from repro.sqlengine.errors import EmptyResultError, SqlError
 from repro.sqlengine.values import coerce_numeric
 
@@ -46,25 +46,33 @@ class QueryAssessment:
     error: str | None = None
 
 
-def execute_single_cell(sql: str, database: Database) -> SqlValue:
+def execute_single_cell(
+    sql: str, database: Database, engine: Engine | None = None
+) -> SqlValue:
     """Run a query and return its top-left cell.
 
-    Raises :class:`~repro.sqlengine.errors.SqlError` subclasses on parse or
-    runtime failures, including :class:`EmptyResultError` for empty results
-    — claims map to single-cell queries (Definition 2.4), so anything else
-    is a failed translation.
+    Uses the database's shared compile-and-cache engine (see
+    :func:`repro.sqlengine.engine_for`) unless an explicit ``engine`` is
+    supplied. Raises :class:`~repro.sqlengine.errors.SqlError` subclasses
+    on parse or runtime failures, including :class:`EmptyResultError` for
+    empty results — claims map to single-cell queries (Definition 2.4),
+    so anything else is a failed translation.
     """
-    return Engine(database).execute(sql).first_cell()
+    active = engine if engine is not None else engine_for(database)
+    return active.execute(sql).first_cell()
 
 
 def assess_query(
-    sql: str | None, claim: Claim, database: Database
+    sql: str | None,
+    claim: Claim,
+    database: Database,
+    engine: Engine | None = None,
 ) -> QueryAssessment:
     """CorrectQuery: execute a candidate query and judge its plausibility."""
     if not sql:
         return QueryAssessment(False, False, error="no query produced")
     try:
-        result = execute_single_cell(sql, database)
+        result = execute_single_cell(sql, database, engine)
     except EmptyResultError as error:
         # The query parsed and ran but selected nothing: executable, yet
         # there is no value to compare, hence not plausible.
@@ -90,15 +98,15 @@ def _plausible(result: SqlValue, claim: Claim) -> bool:
     return similarity >= PLAUSIBILITY_SIMILARITY
 
 
-def validate_claim(
-    sql: str, claim: Claim, database: Database
-) -> bool:
-    """CorrectClaim (Algorithm 3): decide correctness from a trusted query.
+def claim_matches_result(result: SqlValue, claim: Claim) -> bool:
+    """CorrectClaim's comparison, given an already-executed query result.
 
-    Raises :class:`~repro.sqlengine.errors.SqlError` if the query cannot be
-    executed; callers are expected to have run :func:`assess_query` first.
+    Numeric claims: round the result to the claim's displayed precision
+    and compare. Textual: embedding cosine ≥ 0.8. Factored out of
+    :func:`validate_claim` so the pipeline can reuse the result that
+    :func:`assess_query` just produced instead of executing the SQL a
+    second time.
     """
-    result = execute_single_cell(sql, database)
     claimed = claim.value
     if isinstance(claimed, (int, float)):
         result_number = coerce_numeric(result)
@@ -109,3 +117,16 @@ def validate_claim(
         return False
     similarity = text_similarity(to_text(result), str(claimed))
     return similarity >= CORRECTNESS_SIMILARITY
+
+
+def validate_claim(
+    sql: str, claim: Claim, database: Database, engine: Engine | None = None
+) -> bool:
+    """CorrectClaim (Algorithm 3): decide correctness from a trusted query.
+
+    Raises :class:`~repro.sqlengine.errors.SqlError` if the query cannot be
+    executed; callers are expected to have run :func:`assess_query` first.
+    """
+    return claim_matches_result(
+        execute_single_cell(sql, database, engine), claim
+    )

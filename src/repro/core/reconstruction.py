@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 
-from repro.sqlengine import Database, Engine
+from repro.sqlengine import Database, Engine, engine_for
 from repro.sqlengine.ast_nodes import quote_string
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.values import SqlValue, coerce_numeric
@@ -35,7 +35,7 @@ def reconstruct(query_list: list[str], database: Database) -> str:
     if not query_list:
         raise ValueError("cannot reconstruct from an empty query list")
     remaining = list(query_list)
-    engine = Engine(database)
+    engine = engine_for(database)
     while len(remaining) > 1:
         current = remaining.pop(0)
         result = _try_single_cell(engine, current)

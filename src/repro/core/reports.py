@@ -16,6 +16,7 @@ import json
 
 from repro.llm.cache import CacheStats, LLMCache
 from repro.llm.ledger import CostLedger
+from repro.sqlengine import engine_stats as _engine_stats
 
 from .claims import Claim, Document
 from .pipeline import ClaimReport, VerificationRun
@@ -57,8 +58,14 @@ def document_report(
     run: VerificationRun,
     ledger: CostLedger | None = None,
     cache: LLMCache | CacheStats | None = None,
+    engine: dict | bool | None = None,
 ) -> dict:
-    """Full report for one document, JSON-serialisable."""
+    """Full report for one document, JSON-serialisable.
+
+    ``engine=True`` embeds the process-wide SQL engine stats (plan-cache
+    traffic and execution-strategy counters); a dict embeds a caller's
+    own snapshot (e.g. the service's, which includes its result cache).
+    """
     records = claim_records(document, run)
     flagged = sum(1 for r in records if r["verdict"] == "incorrect")
     report: dict = {
@@ -80,9 +87,16 @@ def document_report(
             "llm_calls": totals.calls,
             "tokens": totals.total_tokens,
         }
+        if ledger.sql_executions:
+            report["spend"]["sql_executions"] = ledger.sql_executions
+            report["spend"]["sql_seconds"] = round(ledger.sql_seconds, 6)
     stats = _cache_stats(cache)
     if stats is not None:
         report["cache"] = stats.to_dict()
+    if engine is True:
+        report["engine"] = _engine_stats()
+    elif isinstance(engine, dict):
+        report["engine"] = engine
     return report
 
 
@@ -92,10 +106,12 @@ def to_json(
     ledger: CostLedger | None = None,
     indent: int = 2,
     cache: LLMCache | CacheStats | None = None,
+    engine: dict | bool | None = None,
 ) -> str:
     """Serialise the document report as JSON text."""
     return json.dumps(
-        document_report(document, run, ledger, cache=cache), indent=indent
+        document_report(document, run, ledger, cache=cache, engine=engine),
+        indent=indent,
     )
 
 
@@ -104,6 +120,7 @@ def to_markdown(
     run: VerificationRun,
     ledger: CostLedger | None = None,
     cache: LLMCache | CacheStats | None = None,
+    engine: dict | bool | None = None,
 ) -> str:
     """Render the annotated document as markdown.
 
@@ -113,7 +130,8 @@ def to_markdown(
     :class:`~repro.llm.cache.CacheStats` snapshot) adds a response-cache
     line to the spend summary.
     """
-    report = document_report(document, run, ledger, cache=cache)
+    report = document_report(document, run, ledger, cache=cache,
+                             engine=engine)
     lines = [f"# Verification report — {document.title or document.doc_id}",
              ""]
     summary = report["summary"]
@@ -136,6 +154,8 @@ def to_markdown(
             f"{stats['bypasses']} retry bypasses, "
             f"{stats['evictions']} evictions."
         )
+    if "engine" in report:
+        lines.append(_engine_line(report["engine"]))
     lines.append("")
     for record in report["claims"]:
         marker = "⚠️" if record["verdict"] == "incorrect" else "✅"
@@ -148,3 +168,27 @@ def to_markdown(
         if record["query"]:
             lines.append(f"  - evidence: `{record['query']}`")
     return "\n".join(lines)
+
+
+def _engine_line(stats: dict) -> str:
+    """One-line summary of the SQL engine's cache/strategy counters."""
+    plan = stats.get("plan_cache", {})
+    strategies = stats.get("strategies", {})
+    result = stats.get("result_cache")
+    plan_lookups = plan.get("hits", 0) + plan.get("misses", 0)
+    parts = [
+        f"plan cache {plan.get('hits', 0)}/{plan_lookups} hits",
+        f"{strategies.get('hash_joins', 0)} hash joins",
+        f"{strategies.get('pushed_predicates', 0)} pushed predicates",
+        f"{strategies.get('indexed_scans', 0)} indexed scans",
+    ]
+    if result is not None:
+        result_lookups = result.get("hits", 0) + result.get("misses", 0)
+        parts.insert(
+            1, f"result cache {result.get('hits', 0)}/{result_lookups} hits"
+        )
+    else:
+        hits = strategies.get("result_cache_hits", 0)
+        lookups = hits + strategies.get("result_cache_misses", 0)
+        parts.insert(1, f"result cache {hits}/{lookups} hits")
+    return "SQL engine: " + ", ".join(parts) + "."

@@ -31,7 +31,7 @@ from repro.core.claims import (
 from repro.core.masking import mask_sentence
 from repro.embeddings import text_similarity
 from repro.llm.world import ClaimKnowledge, ClaimWorld, LookupTrap
-from repro.sqlengine import Database, Engine
+from repro.sqlengine import Database, engine_for
 from repro.sqlengine.ast_nodes import quote_identifier, quote_string
 from repro.sqlengine.errors import SqlError
 
@@ -142,7 +142,7 @@ class ClaimGenerator:
         self.world = world
         self.rng = rng
         self.doc_id = doc_id
-        self._engine = Engine(database)
+        self._engine = engine_for(database)
         self._table = database.table(theme.table_name)
         self._claim_index = 0
         self._pending_surface_variant = False

@@ -14,7 +14,7 @@ import random
 
 from repro.core.claims import Document
 from repro.llm.world import ClaimWorld
-from repro.sqlengine import Engine
+from repro.sqlengine import engine_for
 from repro.sqlengine.ast_nodes import quote_identifier
 from repro.sqlengine.errors import SqlError
 
@@ -169,7 +169,7 @@ def _joined_decomposition(
         f"{quote_identifier(inner_fact)}"
     )
     try:
-        inner_value = Engine(database).execute(inner).first_cell()
+        inner_value = engine_for(database).execute(inner).first_cell()
     except SqlError:
         return ()
     value_fact = naming.fact_tables[recipe.value_column]

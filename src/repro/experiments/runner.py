@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments all [--fast]
 
 Experiments: table2, costs, figure5, figure6, table3, joinbench,
-figure7, assumptions, parallel, service.
+figure7, assumptions, parallel, service, sqlengine.
 """
 
 from __future__ import annotations
@@ -15,12 +15,14 @@ import argparse
 import sys
 
 from . import (assumptions, costs, figure5, figure6, figure7,
-               joinbench_exp, parallel_bench, service_bench, table2, table3)
+               joinbench_exp, parallel_bench, service_bench,
+               sqlengine_bench, table2, table3)
 
 EXPERIMENTS = {
     "assumptions": assumptions.main,
     "parallel": parallel_bench.main,
     "service": service_bench.main,
+    "sqlengine": sqlengine_bench.main,
     "table2": table2.main,
     "costs": costs.main,
     "figure5": figure5.main,

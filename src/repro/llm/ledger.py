@@ -94,6 +94,12 @@ class CostLedger:
         self.events: list[RetryEvent] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Data-side (SQL engine) latency, tracked as plain counters rather
+        # than entries: it costs no tokens, and keeping it out of
+        # ``entries`` leaves the capture/absorb determinism contract of
+        # the parallel executor untouched.
+        self._sql_seconds = 0.0
+        self._sql_executions = 0
 
     # -- thread-local state --------------------------------------------------
 
@@ -156,6 +162,27 @@ class CostLedger:
         else:
             with self._lock:
                 self.events.append(event)
+
+    def record_sql(self, seconds: float, executions: int = 1) -> None:
+        """Record time spent executing SQL for the verification data side.
+
+        Shows up in latency accounting (``sql_seconds`` /
+        ``sql_executions``) so the engine's share of wall-clock is visible
+        next to model-call latency in ``/stats`` and reports.
+        """
+        with self._lock:
+            self._sql_seconds += seconds
+            self._sql_executions += executions
+
+    @property
+    def sql_seconds(self) -> float:
+        with self._lock:
+            return self._sql_seconds
+
+    @property
+    def sql_executions(self) -> int:
+        with self._lock:
+            return self._sql_executions
 
     @contextmanager
     def tagged(self, tag: str):

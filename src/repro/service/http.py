@@ -12,8 +12,9 @@
   ``?wait=1`` streams until the terminal event (bounded by
   ``&timeout=<seconds>``); without it, replays the events so far.
 * ``GET /healthz`` — liveness plus draining flag.
-* ``GET /stats`` — queue depth, batch sizes, cache hit rate, ledger
-  spend, and the p50/p95 latency histogram.
+* ``GET /stats`` — queue depth, batch sizes, cache hit rate, SQL-engine
+  counters (plan cache, result cache, join strategies), ledger spend,
+  and the p50/p95 latency histogram.
 
 Every request against a dataset shares one service-wide response cache
 and ledger, and jobs arriving close together coalesce into one verifier

@@ -49,6 +49,7 @@ from repro.core.reports import claim_record
 from repro.llm.cache import LLMCache
 from repro.llm.ledger import CostLedger
 from repro.llm.resilience import RetryPolicy
+from repro.sqlengine import QueryResultCache, engine_stats
 
 from .events import (
     ClaimAccepted,
@@ -92,6 +93,7 @@ class ServiceConfig:
     dispatchers: int = 1            # batch-runner threads
     workers: int = 4                # ParallelVerifier pool width per batch
     cache_size: int = 1024          # shared response cache; 0 disables
+    sql_cache_size: int = 2048      # shared query-result cache; 0 disables
     #: Algorithm 1's few-shot sample harvesting. Note the re-pass it
     #: triggers runs at retry temperature, and those draws are
     #: independent across jobs (Assumption 1) — disable it when
@@ -116,6 +118,8 @@ class ServiceConfig:
             raise ValueError("workers must be at least 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if self.sql_cache_size < 0:
+            raise ValueError("sql_cache_size must be non-negative")
 
 
 def clone_document(document: Document, tag: str) -> Document:
@@ -358,6 +362,13 @@ class VerificationService:
             LLMCache(self.config.cache_size)
             if self.config.cache_size > 0 else None
         )
+        #: One query-result cache shared the same way: jobs that verify
+        #: against the same database re-use each other's SQL results
+        #: (keys carry the database fingerprint, so mutation invalidates).
+        self.sql_cache = (
+            QueryResultCache(self.config.sql_cache_size)
+            if self.config.sql_cache_size > 0 else None
+        )
         self._queue = BoundedJobQueue(self.config.max_queue_depth)
         self._jobs: dict[str, Job] = {}
         self._verifiers: dict[
@@ -593,6 +604,8 @@ class VerificationService:
                     cache=self.cache,
                     retry=self.config.retry,
                     ledger=self.ledger,
+                    sql_cache=self.sql_cache,
+                    sql_cache_size=self.config.sql_cache_size,
                 ))
                 entry = (verifier, threading.Lock())
                 self._verifiers[key] = entry
@@ -735,6 +748,15 @@ class VerificationService:
             running = self._running_jobs
             draining = self._draining
         totals = self.ledger.totals()
+        # Engine-wide plan-cache/strategy counters, with the result-cache
+        # slot replaced by this service's own shared cache (the global
+        # strategy counters still expose process-wide hit/miss tallies).
+        sql = dict(engine_stats())
+        sql["result_cache"] = (
+            self.sql_cache.stats() if self.sql_cache is not None else None
+        )
+        sql["executions"] = self.ledger.sql_executions
+        sql["seconds"] = round(self.ledger.sql_seconds, 6)
         return ServiceStats(
             queue_depth=len(self._queue),
             running_jobs=running,
@@ -742,6 +764,7 @@ class VerificationService:
             jobs=jobs,
             batches=batches,
             cache=self.cache.stats.to_dict() if self.cache else None,
+            sql=sql,
             ledger={
                 "entries": len(self.ledger),
                 "calls": totals.calls,

@@ -88,6 +88,7 @@ class ServiceStats:
     jobs: dict          # submitted / completed / failed / cancelled / rejected
     batches: dict       # count / jobs / mean_size / max_size
     cache: dict | None  # CacheStats.to_dict(), None when caching is off
+    sql: dict           # plan_cache / strategies / result_cache / executions
     ledger: dict        # entries / calls / cost_usd / tokens / retries
     latency: dict       # LatencyHistogram.snapshot()
 

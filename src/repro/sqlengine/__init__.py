@@ -22,7 +22,7 @@ from .errors import (
     SqlError,
     TokenizeError,
 )
-from .executor import Engine, QueryResult
+from .executor import Engine, QueryResult, engine_for
 from .formatting import (
     create_table_select_3_text,
     create_table_text,
@@ -32,6 +32,14 @@ from .formatting import (
 )
 from .io import dump_csv, dump_database, load_csv, load_csv_directory
 from .parser import parse_select
+from .planner import (
+    PlanCache,
+    QueryResultCache,
+    engine_stats,
+    normalize_sql,
+    reset_engine_stats,
+    shared_plan_cache,
+)
 from .table import Column, Database, Table
 from .values import SqlValue, coerce_numeric, is_numeric, to_text
 
@@ -42,8 +50,10 @@ __all__ = [
     "Engine",
     "ExecutionError",
     "ParseError",
+    "PlanCache",
     "PlanError",
     "QueryResult",
+    "QueryResultCache",
     "SelectStatement",
     "SqlError",
     "SqlValue",
@@ -54,13 +64,18 @@ __all__ = [
     "dump_csv",
     "dump_database",
     "create_table_text",
+    "engine_for",
+    "engine_stats",
     "is_numeric",
     "load_csv",
     "load_csv_directory",
     "markdown_table_text",
+    "normalize_sql",
     "parse_select",
     "prompt_schema_text",
+    "reset_engine_stats",
     "schema_text",
+    "shared_plan_cache",
     "to_text",
     "walk_expressions",
     "walk_subqueries",

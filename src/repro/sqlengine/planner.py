@@ -1,0 +1,226 @@
+"""Query planning support: SQL normalization, plan/result caches, counters.
+
+This module is the bookkeeping half of the compile-and-cache engine:
+
+* :func:`normalize_sql` — canonical text for cache keys (whitespace
+  collapsed *outside* string/identifier quotes only).
+* :class:`PlanCache` — thread-safe LRU from normalized SQL to the parsed
+  statement, so the tokenizer/parser run once per distinct query. A
+  module-level default (:func:`shared_plan_cache`) is shared by every
+  engine unless a caller supplies its own.
+* :class:`QueryResultCache` — thread-safe LRU from
+  ``(database fingerprint, normalized SQL)`` to a finished
+  :class:`~repro.sqlengine.executor.QueryResult`. Fingerprints come from
+  :meth:`Database.fingerprint`, so mutating a database invalidates its
+  entries by key change rather than by explicit purge.
+* :class:`StrategyCounters` — process-wide counters for which execution
+  strategies fired (hash vs nested-loop joins, pushed predicates, indexed
+  scans, compiled vs interpreted expressions, result-cache traffic).
+  Surfaced in ``/stats`` and in report renderings via
+  :func:`engine_stats`.
+
+Statement ASTs are frozen dataclasses, so sharing one parse across
+threads and engines is safe. Cached results are defensively copied on
+both insert and hit — ``QueryResult.rows`` is a mutable list and callers
+are allowed to mangle what they get back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor imports us)
+    from .ast_nodes import SelectStatement
+    from .executor import QueryResult
+
+DEFAULT_PLAN_CACHE_SIZE = 512
+DEFAULT_RESULT_CACHE_SIZE = 1024
+
+_QUOTES = ("'", '"')
+
+
+def normalize_sql(sql: str) -> str:
+    """Collapse runs of whitespace to single spaces, outside quotes only.
+
+    ``SELECT  a`` and ``SELECT a`` share a cache entry, but the literal in
+    ``WHERE name = 'two  spaces'`` keeps its spacing — folding it would
+    conflate semantically different queries. Doubled quotes inside a
+    literal are handled by treating each quote as a toggle: the zero-width
+    close/reopen pair leaves the intervening text correctly "inside".
+    Keyword case is deliberately left alone (folding would also fold
+    quoted-free identifiers, and a case miss only costs a re-parse).
+    """
+    parts: list[str] = []
+    quote: str | None = None
+    space_pending = False
+    for ch in sql:
+        if quote is not None:
+            parts.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in _QUOTES:
+            if space_pending and parts:
+                parts.append(" ")
+            space_pending = False
+            parts.append(ch)
+            quote = ch
+        elif ch.isspace():
+            space_pending = True
+        else:
+            if space_pending and parts:
+                parts.append(" ")
+            space_pending = False
+            parts.append(ch)
+    return "".join(parts)
+
+
+class _LruCache:
+    """Thread-safe LRU with hit/miss/eviction stats (shared skeleton)."""
+
+    def __init__(self, max_size: int) -> None:
+        if max_size <= 0:
+            raise ValueError("cache size must be positive")
+        self.max_size = max_size
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable):
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "hit_rate": round(self._hits / lookups, 4) if lookups else 0.0,
+            }
+
+
+class PlanCache(_LruCache):
+    """Normalized SQL text → parsed :class:`SelectStatement`.
+
+    Only successful parses are cached; malformed SQL re-raises its parse
+    error on every attempt, exactly like the uncached engine.
+    """
+
+    def get(self, key: str) -> "SelectStatement | None":
+        return super().get(key)  # type: ignore[return-value]
+
+
+class QueryResultCache(_LruCache):
+    """(database fingerprint, normalized SQL) → :class:`QueryResult`.
+
+    Correlated subqueries never reach this cache: the engine consults it
+    only at the top-level text entry point, where no outer row scope
+    exists. Entries are copied in and out, so cached rows can never be
+    mutated by a caller.
+    """
+
+    def get(self, key: tuple) -> "QueryResult | None":
+        result = super().get(key)
+        if result is None:
+            return None
+        return result.copy()  # type: ignore[union-attr]
+
+    def put(self, key: tuple, value: "QueryResult") -> None:
+        super().put(key, value.copy())
+
+
+_STRATEGY_NAMES = (
+    "hash_joins",
+    "nested_loop_joins",
+    "cross_joins",
+    "pushed_predicates",
+    "indexed_scans",
+    "compiled_expressions",
+    "interpreted_fallbacks",
+    "result_cache_hits",
+    "result_cache_misses",
+    "naive_executions",
+)
+
+
+class StrategyCounters:
+    """Process-wide tallies of which engine strategies actually fired."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(_STRATEGY_NAMES, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = dict.fromkeys(_STRATEGY_NAMES, 0)
+
+
+#: Shared singletons. Every Engine defaults to these, so distinct queries
+#: parsed anywhere in the process (pipeline, agents, reconstruction,
+#: service) all land in one plan cache.
+_SHARED_PLAN_CACHE = PlanCache(DEFAULT_PLAN_CACHE_SIZE)
+STRATEGY_COUNTERS = StrategyCounters()
+
+
+def shared_plan_cache() -> PlanCache:
+    """The process-wide default plan cache."""
+    return _SHARED_PLAN_CACHE
+
+
+def engine_stats() -> dict:
+    """Aggregate engine-layer stats for ``/stats`` and reports."""
+    return {
+        "plan_cache": _SHARED_PLAN_CACHE.stats(),
+        "strategies": STRATEGY_COUNTERS.snapshot(),
+    }
+
+
+def reset_engine_stats() -> None:
+    """Zero the strategy counters and drop the shared plan cache.
+
+    Test/benchmark hook: production code never calls this.
+    """
+    STRATEGY_COUNTERS.reset()
+    _SHARED_PLAN_CACHE.clear()
+    with _SHARED_PLAN_CACHE._lock:
+        _SHARED_PLAN_CACHE._hits = 0
+        _SHARED_PLAN_CACHE._misses = 0
+        _SHARED_PLAN_CACHE._evictions = 0

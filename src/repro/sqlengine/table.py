@@ -4,15 +4,25 @@ A :class:`Table` is a named list of columns plus row tuples; a
 :class:`Database` is a case-insensitive collection of tables. These are the
 storage substrate under the SQL executor and are also used directly by the
 dataset generators and by the agent's ``unique_column_values`` tool.
+
+Tables are immutable once constructed, which lets them memoize derived
+views that used to be recomputed on every prompt render or tool call:
+inferred column types, first-seen-order distinct values, and lazy equality
+indexes used by the optimized executor for ``col = literal`` scans.
+Databases are mutable (``add`` replaces tables) and therefore carry a
+``fingerprint()`` — a (creation token, mutation version) pair — that the
+query-result cache keys on so stale results can never be served.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterable, Sequence
+from copy import deepcopy
 from dataclasses import dataclass, field
 
 from .errors import PlanError
-from .values import SqlValue, infer_column_type
+from .values import SqlValue, equality_key, infer_column_type
 
 
 @dataclass(frozen=True)
@@ -21,6 +31,11 @@ class Column:
 
     name: str
     type_name: str = "TEXT"
+
+
+#: Sentinel stored in the equality-index cache when a column contains NaN
+#: (whose SQL comparison semantics cannot be represented by hashing).
+_UNINDEXABLE = object()
 
 
 class Table:
@@ -48,6 +63,9 @@ class Table:
                 )
             self.rows.append(row_tuple)
         self._index = {c.lower(): i for i, c in enumerate(self.column_names)}
+        self._columns_cache: tuple[Column, ...] | None = None
+        self._unique_cache: dict[str, tuple[SqlValue, ...]] = {}
+        self._equality_indexes: dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -82,26 +100,72 @@ class Table:
 
         This backs the agent's ``unique_column_values`` tool (Section 5.3),
         which lets the LLM discover the exact constants stored in the data
-        (e.g. ``'USA'`` rather than ``'United States'``).
+        (e.g. ``'USA'`` rather than ``'United States'``). Memoized: the tool
+        is called repeatedly for the same column across agent retries.
         """
-        seen: set[SqlValue] = set()
-        unique: list[SqlValue] = []
-        for value in self.column_values(name):
-            if value not in seen:
-                seen.add(value)
-                unique.append(value)
-        return unique
+        key = name.lower()
+        cached = self._unique_cache.get(key)
+        if cached is None:
+            seen: set[SqlValue] = set()
+            unique: list[SqlValue] = []
+            for value in self.column_values(name):
+                if value not in seen:
+                    seen.add(value)
+                    unique.append(value)
+            cached = tuple(unique)
+            self._unique_cache[key] = cached
+        return list(cached)
 
     def columns(self) -> list[Column]:
-        """Return columns with inferred display types."""
-        return [
-            Column(name, infer_column_type(self.column_values(name)))
-            for name in self.column_names
-        ]
+        """Return columns with inferred display types (memoized)."""
+        if self._columns_cache is None:
+            self._columns_cache = tuple(
+                Column(name, infer_column_type(self.column_values(name)))
+                for name in self.column_names
+            )
+        return list(self._columns_cache)
+
+    def equality_rows(self, name: str, value: SqlValue) -> list[int] | None:
+        """Row indices (ascending) whose ``name`` column SQL-equals ``value``.
+
+        Backed by a lazily built per-column hash index whose keys follow
+        :func:`equality_key`, i.e. exactly the equality classes of
+        ``compare_values``. Returns None when the index cannot honour those
+        semantics (NaN in the column or in the probe value) — callers must
+        then fall back to a plain predicate scan. NULLs never match.
+        """
+        key = name.lower()
+        index = self._equality_indexes.get(key)
+        if index is None:
+            position = self.column_position(name)
+            built: dict[tuple, list[int]] = {}
+            for i, row in enumerate(self.rows):
+                cell = row[position]
+                if cell is None:
+                    continue
+                cell_key = equality_key(cell)
+                if cell_key is None:
+                    built = None  # type: ignore[assignment]
+                    break
+                built.setdefault(cell_key, []).append(i)
+            index = built if built is not None else _UNINDEXABLE
+            self._equality_indexes[key] = index
+        if index is _UNINDEXABLE:
+            return None
+        probe = equality_key(value)
+        if probe is None:
+            return None
+        return index.get(probe, [])  # type: ignore[union-attr]
 
     def head(self, limit: int = 3) -> list[tuple[SqlValue, ...]]:
         """Return the first ``limit`` rows (used for prompt samples)."""
         return self.rows[:limit]
+
+
+#: Process-unique creation tokens for Database fingerprints. ``id()`` is
+#: unsuitable (addresses are recycled, which would let a dead database's
+#: cached results leak into a new one); a monotone counter is not.
+_DATABASE_TOKENS = itertools.count(1)
 
 
 @dataclass
@@ -110,10 +174,38 @@ class Database:
 
     name: str = "db"
     _tables: dict[str, Table] = field(default_factory=dict)
+    _token: int = field(
+        default_factory=lambda: next(_DATABASE_TOKENS),
+        repr=False,
+        compare=False,
+    )
+    _version: int = field(default=0, repr=False, compare=False)
 
     def add(self, table: Table) -> None:
         """Register a table, replacing any same-named table."""
         self._tables[table.name.lower()] = table
+        self._version += 1
+
+    def fingerprint(self) -> tuple[int, int]:
+        """A (token, version) pair identifying this exact database state.
+
+        The token is unique per constructed Database; the version bumps on
+        every ``add``. Query-result cache entries key on the fingerprint,
+        so mutating the database silently invalidates them.
+        """
+        return (self._token, self._version)
+
+    def __deepcopy__(self, memo: dict) -> "Database":
+        # A copy must get its own token: it starts identical but mutates
+        # independently, and sharing (token, version) coordinates would let
+        # the two databases poison each other's cached query results.
+        clone = Database(self.name)
+        memo[id(self)] = clone
+        clone._tables = {
+            key: deepcopy(table, memo) for key, table in self._tables.items()
+        }
+        clone._version = self._version
+        return clone
 
     def table(self, name: str) -> Table:
         """Look up a table by name, raising :class:`PlanError` on misses."""

@@ -105,6 +105,27 @@ def values_equal(left: SqlValue, right: SqlValue) -> bool:
     return compare_values(left, right) == 0
 
 
+def equality_key(value: SqlValue) -> tuple | None:
+    """Hashable key such that two non-NULL values share a key exactly when
+    :func:`compare_values` says they are equal.
+
+    Numeric-coercible values key on the coerced number (Python unifies the
+    hash of equal ints and floats), everything else on its display text —
+    mirroring the two comparison branches of :func:`compare_values`. NaN
+    breaks the equivalence (``compare_values`` reports NaN equal to every
+    number, hashing cannot), so NaN-keyed values return None and callers
+    must fall back to pairwise comparison.
+    """
+    if value is None:
+        return None
+    number = coerce_numeric(value)
+    if number is not None:
+        if number != number:  # NaN: unrepresentable as a hash class
+            return None
+        return ("num", number)
+    return ("text", to_text(value))
+
+
 def to_text(value: SqlValue) -> str:
     """Render a value the way the engine displays it in results."""
     if value is None:

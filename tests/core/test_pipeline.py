@@ -211,6 +211,43 @@ class TestLedgerAttribution:
         assert len(per_claim) == 2
 
 
+class TestSingleExecution:
+    def test_validated_claims_execute_sql_once(self, monkeypatch):
+        # assess_query already ran the translation; validation must reuse
+        # its result instead of executing the SQL a second time.
+        from repro.sqlengine import Engine
+
+        executed = []
+        original = Engine.execute
+
+        def counting(self, sql):
+            executed.append(sql)
+            return original(self, sql)
+
+        monkeypatch.setattr(Engine, "execute", counting)
+        document = make_document()
+        client = ScriptedLLM([wrap(GOOD_FRANCE), wrap(GOOD_USA)])
+        method = OneShotMethod(client)
+        MultiStageVerifier(client.ledger).verify_documents(
+            [document], [ScheduleEntry(method, 1)]
+        )
+        assert document.claims[0].correct is True
+        assert document.claims[1].correct is False
+        assert executed == [GOOD_FRANCE, GOOD_USA]
+
+    def test_sql_latency_recorded_in_ledger(self):
+        document = make_document()
+        ledger = CostLedger()
+        client = ScriptedLLM([wrap(GOOD_FRANCE), wrap(GOOD_USA)],
+                             ledger=ledger)
+        method = OneShotMethod(client)
+        MultiStageVerifier(ledger).verify_documents(
+            [document], [ScheduleEntry(method, 1)]
+        )
+        assert ledger.sql_executions == 2
+        assert ledger.sql_seconds >= 0.0
+
+
 class TestSampleRendering:
     def test_sample_requires_query(self):
         claim = Claim("Some 3 things.", Span(1, 1), "ctx", "c")

@@ -1,0 +1,65 @@
+"""Determinism guard: the SQL engine's caches never change output.
+
+The compile-and-cache engine (plan cache, compiled evaluators, hash
+joins, shared result cache) promises byte-identical behaviour. This
+suite runs ``repro.verify()`` end to end with the caches on and off
+under a fixed seed and compares the rendered reports byte for byte —
+if any optimization leaks into verdicts, queries, or spend, the diff
+shows up here.
+"""
+
+import repro
+from repro.core import ScheduleEntry, VerifierConfig, to_json, to_markdown
+from repro.datasets import build_tabfact
+from repro.experiments import build_cedar
+
+
+def _verify(sql_cache_size: int, workers: int = 1):
+    """One full verification arm: fresh bundle, fixed seed."""
+    bundle = build_tabfact(table_count=5, total_claims=15)
+    system = build_cedar(bundle, seed=9)
+    entries = [
+        ScheduleEntry(system.method_by_name("one_shot[gpt-3.5-turbo]"), 2),
+        ScheduleEntry(system.method_by_name("agent[gpt-4o]"), 1),
+    ]
+    run = repro.verify(
+        bundle.documents,
+        schedule=entries,
+        config=VerifierConfig(
+            ledger=system.ledger,
+            workers=workers,
+            sql_cache_size=sql_cache_size,
+        ),
+    )
+    # The ledger's sql_seconds is wall-clock (and legitimately differs
+    # between arms — that is the point of the caches), so reports are
+    # rendered without the spend section for the byte comparison.
+    reports = [to_json(doc, run) for doc in bundle.documents]
+    rendered = [to_markdown(doc, run) for doc in bundle.documents]
+    verdicts = [claim.correct for claim in bundle.claims]
+    ledger = system.ledger
+    return reports, rendered, verdicts, (ledger.totals().calls,
+                                         ledger.totals().cost)
+
+
+class TestCacheDeterminism:
+    def test_reports_byte_identical_with_and_without_sql_cache(self):
+        cached = _verify(sql_cache_size=256)
+        uncached = _verify(sql_cache_size=0)
+        assert cached[0] == uncached[0]     # JSON reports
+        assert cached[1] == uncached[1]     # markdown renderings
+        assert cached[2] == uncached[2]     # verdicts
+        assert cached[3] == uncached[3]     # LLM calls and cost
+
+    def test_repeat_cached_run_is_stable(self):
+        first = _verify(sql_cache_size=256)
+        second = _verify(sql_cache_size=256)
+        assert first[0] == second[0]
+        assert first[2] == second[2]
+
+    def test_parallel_cached_matches_sequential_uncached(self):
+        parallel = _verify(sql_cache_size=256, workers=4)
+        sequential = _verify(sql_cache_size=0, workers=1)
+        assert parallel[0] == sequential[0]
+        assert parallel[2] == sequential[2]
+        assert parallel[3] == sequential[3]
