@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-parallel bench-service bench-sqlengine serve experiments
+.PHONY: test lint bench bench-parallel bench-service bench-sqlengine \
+	bench-analyzer serve experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Repo invariants (tools/check_invariants.py) always run; ruff and mypy
+# run when installed, with their configuration in pyproject.toml.
+lint:
+	$(PYTHON) tools/lint.py
 
 # Full reproduction run: every benchmark regenerates a table/figure.
 bench:
@@ -22,6 +28,11 @@ bench-service:
 # (writes BENCH_sqlengine.json).
 bench-sqlengine:
 	$(PYTHON) -m repro.experiments sqlengine
+
+# Static analyzer overhead and rejection counts on a seeded corpus of
+# invalid queries (writes BENCH_analyzer.json).
+bench-analyzer:
+	$(PYTHON) -m repro.experiments analyzer
 
 # HTTP front end for the verification service (Ctrl-C drains and exits).
 serve:

@@ -1,0 +1,25 @@
+"""Static analyzer benchmark — overhead budget and rejection recall."""
+
+from repro.experiments.analyzer_bench import (
+    OVERHEAD_CEILING,
+    format_analyzer_bench,
+    run_analyzer_bench,
+)
+
+
+def test_analyzer(one_round):
+    result = one_round(run_analyzer_bench)
+    print()
+    print(format_analyzer_bench(result))
+    # The gate's contract: every query in the seeded invalid corpus is
+    # rejected before execution, and the amortized analysis cost stays
+    # under 5% of the mean execution time.
+    assert result.corpus_size >= 30
+    assert result.all_rejected
+    assert result.overhead_ratio < OVERHEAD_CEILING
+
+
+if __name__ == "__main__":
+    from repro.experiments.analyzer_bench import main
+
+    main()

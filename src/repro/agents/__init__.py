@@ -7,6 +7,7 @@ from .tools import (
     DatabaseQueryingTool,
     Tool,
     UniqueColumnValuesTool,
+    format_tool_error,
 )
 from .trace import AgentStep, AgentTrace
 
@@ -21,6 +22,7 @@ __all__ = [
     "UniqueColumnValuesTool",
     "agent_prompt",
     "agent_success_probability",
+    "format_tool_error",
     "install_agent_policy",
     "parse_scratchpad",
 ]

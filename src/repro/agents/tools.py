@@ -18,7 +18,12 @@ from abc import ABC, abstractmethod
 
 from repro.embeddings import text_similarity
 from repro.sqlengine import Database, SqlValue, engine_for, to_text
-from repro.sqlengine.errors import SqlError
+from repro.sqlengine.analyzer import (
+    analyze_sql,
+    record_rejection,
+    render_diagnostics,
+)
+from repro.sqlengine.errors import EmptyResultError, SqlError
 from repro.sqlengine.values import coerce_numeric
 
 from repro.core.claims import numeric_values_match, same_order_of_magnitude
@@ -31,6 +36,28 @@ MAX_UNIQUE_VALUES = 60
 #: Textual similarity above which the querying tool reports 'matched'
 #: (the paper's plausibility threshold, Section 4).
 TEXT_MATCH_THRESHOLD = 0.7
+
+
+def format_tool_error(error: BaseException) -> str:
+    """Render one exception as a stable tool observation.
+
+    Every error path of every tool goes through here so the agent
+    transcript — which seeds the simulated LLM's RNG — cannot drift with
+    the Python version. Three tiers:
+
+    * :class:`EmptyResultError` — verbatim. Its message is the paper's
+      Figure 4 observation (``index 0 is out of bounds ...``) and both
+      the simulated agent policy and tests key on the exact text.
+    * Other :class:`SqlError` — ``Error: <message>``. These messages are
+      authored by this repo's engine, so they are stable by construction.
+    * Anything else — ``Error: <TypeName>`` only; interpreter-authored
+      messages change between Python versions, the type name does not.
+    """
+    if isinstance(error, EmptyResultError):
+        return str(error)
+    if isinstance(error, SqlError):
+        return f"Error: {error}"
+    return f"Error: {type(error).__name__}"
 
 
 class Tool(ABC):
@@ -95,20 +122,33 @@ class DatabaseQueryingTool(Tool):
         database: Database,
         claim_value: SqlValue,
         claim_value_text: str,
+        *,
+        analyze: bool = True,
     ) -> None:
+        self._database = database
         self._engine = engine_for(database)
         self._claim_value = claim_value
         self._claim_value_text = claim_value_text
+        self._analyze = analyze
         self.queries: list[str] = []
         self.results: list[SqlValue] = []
 
     def run(self, tool_input: str) -> str:
         sql = tool_input.strip()
         self.queries.append(sql)
+        if self._analyze:
+            # Statically invalid queries never reach the engine: the
+            # observation is the rendered diagnostics (structured codes
+            # the agent can act on) instead of whichever runtime error
+            # happened to surface first.
+            analysis = analyze_sql(sql, self._database)
+            if analysis.errors:
+                record_rejection()
+                return f"Error: {render_diagnostics(analysis.errors)}"
         try:
             result = self._engine.execute(sql).first_cell()
         except SqlError as error:
-            return str(error)
+            return format_tool_error(error)
         self.results.append(result)
         feedback = self._feedback(result)
         return f"[{to_text(result)}, '{feedback}']"

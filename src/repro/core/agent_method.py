@@ -54,7 +54,8 @@ class AgentMethod(VerificationMethod):
         )
 
         querying_tool = DatabaseQueryingTool(
-            database, claim_value, claim_value_text
+            database, claim_value, claim_value_text,
+            analyze=self.analyze_sql,
         )
         tools = [UniqueColumnValuesTool(database), querying_tool]
         prompt = agent_prompt(
@@ -74,7 +75,9 @@ class AgentMethod(VerificationMethod):
                 trace_text=outcome.trace.render(),
             )
         if self.reconstruct_queries:
-            query = reconstruct(list(outcome.queries), database)
+            query = reconstruct(
+                list(outcome.queries), database, analyze=self.analyze_sql
+            )
         else:
             query = outcome.queries[-1]
         return TranslationResult(

@@ -11,7 +11,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from repro.llm.base import LLMClient
-from repro.sqlengine import Database, SqlValue
+from repro.sqlengine import Database, QueryAnalysis, SqlValue
 
 from .masking import MaskedClaim
 
@@ -37,6 +37,9 @@ class TranslationResult:
     response_text: str = ""
     issued_queries: list[str] = field(default_factory=list)
     trace_text: str = ""
+    #: Static analysis of ``query`` (attached by methods with the
+    #: analyzer enabled; None when analysis is off or no query emerged).
+    analysis: QueryAnalysis | None = None
 
 
 class VerificationMethod(ABC):
@@ -45,6 +48,12 @@ class VerificationMethod(ABC):
     #: Temperature used on retries (the first attempt always runs at 0;
     #: Section 7.1: 0.25 for one-shot retries, 0.5 for agent retries).
     retry_temperature: float = 0.25
+
+    #: Static SQL analyzer gate for the surfaces the method itself owns
+    #: (the agent's querying tool, Algorithm 9 reconstruction). The
+    #: verifier copies :attr:`VerifierConfig.analyze_sql` onto method
+    #: copies when instrumenting a schedule.
+    analyze_sql: bool = True
 
     def __init__(self, client: LLMClient, name: str | None = None) -> None:
         self.client = client

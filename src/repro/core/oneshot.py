@@ -9,7 +9,7 @@ prompt requests.
 from __future__ import annotations
 
 from repro.llm.base import extract_sql_block
-from repro.sqlengine import Database, SqlValue, prompt_schema_text
+from repro.sqlengine import Database, SqlValue, analyze_sql, prompt_schema_text
 
 from .masking import MaskedClaim
 from .methods import Sample, TranslationResult, VerificationMethod, render_sample
@@ -68,8 +68,16 @@ class OneShotMethod(VerificationMethod):
         )
         response = self.client.complete(prompt, temperature)
         query = extract_sql_block(response.text)
+        # Attach the static analysis so callers (and reports) can see why
+        # a candidate is about to be rejected without re-walking the AST —
+        # analyses are memoized, so the verifier's own gate reuses this.
+        analysis = (
+            analyze_sql(query, database)
+            if query and self.analyze_sql else None
+        )
         return TranslationResult(
             query=query,
             response_text=response.text,
             issued_queries=[query] if query else [],
+            analysis=analysis,
         )

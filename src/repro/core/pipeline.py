@@ -64,6 +64,13 @@ class VerifierConfig:
     #: with it both on and off).
     sql_cache_size: int = 256
     sql_cache: QueryResultCache | None = None
+    #: Static SQL analyzer gate: when True (default), statically invalid
+    #: candidate queries are rejected before execution and the agent's
+    #: querying tool returns rendered diagnostics instead of runtime
+    #: errors. False restores execute-to-discover behaviour; the
+    #: determinism guard asserts reports are byte-identical both ways
+    #: when no query is rejected.
+    analyze_sql: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -244,9 +251,14 @@ class MultiStageVerifier:
 
         Methods are shallow-copied so the caller's objects keep their
         bare clients; all copies share one cache (and the verifier's
-        ledger, through the wrapped clients).
+        ledger, through the wrapped clients). Disabling ``analyze_sql``
+        is also applied here: the method copies carry the flag into the
+        places the config cannot reach directly (the agent's querying
+        tool and Algorithm 9 reconstruction).
         """
-        if self.cache is None and self.config.retry is None:
+        analyzer_off = not self.config.analyze_sql
+        if self.cache is None and self.config.retry is None \
+                and not analyzer_off:
             return schedule
         instrumented = []
         for entry in schedule:
@@ -257,6 +269,8 @@ class MultiStageVerifier:
                 client = CachingLLMClient(client, self.cache)
             method = copy.copy(entry.method)
             method.client = client
+            if analyzer_off:
+                method.analyze_sql = False
             instrumented.append(ScheduleEntry(method, entry.tries))
         return instrumented
 
@@ -395,7 +409,10 @@ class MultiStageVerifier:
         # repeated candidates across retries/stages are cache hits.
         engine = engine_for(database, self.sql_cache)
         sql_started = time.perf_counter()
-        assessment = assess_query(translation.query, claim, database, engine)
+        assessment = assess_query(
+            translation.query, claim, database, engine,
+            analyze=self.config.analyze_sql,
+        )
         self.ledger.record_sql(time.perf_counter() - sql_started)
         if assessment.executable:
             report.saw_executable = True

@@ -19,6 +19,12 @@ from dataclasses import dataclass
 
 from repro.embeddings import text_similarity
 from repro.sqlengine import Database, Engine, SqlValue, engine_for, to_text
+from repro.sqlengine.analyzer import (
+    analyze_sql,
+    record_rejection,
+    render_diagnostics,
+    shape_diagnostics,
+)
 from repro.sqlengine.errors import EmptyResultError, SqlError
 from repro.sqlengine.values import coerce_numeric
 
@@ -62,15 +68,53 @@ def execute_single_cell(
     return active.execute(sql).first_cell()
 
 
+def static_rejection(
+    sql: str, claim: Claim, database: Database
+) -> str | None:
+    """Run the static analyzer over one candidate; rendered errors or None.
+
+    Two layers of verdicts can rule the query out before any row is
+    touched: analyzer *errors* (a guaranteed runtime failure — unknown
+    columns, arity mistakes, aggregate misuse), and claim-shape checks
+    (:func:`~repro.sqlengine.analyzer.shape_diagnostics`: a multi-column
+    result can never be the single cell of Definition 2.4, and a provably
+    BOOLEAN/NULL result can never match a numeric claim). Warnings never
+    reject.
+    """
+    analysis = analyze_sql(sql, database)
+    diagnostics: tuple = analysis.errors
+    if not diagnostics:
+        claim_numeric = coerce_numeric(claim.value) is not None
+        diagnostics = shape_diagnostics(analysis, claim_numeric=claim_numeric)
+    if not diagnostics:
+        return None
+    record_rejection()
+    return render_diagnostics(diagnostics)
+
+
 def assess_query(
     sql: str | None,
     claim: Claim,
     database: Database,
     engine: Engine | None = None,
+    *,
+    analyze: bool = True,
 ) -> QueryAssessment:
-    """CorrectQuery: execute a candidate query and judge its plausibility."""
+    """CorrectQuery: execute a candidate query and judge its plausibility.
+
+    With ``analyze`` on (the default), statically invalid queries are
+    rejected without executing: an analyzer error means the naive engine
+    was guaranteed to raise, so the assessment is the same
+    ``executable=False`` the execution path would have produced, minus
+    the execution. ``analyze=False`` restores the pure PR 3 behaviour
+    (the determinism guard runs both ways).
+    """
     if not sql:
         return QueryAssessment(False, False, error="no query produced")
+    if analyze:
+        rejection = static_rejection(sql, claim, database)
+        if rejection is not None:
+            return QueryAssessment(False, False, error=rejection)
     try:
         result = execute_single_cell(sql, database, engine)
     except EmptyResultError as error:

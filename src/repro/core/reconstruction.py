@@ -14,6 +14,7 @@ from __future__ import annotations
 import re
 
 from repro.sqlengine import Database, Engine, engine_for
+from repro.sqlengine.analyzer import analyze_sql, record_rejection
 from repro.sqlengine.ast_nodes import quote_string
 from repro.sqlengine.errors import SqlError
 from repro.sqlengine.values import SqlValue, coerce_numeric
@@ -23,7 +24,9 @@ from .claims import round_to_precision
 _NUMBER_IN_TOKEN = re.compile(r"[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?")
 
 
-def reconstruct(query_list: list[str], database: Database) -> str:
+def reconstruct(
+    query_list: list[str], database: Database, *, analyze: bool = True
+) -> str:
     """Algorithm 9: merge an agent's query list into a single query.
 
     Queries must be in issue order. Constants in *later* queries that match
@@ -31,6 +34,14 @@ def reconstruct(query_list: list[str], database: Database) -> str:
     parenthesised sub-query (the agent can only have derived constants from
     queries it already ran). The last query — after all substitutions — is
     the reconstruction.
+
+    With ``analyze`` on, statically invalid intermediate queries are
+    skipped without executing (an analyzer error is a guaranteed runtime
+    error, so the outcome is the same ``None`` the execution would have
+    produced), and a reconstruction that the analyzer proves broken —
+    textual substitution can corrupt a query, e.g. a constant sitting
+    inside a quoted literal — falls back to the agent's own final query
+    when that one is statically sound.
     """
     if not query_list:
         raise ValueError("cannot reconstruct from an empty query list")
@@ -38,17 +49,28 @@ def reconstruct(query_list: list[str], database: Database) -> str:
     engine = engine_for(database)
     while len(remaining) > 1:
         current = remaining.pop(0)
-        result = _try_single_cell(engine, current)
+        result = _try_single_cell(engine, current, analyze)
         if result is None:
             continue
         for index, query in enumerate(remaining):
             substituted = _substitute(query, current, result)
             if substituted is not None:
                 remaining[index] = substituted
-    return remaining[0]
+    reconstructed = remaining[0]
+    if analyze and reconstructed != query_list[-1]:
+        if analyze_sql(reconstructed, database).errors and \
+                not analyze_sql(query_list[-1], database).errors:
+            record_rejection()
+            return query_list[-1]
+    return reconstructed
 
 
-def _try_single_cell(engine: Engine, sql: str) -> SqlValue | None:
+def _try_single_cell(
+    engine: Engine, sql: str, analyze: bool = True
+) -> SqlValue | None:
+    if analyze and analyze_sql(sql, engine.database).errors:
+        record_rejection()
+        return None
     try:
         return engine.execute(sql).first_cell()
     except SqlError:

@@ -191,4 +191,11 @@ def _engine_line(stats: dict) -> str:
         hits = strategies.get("result_cache_hits", 0)
         lookups = hits + strategies.get("result_cache_misses", 0)
         parts.insert(1, f"result cache {hits}/{lookups} hits")
+    analyzer = stats.get("analyzer")
+    if analyzer is not None:
+        parts.append(
+            f"analyzer {analyzer.get('queries_analyzed', 0)} analyzed"
+            f"/{analyzer.get('rejected_pre_execution', 0)} rejected"
+            f"/{analyzer.get('warnings', 0)} warnings"
+        )
     return "SQL engine: " + ", ".join(parts) + "."

@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments all [--fast]
 
 Experiments: table2, costs, figure5, figure6, table3, joinbench,
-figure7, assumptions, parallel, service, sqlengine.
+figure7, assumptions, parallel, service, sqlengine, analyzer.
 """
 
 from __future__ import annotations
@@ -14,11 +14,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import (assumptions, costs, figure5, figure6, figure7,
-               joinbench_exp, parallel_bench, service_bench,
+from . import (analyzer_bench, assumptions, costs, figure5, figure6,
+               figure7, joinbench_exp, parallel_bench, service_bench,
                sqlengine_bench, table2, table3)
 
 EXPERIMENTS = {
+    "analyzer": analyzer_bench.main,
     "assumptions": assumptions.main,
     "parallel": parallel_bench.main,
     "service": service_bench.main,

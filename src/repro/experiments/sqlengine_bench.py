@@ -201,7 +201,7 @@ def _workload(
     queries: list[str],
     optimized: Engine,
 ) -> WorkloadResult:
-    naive = Engine(database, naive=True)
+    naive = Engine(database, naive=True)  # lint: allow-engine
     naive_seconds, naive_results = _run_arm(naive, queries)
     optimized_seconds, optimized_results = _run_arm(optimized, queries)
     return WorkloadResult(
@@ -229,14 +229,14 @@ def run_sqlengine_bench(
             "repeated-query",
             database,
             _repeated_queries(rounds),
-            Engine(database, result_cache=QueryResultCache(256)),
+            Engine(database, result_cache=QueryResultCache(256)),  # lint: allow-engine
         ),
         _workload(
             "equi-join",
             database,
             _equi_join_queries(),
             # Result cache off: measure the hash-join plan itself.
-            Engine(database, result_cache=None),
+            Engine(database, result_cache=None),  # lint: allow-engine
         ),
         _workload(
             "agent-trace-replay",

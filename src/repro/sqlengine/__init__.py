@@ -13,6 +13,16 @@ Public surface::
     )  # -> 2
 """
 
+from .analyzer import (
+    ANALYZER_COUNTERS,
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    QueryAnalysis,
+    analyze_sql,
+    render_diagnostics,
+    reset_analyzer,
+    shape_diagnostics,
+)
 from .ast_nodes import SelectStatement, walk_expressions, walk_subqueries
 from .errors import (
     EmptyResultError,
@@ -44,8 +54,12 @@ from .table import Column, Database, Table
 from .values import SqlValue, coerce_numeric, is_numeric, to_text
 
 __all__ = [
+    "ANALYZER_COUNTERS",
     "Column",
+    "DIAGNOSTIC_CODES",
     "Database",
+    "Diagnostic",
+    "QueryAnalysis",
     "EmptyResultError",
     "Engine",
     "ExecutionError",
@@ -59,6 +73,7 @@ __all__ = [
     "SqlValue",
     "Table",
     "TokenizeError",
+    "analyze_sql",
     "coerce_numeric",
     "create_table_select_3_text",
     "dump_csv",
@@ -73,8 +88,11 @@ __all__ = [
     "normalize_sql",
     "parse_select",
     "prompt_schema_text",
+    "render_diagnostics",
+    "reset_analyzer",
     "reset_engine_stats",
     "schema_text",
+    "shape_diagnostics",
     "shared_plan_cache",
     "to_text",
     "walk_expressions",

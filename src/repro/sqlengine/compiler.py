@@ -266,9 +266,11 @@ def _c_in(node: ast.InExpr, columns, grouped):
         value = operand(ctx)
         if value is None:
             return None
+        # Evaluate every item before testing, exactly like the evaluator:
+        # a raising item (e.g. 1/0) after a matching one must still raise.
+        candidates = [item(ctx) for item in items]
         saw_null = False
-        for item in items:
-            candidate = item(ctx)
+        for candidate in candidates:
             if candidate is None:
                 saw_null = True
                 continue
@@ -381,66 +383,7 @@ _COMPILERS = {
 
 # -- static analysis for the pushdown/hash-join planner ----------------------
 
-#: Node types that can never raise during evaluation when all their
-#: children are also total: comparisons and predicates built from columns
-#: and literals. Arithmetic, CAST, scalar functions, aggregates, and
-#: subqueries are excluded — they can raise, and the planner must not
-#: reorder or skip anything that can raise.
-_TOTAL_BINARY_OPS = frozenset(
-    ("AND", "OR", "=", "<>", "<", "<=", ">", ">=", "||")
-)
-
-
-def is_total(node: ast.Expression) -> bool:
-    """True when evaluating ``node`` can never raise, for any row.
-
-    "Total" predicates are the only ones the planner may push below a
-    join, split out of an AND chain, or evaluate early in a hash join:
-    since they cannot raise, evaluating them on more rows (pushdown) or
-    skipping them on fewer rows (hash-join pre-filtering) is observable
-    only through the result set, which the strategies preserve.
-    ``compare_values`` never raises on non-NULL inputs and NULLs are
-    short-circuited before every comparison, so comparison chains over
-    columns and literals qualify.
-    """
-    if isinstance(node, ast.Literal) or isinstance(node, ast.ColumnRef):
-        return True
-    if isinstance(node, ast.BinaryOp):
-        return (
-            node.op in _TOTAL_BINARY_OPS
-            and is_total(node.left)
-            and is_total(node.right)
-        )
-    if isinstance(node, ast.UnaryOp):
-        return node.op == "NOT" and is_total(node.operand)
-    if isinstance(node, ast.InExpr):
-        return (
-            node.subquery is None
-            and is_total(node.operand)
-            and all(is_total(item) for item in node.items or ())
-        )
-    if isinstance(node, ast.BetweenExpr):
-        return (
-            is_total(node.operand)
-            and is_total(node.low)
-            and is_total(node.high)
-        )
-    if isinstance(node, ast.LikeExpr):
-        return is_total(node.operand) and is_total(node.pattern)
-    if isinstance(node, ast.IsNullExpr):
-        return is_total(node.operand)
-    if isinstance(node, ast.CaseExpr):
-        return all(
-            is_total(condition) and is_total(result)
-            for condition, result in node.branches
-        ) and (node.default is None or is_total(node.default))
-    return False
-
-
-def split_conjuncts(node: ast.Expression | None) -> list[ast.Expression]:
-    """Flatten a WHERE/ON tree into its top-level AND conjuncts."""
-    if node is None:
-        return []
-    if isinstance(node, ast.BinaryOp) and node.op == "AND":
-        return split_conjuncts(node.left) + split_conjuncts(node.right)
-    return [node]
+# The totality facts now live in the analyzer (which owns all static
+# judgments about expressions); re-exported here because the planner and
+# executor historically import them from the compiler.
+from .analyzer import is_total, split_conjuncts  # noqa: E402,F401

@@ -26,6 +26,7 @@ import threading
 from dataclasses import dataclass
 
 from . import ast_nodes as ast
+from .analyzer import subquery_is_cacheable
 from .compiler import (
     CompileError,
     compile_grouped,
@@ -134,6 +135,10 @@ class Engine:
                 shared_plan_cache() if plan_cache is _UNSET else plan_cache
             )  # type: ignore[assignment]
             self.result_cache = result_cache
+        # id(statement) -> (statement, fingerprint, cacheable, key_sql);
+        # the statement reference both guards against id() reuse and keeps
+        # the plan-cache entry alive so the memo stays valid.
+        self._subquery_meta: dict[int, tuple] = {}
 
     def execute(self, sql: str) -> QueryResult:
         """Parse and execute SQL text (consulting the caches, if any)."""
@@ -163,6 +168,43 @@ class Engine:
     def execute_scalar(self, sql: str) -> SqlValue:
         """Execute SQL text expected to produce a single cell."""
         return self.execute(sql).scalar()
+
+    def execute_subquery(
+        self, statement: ast.SelectStatement, outer_scopes: list[Scope]
+    ) -> QueryResult:
+        """Execute a nested statement, consulting the result cache when safe.
+
+        PR 3 never cached subqueries at all: the result cache was consulted
+        only for top-level SQL text, an implicit convention that kept
+        correlated subqueries (whose results depend on the outer row)
+        correct at the price of re-running every *uncorrelated* subquery
+        per outer row. The analyzer now proves which subqueries are pure
+        functions of the database, so those hit the shared result cache
+        while correlated ones still bypass it — explicitly, with counters.
+        """
+        if self.naive or self.result_cache is None:
+            return self.execute_statement(statement, outer_scopes)
+        fingerprint = self.database.fingerprint()
+        meta = self._subquery_meta.get(id(statement))
+        if meta is None or meta[0] is not statement or meta[1] != fingerprint:
+            cacheable = subquery_is_cacheable(statement, self.database)
+            key_sql = normalize_sql(statement.to_sql()) if cacheable else None
+            if len(self._subquery_meta) > 256:
+                self._subquery_meta.clear()
+            meta = (statement, fingerprint, cacheable, key_sql)
+            self._subquery_meta[id(statement)] = meta
+        if not meta[2]:
+            STRATEGY_COUNTERS.bump("subquery_cache_bypasses")
+            return self.execute_statement(statement, outer_scopes)
+        cache_key = (fingerprint, meta[3])
+        cached = self.result_cache.get(cache_key)
+        if cached is not None:
+            STRATEGY_COUNTERS.bump("subquery_cache_hits")
+            return cached
+        STRATEGY_COUNTERS.bump("subquery_cache_misses")
+        result = self.execute_statement(statement, outer_scopes)
+        self.result_cache.put(cache_key, result)
+        return result
 
     def execute_statement(
         self, statement: ast.SelectStatement, outer_scopes: list[Scope]

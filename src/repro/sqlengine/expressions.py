@@ -210,7 +210,7 @@ class Evaluator:
         if operand is None:
             return None
         if node.subquery is not None:
-            result = self._engine.execute_statement(node.subquery, scopes)
+            result = self._engine.execute_subquery(node.subquery, scopes)
             candidates = [row[0] for row in result.rows]
         else:
             candidates = [
@@ -266,7 +266,7 @@ class Evaluator:
         return cast_value(value, node.type_name)
 
     def _scalar_subquery(self, node: ast.ScalarSubquery, scopes, group) -> SqlValue:
-        result = self._engine.execute_statement(node.query, scopes)
+        result = self._engine.execute_subquery(node.query, scopes)
         if not result.rows:
             return None
         if len(result.rows) > 1:
@@ -276,7 +276,7 @@ class Evaluator:
         return result.rows[0][0]
 
     def _exists(self, node: ast.ExistsExpr, scopes, group) -> SqlValue:
-        result = self._engine.execute_statement(node.query, scopes)
+        result = self._engine.execute_subquery(node.query, scopes)
         return bool(result.rows) != node.negated
 
 

@@ -169,6 +169,9 @@ _STRATEGY_NAMES = (
     "interpreted_fallbacks",
     "result_cache_hits",
     "result_cache_misses",
+    "subquery_cache_hits",
+    "subquery_cache_misses",
+    "subquery_cache_bypasses",
     "naive_executions",
 )
 
@@ -207,9 +210,14 @@ def shared_plan_cache() -> PlanCache:
 
 def engine_stats() -> dict:
     """Aggregate engine-layer stats for ``/stats`` and reports."""
+    # Imported lazily: the analyzer sits above the planner in the module
+    # hierarchy (it imports the shared plan cache from here).
+    from .analyzer import ANALYZER_COUNTERS
+
     return {
         "plan_cache": _SHARED_PLAN_CACHE.stats(),
         "strategies": STRATEGY_COUNTERS.snapshot(),
+        "analyzer": ANALYZER_COUNTERS.snapshot(),
     }
 
 
@@ -218,7 +226,10 @@ def reset_engine_stats() -> None:
 
     Test/benchmark hook: production code never calls this.
     """
+    from .analyzer import reset_analyzer
+
     STRATEGY_COUNTERS.reset()
+    reset_analyzer()
     _SHARED_PLAN_CACHE.clear()
     with _SHARED_PLAN_CACHE._lock:
         _SHARED_PLAN_CACHE._hits = 0

@@ -66,6 +66,7 @@ class Table:
         self._columns_cache: tuple[Column, ...] | None = None
         self._unique_cache: dict[str, tuple[SqlValue, ...]] = {}
         self._equality_indexes: dict[str, object] = {}
+        self._null_cache: dict[str, bool] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -115,6 +116,22 @@ class Table:
             cached = tuple(unique)
             self._unique_cache[key] = cached
         return list(cached)
+
+    def column_has_nulls(self, name: str) -> bool:
+        """True when any stored value of the column is NULL (memoized).
+
+        The static analyzer uses this nullability fact to decide whether
+        an expression over the column is provably non-NULL — the
+        evaluator short-circuits NULLs before most type checks, so only
+        provably non-NULL operands can make a type error certain.
+        """
+        key = name.lower()
+        cached = self._null_cache.get(key)
+        if cached is None:
+            position = self.column_position(name)
+            cached = any(row[position] is None for row in self.rows)
+            self._null_cache[key] = cached
+        return cached
 
     def columns(self) -> list[Column]:
         """Return columns with inferred display types (memoized)."""

@@ -1,0 +1,62 @@
+"""Determinism guard: the static analyzer never changes verification output.
+
+The analyzer front-ends every LLM-generated query, but its hard contract
+is one-directional soundness: an analyzer *error* is a guaranteed runtime
+error, so rejecting such a query pre-execution replaces one failure with
+an equivalent one. This suite runs ``repro.verify()`` end to end with the
+analyzer on and off under a fixed seed and compares the rendered reports
+byte for byte.
+"""
+
+import repro
+from repro.core import ScheduleEntry, VerifierConfig, to_json, to_markdown
+from repro.datasets import build_tabfact
+from repro.experiments import build_cedar
+from repro.sqlengine import engine_stats, reset_engine_stats
+
+
+def _verify(analyze_sql: bool):
+    """One full verification arm: fresh bundle, fixed seed."""
+    reset_engine_stats()
+    bundle = build_tabfact(table_count=5, total_claims=15)
+    system = build_cedar(bundle, seed=9)
+    entries = [
+        ScheduleEntry(system.method_by_name("one_shot[gpt-3.5-turbo]"), 2),
+        ScheduleEntry(system.method_by_name("agent[gpt-4o]"), 1),
+    ]
+    run = repro.verify(
+        bundle.documents,
+        schedule=entries,
+        config=VerifierConfig(
+            ledger=system.ledger,
+            analyze_sql=analyze_sql,
+        ),
+    )
+    reports = [to_json(doc, run) for doc in bundle.documents]
+    rendered = [to_markdown(doc, run) for doc in bundle.documents]
+    verdicts = [claim.correct for claim in bundle.claims]
+    ledger = system.ledger
+    counters = engine_stats()["analyzer"]
+    return reports, rendered, verdicts, (ledger.totals().calls,
+                                         ledger.totals().cost), counters
+
+
+class TestAnalyzerDeterminism:
+    def test_reports_byte_identical_with_and_without_analyzer(self):
+        analyzed = _verify(analyze_sql=True)
+        raw = _verify(analyze_sql=False)
+        assert analyzed[0] == raw[0]    # JSON reports
+        assert analyzed[1] == raw[1]    # markdown renderings
+        assert analyzed[2] == raw[2]    # verdicts
+        assert analyzed[3] == raw[3]    # LLM calls and cost
+
+    def test_analyzer_actually_ran_in_the_on_arm(self):
+        analyzed = _verify(analyze_sql=True)
+        counters = analyzed[4]
+        assert counters["queries_analyzed"] > 0
+
+    def test_analyzer_fully_disabled_in_the_off_arm(self):
+        raw = _verify(analyze_sql=False)
+        counters = raw[4]
+        assert counters["queries_analyzed"] == 0
+        assert counters["rejected_pre_execution"] == 0

@@ -1,0 +1,73 @@
+"""Direct unit tests for the engine's exception hierarchy.
+
+Until now these classes were only exercised indirectly (through parser
+and executor failures); the hierarchy and the two messages callers key
+on are load-bearing enough to pin down explicitly.
+"""
+
+import pytest
+
+from repro.sqlengine.errors import (
+    EmptyResultError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    SqlError,
+    TokenizeError,
+)
+
+
+class TestHierarchy:
+    def test_every_engine_error_is_a_sql_error(self):
+        # The agent's querying tool catches exactly SqlError; a class
+        # escaping the hierarchy would crash the ReAct loop instead of
+        # becoming an observation.
+        for error_type in (
+            TokenizeError, ParseError, PlanError, ExecutionError,
+            EmptyResultError,
+        ):
+            assert issubclass(error_type, SqlError)
+
+    def test_empty_result_is_an_execution_error(self):
+        assert issubclass(EmptyResultError, ExecutionError)
+
+    def test_sql_error_is_not_a_value_error(self):
+        # Callers must not need except-clauses for builtin categories.
+        assert not issubclass(SqlError, (ValueError, RuntimeError))
+
+    def test_catching_sql_error_catches_subclasses(self):
+        with pytest.raises(SqlError):
+            raise EmptyResultError()
+        with pytest.raises(SqlError):
+            raise TokenizeError("bad character '~'", 7)
+
+
+class TestTokenizeError:
+    def test_message_embeds_position(self):
+        error = TokenizeError("unterminated string literal", 12)
+        assert str(error) == "unterminated string literal (at position 12)"
+
+    def test_position_attribute_preserved(self):
+        assert TokenizeError("bad", 3).position == 3
+
+
+class TestEmptyResultError:
+    def test_message_matches_figure_4_verbatim(self):
+        # The paper's agent (Figure 4) keys on this exact numpy-style
+        # text to detect wrong constants in predicates; both the
+        # simulated policy and the tool formatter pass it through
+        # verbatim. Changing it breaks transcript determinism.
+        assert str(EmptyResultError()) == (
+            "index 0 is out of bounds for axis 0 with size 0"
+        )
+
+    def test_takes_no_arguments(self):
+        with pytest.raises(TypeError):
+            EmptyResultError("custom message")
+
+
+class TestPlainErrors:
+    def test_messages_pass_through(self):
+        assert str(ParseError("expected SELECT")) == "expected SELECT"
+        assert str(PlanError("no table 'x'")) == "no table 'x'"
+        assert str(ExecutionError("division by zero")) == "division by zero"

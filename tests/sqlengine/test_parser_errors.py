@@ -1,0 +1,112 @@
+"""Parser and tokenizer error-recovery tests.
+
+These paths were only hit indirectly before (through differential tests
+and agent transcripts). The *messages* matter: the analyzer re-renders
+them as SQLA090 diagnostics and the agent observes them verbatim, so
+they are part of the simulated-LLM determinism surface.
+"""
+
+import pytest
+
+from repro.sqlengine.errors import ParseError, TokenizeError
+from repro.sqlengine.parser import parse_select
+
+
+class TestMalformedTokens:
+    def test_unterminated_single_quote(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            parse_select("SELECT a FROM t WHERE b = 'unterminated")
+        assert "unterminated ' quote" in str(excinfo.value)
+        assert excinfo.value.position == 26
+
+    def test_unterminated_double_quote(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            parse_select('SELECT "unclosed FROM t')
+        assert "unterminated \" quote" in str(excinfo.value)
+        assert excinfo.value.position == 7
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            parse_select("SELECT a FROM t ~ junk")
+        assert "unexpected character '~'" in str(excinfo.value)
+        assert excinfo.value.position == 16
+
+
+class TestUnbalancedParens:
+    def test_unclosed_paren_in_select_list(self):
+        with pytest.raises(ParseError, match=r"expected '\)', found 'FROM'"):
+            parse_select("SELECT (a FROM t")
+
+    def test_unclosed_paren_at_end_of_input(self):
+        with pytest.raises(ParseError, match=r"expected '\)', found ''"):
+            parse_select("SELECT a FROM t WHERE (b > 1")
+
+    def test_orphan_close_paren_is_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t )")
+
+
+class TestTrailingGarbage:
+    def test_extra_tokens_after_statement(self):
+        # Note: the first trailing word is swallowed as a table alias;
+        # the diagnostic points at the first token that cannot be one.
+        with pytest.raises(
+            ParseError, match="unexpected trailing input starting at"
+        ):
+            parse_select("SELECT a FROM t extra garbage here")
+
+    def test_trailing_semicolon_is_tolerated(self):
+        statement = parse_select("SELECT a FROM t;")
+        assert statement.items[0].expression.name == "a"
+
+
+class TestTruncatedStatements:
+    def test_empty_input(self):
+        with pytest.raises(ParseError, match="expected SELECT, found ''"):
+            parse_select("")
+
+    def test_whitespace_only_input(self):
+        with pytest.raises(ParseError, match="expected SELECT, found ''"):
+            parse_select("   ")
+
+    def test_missing_select_list(self):
+        with pytest.raises(
+            ParseError, match="unexpected token 'FROM' in expression"
+        ):
+            parse_select("SELECT FROM t")
+
+    def test_dangling_comma_in_select_list(self):
+        with pytest.raises(
+            ParseError, match="unexpected token 'FROM' in expression"
+        ):
+            parse_select("SELECT a, FROM t")
+
+    def test_missing_table_name(self):
+        with pytest.raises(ParseError, match="expected table name, found ''"):
+            parse_select("SELECT a FROM")
+
+    def test_join_without_right_table(self):
+        with pytest.raises(ParseError, match="expected table name, found ''"):
+            parse_select("SELECT a FROM t JOIN")
+
+    def test_dangling_group_by(self):
+        with pytest.raises(ParseError, match="unexpected token ''"):
+            parse_select("SELECT a FROM t GROUP BY")
+
+    def test_dangling_order_by(self):
+        with pytest.raises(ParseError, match="unexpected token ''"):
+            parse_select("SELECT a FROM t ORDER BY")
+
+    def test_non_integer_limit(self):
+        with pytest.raises(
+            ParseError, match="LIMIT requires an integer literal"
+        ):
+            parse_select("SELECT a FROM t LIMIT xyz")
+
+    def test_truncated_function_call(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT COUNT( FROM t")
+
+    def test_non_select_statement(self):
+        with pytest.raises(ParseError, match="expected SELECT"):
+            parse_select("DROP TABLE t")

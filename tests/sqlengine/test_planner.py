@@ -220,9 +220,10 @@ def test_strategy_counters_record_hash_join():
 
 def test_engine_stats_shape():
     stats = engine_stats()
-    assert set(stats) == {"plan_cache", "strategies"}
+    assert set(stats) == {"plan_cache", "strategies", "analyzer"}
     assert "hit_rate" in stats["plan_cache"]
     assert "pushed_predicates" in stats["strategies"]
+    assert "queries_analyzed" in stats["analyzer"]
 
 
 # -- table memoization --------------------------------------------------------

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Repo-specific AST lints that generic linters cannot express.
+
+Run by ``make lint`` (through ``tools/lint.py``). Two invariants:
+
+1. **No direct ``Engine()`` construction in library code.** Outside
+   ``src/repro/sqlengine/`` (plus tests and benchmarks, which exercise
+   engine configurations on purpose), code must go through
+   ``engine_for(db)`` so every query shares the process-wide plan and
+   result caches. A line may opt out with a ``# lint: allow-engine``
+   pragma when constructing a specific engine configuration *is* the
+   point (e.g. the naive-interpreter arm of a benchmark).
+
+2. **No seedless ``random.Random()``.** Every simulated-LLM transcript,
+   dataset and benchmark must be reproducible; an unseeded generator
+   silently breaks byte-identical reports. Applies everywhere, pragma
+   ``# lint: allow-unseeded`` to opt out.
+
+Exit status is the number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ENGINE_PRAGMA = "# lint: allow-engine"
+SEED_PRAGMA = "# lint: allow-unseeded"
+
+# Directories whose files may construct Engine() directly.
+ENGINE_EXEMPT = (
+    Path("src/repro/sqlengine"),
+    Path("tests"),
+    Path("benchmarks"),
+    Path("tools"),
+)
+
+
+def _is_engine_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "Engine"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Engine"
+    return False
+
+
+def _is_seedless_random(node: ast.Call) -> bool:
+    func = node.func
+    named = (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Random"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "random"
+    ) or (isinstance(func, ast.Name) and func.id == "Random")
+    return named and not node.args and not node.keywords
+
+
+def _has_pragma(source_lines: list[str], node: ast.Call, pragma: str) -> bool:
+    line = source_lines[node.lineno - 1]
+    return pragma in line
+
+
+def check_file(path: Path) -> list[str]:
+    relative = path.relative_to(REPO_ROOT)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(relative))
+    except SyntaxError as error:
+        return [f"{relative}:{error.lineno}: syntax error: {error.msg}"]
+    lines = source.splitlines()
+    engine_exempt = any(
+        relative.is_relative_to(prefix) for prefix in ENGINE_EXEMPT
+    )
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            _is_engine_call(node)
+            and not engine_exempt
+            and not _has_pragma(lines, node, ENGINE_PRAGMA)
+        ):
+            violations.append(
+                f"{relative}:{node.lineno}: direct Engine() construction "
+                "outside sqlengine/ — use engine_for(db) so queries share "
+                f"the process-wide caches ({ENGINE_PRAGMA} to opt out)"
+            )
+        if _is_seedless_random(node) and not _has_pragma(
+            lines, node, SEED_PRAGMA
+        ):
+            violations.append(
+                f"{relative}:{node.lineno}: random.Random() without a seed "
+                "breaks reproducible transcripts — pass an explicit seed "
+                f"({SEED_PRAGMA} to opt out)"
+            )
+    return violations
+
+
+def main() -> int:
+    roots = [REPO_ROOT / "src", REPO_ROOT / "tests",
+             REPO_ROOT / "benchmarks", REPO_ROOT / "tools"]
+    violations: list[str] = []
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            violations.extend(check_file(path))
+    for violation in violations:
+        print(violation)
+    if not violations:
+        print("check_invariants: OK")
+    return min(len(violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

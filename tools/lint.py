@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Lint orchestrator for ``make lint``.
+
+Always runs the repo-specific AST invariants (``check_invariants.py``).
+Then runs ruff and mypy with the configuration in ``pyproject.toml`` —
+but only if they are installed: the library itself is dependency-free
+and the reference container does not ship them, so a missing tool is a
+skip note, not a failure. Exit status is non-zero iff an *installed*
+check reported violations.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(label: str, command: list[str]) -> bool:
+    print(f"== {label} ==")
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    return completed.returncode == 0
+
+
+def main() -> int:
+    failed = []
+
+    if not _run(
+        "invariants",
+        [sys.executable, str(REPO_ROOT / "tools" / "check_invariants.py")],
+    ):
+        failed.append("invariants")
+
+    if importlib.util.find_spec("ruff") is not None:
+        if not _run(
+            "ruff", [sys.executable, "-m", "ruff", "check", "src", "tests",
+                     "benchmarks", "tools"]
+        ):
+            failed.append("ruff")
+    else:
+        print("== ruff == skipped (not installed)")
+
+    if importlib.util.find_spec("mypy") is not None:
+        if not _run("mypy", [sys.executable, "-m", "mypy"]):
+            failed.append("mypy")
+    else:
+        print("== mypy == skipped (not installed)")
+
+    if failed:
+        print(f"lint FAILED: {', '.join(failed)}")
+        return 1
+    print("lint OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
