@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-parallel bench-service bench-sqlengine \
-	bench-analyzer serve experiments
+	bench-analyzer bench-obs serve experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,11 @@ bench-sqlengine:
 # invalid queries (writes BENCH_analyzer.json).
 bench-analyzer:
 	$(PYTHON) -m repro.experiments analyzer
+
+# Tracing overhead on the SQL agent-trace workload — the observability
+# layer's ≤5% contract (writes BENCH_obs.json).
+bench-obs:
+	$(PYTHON) -m repro.experiments obs
 
 # HTTP front end for the verification service (Ctrl-C drains and exits).
 serve:

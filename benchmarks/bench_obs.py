@@ -1,0 +1,24 @@
+"""Tracing overhead benchmark — instrumentation must be ~free."""
+
+from repro.experiments.obs_bench import (
+    MAX_OVERHEAD_PCT,
+    format_obs_bench,
+    run_obs_bench,
+)
+
+
+def test_obs_overhead(one_round):
+    result = one_round(run_obs_bench)
+    print()
+    print(format_obs_bench(result))
+    # The observability contract: leaving tracing on costs at most 5% on
+    # the SQL-heavy agent-trace workload, and the traced arm produced
+    # exactly one sql_execute span per query.
+    assert result.spans_per_round == result.queries
+    assert result.overhead_pct <= MAX_OVERHEAD_PCT
+
+
+if __name__ == "__main__":
+    from repro.experiments.obs_bench import main
+
+    main()

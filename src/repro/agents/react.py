@@ -15,6 +15,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.llm.base import LLMClient
+from repro.obs.tracer import current_tracer
 
 from .tools import Tool
 from .trace import AgentStep, AgentTrace
@@ -63,35 +64,45 @@ class ReActAgent:
         """Execute the loop, returning issued queries and the full trace."""
         result = ReActResult()
         scratchpad: list[str] = []
-        for _ in range(self._max_iterations):
+        tracer = current_tracer()
+        for index in range(1, self._max_iterations + 1):
             prompt = base_prompt + "\n".join(scratchpad)
-            response = self._client.complete(prompt, temperature)
-            thought, action, action_input, final = _parse_reply(response.text)
-            step = AgentStep(thought, action, action_input)
-            if final is not None:
-                result.trace.steps.append(step)
-                result.trace.final_answer = final
-                result.final_answer = final
-                result.trace.stopped_reason = "finished"
-                return result
-            if action is None:
-                # The model produced only reasoning; keep iterating.
+            with tracer.span(
+                f"step:{index}", "agent_step", step=index
+            ) as step_span:
+                response = self._client.complete(prompt, temperature)
+                thought, action, action_input, final = _parse_reply(
+                    response.text
+                )
+                step = AgentStep(thought, action, action_input)
+                if final is not None:
+                    result.trace.steps.append(step)
+                    result.trace.final_answer = final
+                    result.final_answer = final
+                    result.trace.stopped_reason = "finished"
+                    step_span.set(outcome="final_answer")
+                    return result
+                if action is None:
+                    # The model produced only reasoning; keep iterating.
+                    result.trace.steps.append(step)
+                    scratchpad.append(step.render())
+                    step_span.set(outcome="thought_only")
+                    continue
+                step_span.set(outcome="action", action=action)
+                tool = self._tools.get(action)
+                if tool is None:
+                    observation = (
+                        f"Error: unknown tool '{action}'. Available tools: "
+                        f"{', '.join(sorted(self._tools))}"
+                    )
+                else:
+                    with tracer.span(action, "tool_call", tool=action):
+                        observation = tool.run(action_input or "")
+                if action == "database_querying" and action_input:
+                    result.queries.append(action_input.strip())
+                step.observation = observation
                 result.trace.steps.append(step)
                 scratchpad.append(step.render())
-                continue
-            tool = self._tools.get(action)
-            if tool is None:
-                observation = (
-                    f"Error: unknown tool '{action}'. Available tools: "
-                    f"{', '.join(sorted(self._tools))}"
-                )
-            else:
-                observation = tool.run(action_input or "")
-            if action == "database_querying" and action_input:
-                result.queries.append(action_input.strip())
-            step.observation = observation
-            result.trace.steps.append(step)
-            scratchpad.append(step.render())
         result.trace.stopped_reason = "iteration_limit"
         return result
 

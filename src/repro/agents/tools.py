@@ -17,6 +17,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.embeddings import text_similarity
+from repro.obs.tracer import current_tracer
 from repro.sqlengine import Database, SqlValue, engine_for, to_text
 from repro.sqlengine.analyzer import (
     analyze_sql,
@@ -136,6 +137,7 @@ class DatabaseQueryingTool(Tool):
     def run(self, tool_input: str) -> str:
         sql = tool_input.strip()
         self.queries.append(sql)
+        tracer = current_tracer()
         if self._analyze:
             # Statically invalid queries never reach the engine: the
             # observation is the rendered diagnostics (structured codes
@@ -144,13 +146,19 @@ class DatabaseQueryingTool(Tool):
             analysis = analyze_sql(sql, self._database)
             if analysis.errors:
                 record_rejection()
+                # Stamp the verdict onto the open tool_call span so the
+                # waterfall shows analyzer rejections without a SQL leaf.
+                tracer.annotate(analyzer="rejected")
                 return f"Error: {render_diagnostics(analysis.errors)}"
+            tracer.annotate(analyzer="ok")
         try:
             result = self._engine.execute(sql).first_cell()
         except SqlError as error:
+            tracer.annotate(sql_error=type(error).__name__)
             return format_tool_error(error)
         self.results.append(result)
         feedback = self._feedback(result)
+        tracer.annotate(feedback=feedback)
         return f"[{to_text(result)}, '{feedback}']"
 
     def _feedback(self, result: SqlValue) -> str:

@@ -8,6 +8,7 @@ Algorithm 9.
 
 from __future__ import annotations
 
+from repro.obs.tracer import current_tracer
 from repro.sqlengine import Database, SqlValue, prompt_schema_text
 
 from .masking import MaskedClaim
@@ -75,9 +76,14 @@ class AgentMethod(VerificationMethod):
                 trace_text=outcome.trace.render(),
             )
         if self.reconstruct_queries:
-            query = reconstruct(
-                list(outcome.queries), database, analyze=self.analyze_sql
-            )
+            with current_tracer().span(
+                "reconstruct", "reconstruction",
+                queries=len(outcome.queries),
+            ) as span:
+                query = reconstruct(
+                    list(outcome.queries), database, analyze=self.analyze_sql
+                )
+                span.set(reconstructed=query is not None)
         else:
             query = outcome.queries[-1]
         return TranslationResult(

@@ -33,6 +33,7 @@ from __future__ import annotations
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.llm.ledger import LedgerDelta
+from repro.obs.tracer import SpanDelta
 from repro.sqlengine import Database
 
 from .claims import Claim, Document
@@ -72,23 +73,31 @@ class ParallelVerifier(MultiStageVerifier):
                     for doc in documents
                 ]
                 # Merge in submission order: the ledger ends up with the
-                # same entry sequence a sequential run would have written.
+                # same entry sequence — and the tracer with the same span
+                # forest — a sequential run would have written.
                 for future in futures:
-                    reports, delta = future.result()
+                    reports, delta, spans = future.result()
                     run.reports.update(reports)
                     self.ledger.absorb(delta)
+                    self.tracer.absorb(spans)
             finally:
                 self._claims_pool = None
 
     def _document_task(
         self, document: Document, schedule: list[ScheduleEntry]
-    ) -> tuple[dict[str, ClaimReport], LedgerDelta]:
-        """Verify one document into private report/ledger state."""
+    ) -> tuple[dict[str, ClaimReport], LedgerDelta, SpanDelta]:
+        """Verify one document into private report/ledger/span state."""
         local = VerificationRun([document])
+        tracer = self.tracer
         with self.ledger.capture() as delta, \
-                self.ledger.tagged(f"doc:{document.doc_id}"):
+                tracer.capture() as spans, \
+                self.ledger.tagged(f"doc:{document.doc_id}"), \
+                tracer.span(
+                    document.doc_id, "document",
+                    doc_id=document.doc_id, claims=len(document.claims),
+                ):
             self._verify_document(document, schedule, local)
-        return local.reports, delta
+        return local.reports, delta, spans
 
     def _run_batch_independent(
         self,
@@ -106,21 +115,25 @@ class ParallelVerifier(MultiStageVerifier):
         # Snapshot the document worker's tags (doc:…) so claim tasks on
         # pool threads attribute their calls identically to inline runs.
         tags = self.ledger.current_tags()
+        tracer = self.tracer
 
-        def attempt(claim: Claim) -> tuple[bool, LedgerDelta]:
-            with self.ledger.capture() as delta, self.ledger.scoped(tags):
+        def attempt(claim: Claim) -> tuple[bool, LedgerDelta, SpanDelta]:
+            with self.ledger.capture() as delta, self.ledger.scoped(tags), \
+                    tracer.capture() as spans:
                 verified = self._attempt_claim(
                     method, claim, sample, database,
                     run.reports[claim.claim_id],
                 )
-            return verified, delta
+            return verified, delta, spans
 
         results = list(pool.map(attempt, claims))
         verified_claims: list[Claim] = []
-        for claim, (verified, delta) in zip(claims, results):
+        for claim, (verified, delta, spans) in zip(claims, results):
             # Absorbed on the document thread in claim order, into the
-            # document's own capture buffer.
+            # document's own capture buffer (spans graft under the open
+            # stage span, exactly where a sequential run put them).
             self.ledger.absorb(delta)
+            tracer.absorb(spans)
             if verified:
                 verified_claims.append(claim)
         return verified_claims

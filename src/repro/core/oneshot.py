@@ -9,6 +9,7 @@ prompt requests.
 from __future__ import annotations
 
 from repro.llm.base import extract_sql_block
+from repro.obs.tracer import current_tracer
 from repro.sqlengine import Database, SqlValue, analyze_sql, prompt_schema_text
 
 from .masking import MaskedClaim
@@ -75,6 +76,18 @@ class OneShotMethod(VerificationMethod):
             analyze_sql(query, database)
             if query and self.analyze_sql else None
         )
+        # Stamp what happened onto the enclosing method span (a no-op
+        # when tracing is off): did the reply contain SQL, and what did
+        # the static analyzer think of it?
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.annotate(
+                query_extracted=query is not None,
+                analyzer=(
+                    "skipped" if analysis is None
+                    else ("error" if analysis.errors else "ok")
+                ),
+            )
         return TranslationResult(
             query=query,
             response_text=response.text,

@@ -28,6 +28,7 @@ from repro.llm.base import LLMClient
 from repro.llm.cache import CachingLLMClient, LLMCache
 from repro.llm.ledger import CostLedger
 from repro.llm.resilience import ResilientLLMClient, RetryPolicy
+from repro.obs.tracer import NULL_TRACER, Tracer, current_tracer
 from repro.sqlengine import Database, QueryResultCache, engine_for
 
 from .claims import Claim, Document
@@ -64,6 +65,12 @@ class VerifierConfig:
     #: with it both on and off).
     sql_cache_size: int = 256
     sql_cache: QueryResultCache | None = None
+    #: Span-tree tracer for the run (see :mod:`repro.obs`). None keeps
+    #: the ambient tracer (:func:`repro.obs.tracer.current_tracer`),
+    #: which is the no-op :data:`~repro.obs.tracer.NULL_TRACER` unless a
+    #: caller activated one. Tracing never changes verdicts, ledger
+    #: entries, or reports — the determinism guard holds with it on.
+    tracer: Tracer | None = None
     #: Static SQL analyzer gate: when True (default), statically invalid
     #: candidate queries are rejected before execution and the agent's
     #: querying tool returns rendered diagnostics instead of runtime
@@ -203,27 +210,44 @@ class MultiStageVerifier:
         #: Streaming hooks (see :class:`VerificationObserver`). Usually
         #: passed per run via ``verify_documents(..., observer=...)``.
         self.observer: VerificationObserver | None = None
+        #: Span-tree tracer for the current run; resolved per call in
+        #: :meth:`verify_documents` (argument > config > ambient).
+        self.tracer: Tracer = (
+            config.tracer if config.tracer is not None else NULL_TRACER
+        )
 
     def verify_documents(
         self,
         documents: list[Document],
         schedule: list[ScheduleEntry],
         observer: VerificationObserver | None = None,
+        tracer: Tracer | None = None,
     ) -> VerificationRun:
         """Verify every claim of every document (Algorithm 1).
 
         ``observer`` receives streaming progress callbacks for the
         duration of this run (it replaces any observer set as an
-        attribute, which is restored afterwards).
+        attribute, which is restored afterwards). ``tracer`` overrides
+        the config's tracer for this run only; when neither is set the
+        ambient :func:`~repro.obs.tracer.current_tracer` is used (the
+        no-op null tracer unless a caller activated one).
         """
         run = VerificationRun(documents)
         previous = self.observer
         if observer is not None:
             self.observer = observer
+        previous_tracer = self.tracer
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.tracer is not None:
+            self.tracer = self.config.tracer
+        else:
+            self.tracer = current_tracer()
         try:
             self._execute(documents, self._instrument(schedule), run)
         finally:
             self.observer = previous
+            self.tracer = previous_tracer
         return run
 
     def verify_document(
@@ -240,8 +264,15 @@ class MultiStageVerifier:
         schedule: list[ScheduleEntry],
         run: VerificationRun,
     ) -> None:
+        tracer = self.tracer
         for document in documents:
-            with self.ledger.tagged(f"doc:{document.doc_id}"):
+            with self.ledger.tagged(f"doc:{document.doc_id}"), \
+                    tracer.activated(), \
+                    tracer.span(
+                        document.doc_id, "document",
+                        doc_id=document.doc_id,
+                        claims=len(document.claims),
+                    ):
                 self._verify_document(document, schedule, run)
 
     def _instrument(
@@ -295,27 +326,34 @@ class MultiStageVerifier:
                 continue
             if observer is not None:
                 observer.stage_started(document, entry)
-            sample: Sample | None = None
-            for _ in range(entry.tries):
-                if not remaining:
-                    break
-                if sample is None:
-                    verified = self._verify_batch(
-                        entry.method, remaining, None, document.data, run,
-                        harvest_sample=self.use_samples,
-                    )
-                    remaining = _without(remaining, verified)
-                    if verified and self.use_samples:
-                        sample = _make_sample(verified[0])
-                        more = self._verify_batch(
+            with self.tracer.span(
+                entry.method.name, "stage",
+                method=entry.method.name, tries=entry.tries,
+                pending=len(remaining),
+            ) as stage_span:
+                sample: Sample | None = None
+                for _ in range(entry.tries):
+                    if not remaining:
+                        break
+                    if sample is None:
+                        verified = self._verify_batch(
+                            entry.method, remaining, None, document.data, run,
+                            harvest_sample=self.use_samples,
+                        )
+                        remaining = _without(remaining, verified)
+                        if verified and self.use_samples:
+                            sample = _make_sample(verified[0])
+                            more = self._verify_batch(
+                                entry.method, remaining, sample,
+                                document.data, run
+                            )
+                            remaining = _without(remaining, more)
+                    else:
+                        verified = self._verify_batch(
                             entry.method, remaining, sample, document.data, run
                         )
-                        remaining = _without(remaining, more)
-                else:
-                    verified = self._verify_batch(
-                        entry.method, remaining, sample, document.data, run
-                    )
-                    remaining = _without(remaining, verified)
+                        remaining = _without(remaining, verified)
+                stage_span.set(unresolved=len(remaining))
             if not remaining:
                 break
         for claim in remaining:
@@ -390,39 +428,53 @@ class MultiStageVerifier:
         # (Section 7.1: 0.25 one-shot retries, 0.5 agent retries).
         prior_tries = report.method_attempts.get(method.name, 0)
         temperature = 0.0 if prior_tries == 0 else method.retry_temperature
-        with self.ledger.tagged(f"method:{method.name}"), \
-                self.ledger.tagged(f"claim:{claim.claim_id}"):
-            translation = method.translate(
-                masked,
-                value_type,
-                claim.value,
-                claim.value_text,
-                database,
-                sample,
-                temperature,
-            )
-        report.attempts += 1
-        report.method_attempts[method.name] = prior_tries + 1
-        # One execution per candidate: CorrectQuery runs the SQL, and
-        # CorrectClaim below reuses its result instead of re-executing.
-        # The shared engine carries this verifier's result cache, so
-        # repeated candidates across retries/stages are cache hits.
-        engine = engine_for(database, self.sql_cache)
-        sql_started = time.perf_counter()
-        assessment = assess_query(
-            translation.query, claim, database, engine,
-            analyze=self.config.analyze_sql,
-        )
-        self.ledger.record_sql(time.perf_counter() - sql_started)
-        if assessment.executable:
-            report.saw_executable = True
-            report.last_executable_query = translation.query
-        if not assessment.plausible:
-            return False
-        claim.query = translation.query
-        claim.correct = claim_matches_result(assessment.result, claim)
-        report.plausible = True
-        report.verified_by = method.name
+        with self.tracer.span(
+            method.name, "method",
+            method=method.name, claim_id=claim.claim_id,
+            attempt=prior_tries + 1, temperature=temperature,
+        ) as method_span:
+            with self.ledger.tagged(f"method:{method.name}"), \
+                    self.ledger.tagged(f"claim:{claim.claim_id}"):
+                translation = method.translate(
+                    masked,
+                    value_type,
+                    claim.value,
+                    claim.value_text,
+                    database,
+                    sample,
+                    temperature,
+                )
+            report.attempts += 1
+            report.method_attempts[method.name] = prior_tries + 1
+            # One execution per candidate: CorrectQuery runs the SQL, and
+            # CorrectClaim below reuses its result instead of re-executing.
+            # The shared engine carries this verifier's result cache, so
+            # repeated candidates across retries/stages are cache hits.
+            engine = engine_for(database, self.sql_cache)
+            sql_started = time.perf_counter()
+            with self.tracer.span(
+                "plausibility", "plausibility", claim_id=claim.claim_id,
+            ) as check_span:
+                assessment = assess_query(
+                    translation.query, claim, database, engine,
+                    analyze=self.config.analyze_sql,
+                )
+                check_span.set(
+                    executable=assessment.executable,
+                    plausible=assessment.plausible,
+                )
+            self.ledger.record_sql(time.perf_counter() - sql_started)
+            if assessment.executable:
+                report.saw_executable = True
+                report.last_executable_query = translation.query
+            if not assessment.plausible:
+                method_span.set(verified=False)
+                return False
+            claim.query = translation.query
+            claim.correct = claim_matches_result(assessment.result, claim)
+            report.plausible = True
+            report.verified_by = method.name
+            method_span.set(verified=True, claim_correct=claim.correct)
         if self.observer is not None:
             self.observer.claim_resolved(claim, report)
         return True
@@ -430,6 +482,15 @@ class MultiStageVerifier:
     def _apply_fallback(self, claim: Claim, report: ClaimReport) -> None:
         """Verdict for claims no method verified (end of Section 4)."""
         report.fallback = True
+        tracer = self.tracer
+        if tracer.enabled:
+            now = tracer.clock()
+            tracer.record(
+                f"fallback:{claim.claim_id}", "claim", now, now,
+                claim_id=claim.claim_id,
+                saw_executable=report.saw_executable,
+                verdict="incorrect" if report.saw_executable else "correct",
+            )
         if report.saw_executable:
             claim.correct = False
             claim.query = report.last_executable_query

@@ -16,6 +16,7 @@ import json
 
 from repro.llm.cache import CacheStats, LLMCache
 from repro.llm.ledger import CostLedger
+from repro.obs.tracer import Span, Tracer
 from repro.sqlengine import engine_stats as _engine_stats
 
 from .claims import Claim, Document
@@ -53,18 +54,63 @@ def _cache_stats(cache: LLMCache | CacheStats | None) -> CacheStats | None:
     return cache.stats if isinstance(cache, LLMCache) else cache
 
 
+def document_spans(
+    source: Tracer | list[Span], doc_id: str
+) -> list[Span]:
+    """The document root spans for ``doc_id`` from a tracer or span list."""
+    roots = source.roots if isinstance(source, Tracer) else list(source)
+    return [
+        span for span in roots
+        if span.kind == "document" and span.attributes.get("doc_id") == doc_id
+    ]
+
+
+def span_waterfall(roots: list[Span], width: int = 40) -> str:
+    """Render a span forest as an indented text waterfall.
+
+    One line per span: indentation shows nesting, the bar shows when the
+    span ran relative to its root, and the right column shows the
+    duration. Purely cosmetic — wall times feed the bars, so two runs
+    render different bars but identical tree shapes.
+    """
+    lines: list[str] = []
+    for root in roots:
+        total = max(root.duration, 1e-9)
+
+        def render(span: Span, depth: int) -> None:
+            offset = int(width * (span.start - root.start) / total)
+            offset = min(max(offset, 0), width - 1)
+            length = max(1, int(width * span.duration / total))
+            length = min(length, width - offset)
+            bar = " " * offset + "#" * length + " " * (width - offset - length)
+            label = ("  " * depth + f"{span.kind}:{span.name}")[:34]
+            lines.append(
+                f"{label:<34} |{bar}| {span.duration * 1e3:9.3f} ms"
+            )
+            for child in span.children:
+                render(child, depth + 1)
+
+        render(root, 0)
+    return "\n".join(lines)
+
+
 def document_report(
     document: Document,
     run: VerificationRun,
     ledger: CostLedger | None = None,
     cache: LLMCache | CacheStats | None = None,
     engine: dict | bool | None = None,
+    tracer: Tracer | list[Span] | None = None,
 ) -> dict:
     """Full report for one document, JSON-serialisable.
 
     ``engine=True`` embeds the process-wide SQL engine stats (plan-cache
     traffic and execution-strategy counters); a dict embeds a caller's
     own snapshot (e.g. the service's, which includes its result cache).
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer` or a list of root
+    spans) opts into embedding the document's span tree — left out, the
+    report is byte-identical with tracing on or off, which the
+    determinism guard enforces.
     """
     records = claim_records(document, run)
     flagged = sum(1 for r in records if r["verdict"] == "incorrect")
@@ -90,6 +136,14 @@ def document_report(
         if ledger.sql_executions:
             report["spend"]["sql_executions"] = ledger.sql_executions
             report["spend"]["sql_seconds"] = round(ledger.sql_seconds, 6)
+        if ledger.retry_count:
+            # Ledger-wide (retry events carry no document tag): how many
+            # transient failures were retried and how long the run spent
+            # sleeping in backoff because of them.
+            report["spend"]["retries"] = ledger.retry_count
+            report["spend"]["retry_backoff_seconds"] = round(
+                ledger.retry_backoff_seconds, 6
+            )
     stats = _cache_stats(cache)
     if stats is not None:
         report["cache"] = stats.to_dict()
@@ -97,6 +151,13 @@ def document_report(
         report["engine"] = _engine_stats()
     elif isinstance(engine, dict):
         report["engine"] = engine
+    if tracer is not None:
+        report["trace"] = [
+            span.to_dict(str(index))
+            for index, span in enumerate(
+                document_spans(tracer, document.doc_id), start=1
+            )
+        ]
     return report
 
 
@@ -107,10 +168,12 @@ def to_json(
     indent: int = 2,
     cache: LLMCache | CacheStats | None = None,
     engine: dict | bool | None = None,
+    tracer: Tracer | list[Span] | None = None,
 ) -> str:
     """Serialise the document report as JSON text."""
     return json.dumps(
-        document_report(document, run, ledger, cache=cache, engine=engine),
+        document_report(document, run, ledger, cache=cache, engine=engine,
+                        tracer=tracer),
         indent=indent,
     )
 
@@ -121,6 +184,7 @@ def to_markdown(
     ledger: CostLedger | None = None,
     cache: LLMCache | CacheStats | None = None,
     engine: dict | bool | None = None,
+    tracer: Tracer | list[Span] | None = None,
 ) -> str:
     """Render the annotated document as markdown.
 
@@ -128,10 +192,16 @@ def to_markdown(
     details block, mirroring the demo front-end's presentation. A
     ``cache`` (live :class:`~repro.llm.cache.LLMCache` or a
     :class:`~repro.llm.cache.CacheStats` snapshot) adds a response-cache
-    line to the spend summary.
+    line to the spend summary. A ``tracer`` (or span list) opts into a
+    trailing per-document trace-waterfall section; without it the output
+    is byte-identical with tracing on or off.
     """
     report = document_report(document, run, ledger, cache=cache,
                              engine=engine)
+    waterfall = (
+        span_waterfall(document_spans(tracer, document.doc_id))
+        if tracer is not None else ""
+    )
     lines = [f"# Verification report — {document.title or document.doc_id}",
              ""]
     summary = report["summary"]
@@ -145,6 +215,11 @@ def to_markdown(
             f"Verification spend: ${spend['cost_usd']:.4f} across "
             f"{spend['llm_calls']} LLM calls."
         )
+        if "retries" in spend:
+            lines.append(
+                f"Transient failures: {spend['retries']} retried, "
+                f"{spend['retry_backoff_seconds']:.3f}s of backoff."
+            )
     if "cache" in report:
         stats = report["cache"]
         lookups = stats["hits"] + stats["misses"]
@@ -167,6 +242,9 @@ def to_markdown(
         )
         if record["query"]:
             lines.append(f"  - evidence: `{record['query']}`")
+    if waterfall:
+        lines.extend(["", "## Trace waterfall", "", "```text",
+                      waterfall, "```"])
     return "\n".join(lines)
 
 

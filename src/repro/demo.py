@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--workers", type=int, default=1,
                         help="verifier threads (1 = sequential Algorithm 1)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(load it in https://ui.perfetto.dev)")
     return parser
 
 
@@ -102,6 +105,12 @@ def _list_documents(bundle: DatasetBundle) -> None:
 
 
 def _run_demo(bundle: DatasetBundle, arguments) -> None:
+    from repro.obs import NULL_TRACER, Tracer, write_chrome_trace
+
+    tracer = (
+        Tracer(trace_id=f"demo-{bundle.name}")
+        if arguments.trace else NULL_TRACER
+    )
     target = bundle.documents[arguments.document]
     profiling_docs = [
         d for i, d in enumerate(bundle.documents)
@@ -135,7 +144,7 @@ def _run_demo(bundle: DatasetBundle, arguments) -> None:
     reset_claims([target])
     checkpoint = system.ledger.checkpoint()
     run = system.verifier.verify_documents(
-        [target], system.entries_for(planned)
+        [target], system.entries_for(planned), tracer=tracer
     )
 
     print(f"\n[3/3] verified {len(target.claims)} claims:")
@@ -162,6 +171,11 @@ def _run_demo(bundle: DatasetBundle, arguments) -> None:
     print(f"spend: ${spent.cost:.4f} / {spent.calls} LLM calls / "
           f"{spent.total_tokens} tokens")
     print(_RULE)
+    if arguments.trace:
+        write_chrome_trace(tracer, arguments.trace,
+                           process_name=f"cedar:{bundle.name}")
+        print(f"trace: {tracer.span_count()} spans -> {arguments.trace} "
+              "(open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,165 @@
+"""Tracing-overhead benchmark: the observability tax must stay tiny.
+
+The tracing layer (:mod:`repro.obs`) promises that instrumentation is
+cheap enough to leave on in production: every hot path branches on
+``tracer.enabled`` when tracing is off, and pays one pre-timed
+``record()`` (no stack operations) per SQL execution when it is on.
+This benchmark puts a number on that promise using the SQL engine's
+agent-trace workload — the service's steady-state regime, where every
+execution crosses the instrumented :meth:`Engine.execute` path.
+
+Two arms over identical query lists against identical engines:
+
+* **untraced** — ``current_tracer()`` resolves to the null tracer, so
+  the engine takes the single ``tracer.enabled`` branch and nothing
+  else.
+* **traced** — an active :class:`~repro.obs.tracer.Tracer` collects one
+  ``sql_execute`` span per query (the same spans the service files
+  under each job).
+
+Each arm runs several interleaved rounds and keeps the minimum (the
+standard noise-robust estimator for micro-benchmarks); the acceptance
+bar is traced ≤ 1.05× untraced. Run with::
+
+    python -m repro.experiments obs --fast
+
+Writes ``BENCH_obs.json`` so the overhead number is machine-checkable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass
+
+from repro.obs.tracer import Tracer
+from repro.sqlengine import Database, Engine, reset_engine_stats
+
+from .sqlengine_bench import _agent_trace_queries, _build_database
+
+#: Timed rounds per arm; the minimum over rounds is reported.
+ROUNDS = 5
+FAST_ROUNDS = 3
+
+#: Simulated claims per round (three queries each — two probes + final).
+CLAIMS = 120
+FAST_CLAIMS = 48
+
+#: Acceptance bar: traced wall-clock within 5% of untraced.
+MAX_OVERHEAD_PCT = 5.0
+
+OUTPUT_FILE = "BENCH_obs.json"
+
+
+@dataclass
+class ObsBenchResult:
+    """Min-of-rounds timings for both arms plus the span accounting."""
+
+    queries: int                 # executions per round per arm
+    rounds: int
+    untraced_seconds: float      # min over rounds
+    traced_seconds: float        # min over rounds
+    spans_per_round: int         # spans one traced round produces
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.untraced_seconds <= 0:
+            return 0.0
+        return 100.0 * (self.traced_seconds / self.untraced_seconds - 1.0)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.overhead_pct <= MAX_OVERHEAD_PCT
+
+
+def _run_round(engine: Engine, queries: list[str]) -> float:
+    start = time.perf_counter()
+    for sql in queries:
+        engine.execute(sql)
+    return time.perf_counter() - start
+
+
+def run_obs_bench(fast: bool = False, seed: int = 11) -> ObsBenchResult:
+    """Interleave untraced and traced rounds over one warmed engine."""
+    rounds = FAST_ROUNDS if fast else ROUNDS
+    claims = FAST_CLAIMS if fast else CLAIMS
+    database = _build_database(160 if fast else 400, seed)
+    queries = _agent_trace_queries(random.Random(seed + 1), claims=claims)
+
+    reset_engine_stats()
+    # Result cache off: a warm result cache would reduce every execution
+    # to a dict lookup and make the comparison measure cache luck, not
+    # tracing cost. The plan cache warms up during the first (untimed)
+    # round so both arms run the compiled steady state.
+    engine = Engine(database, result_cache=None)  # lint: allow-engine
+    _run_round(engine, queries)
+
+    tracer = Tracer(trace_id="bench-obs")
+    untraced: list[float] = []
+    traced: list[float] = []
+    for _ in range(rounds):
+        untraced.append(_run_round(engine, queries))
+        with tracer.activated():
+            traced.append(_run_round(engine, queries))
+    spans_per_round = tracer.span_count() // rounds
+    return ObsBenchResult(
+        queries=len(queries),
+        rounds=rounds,
+        untraced_seconds=min(untraced),
+        traced_seconds=min(traced),
+        spans_per_round=spans_per_round,
+    )
+
+
+def format_obs_bench(result: ObsBenchResult) -> str:
+    per_query = (
+        (result.traced_seconds - result.untraced_seconds)
+        / result.queries * 1e9
+    )
+    verdict = (
+        f"within the {MAX_OVERHEAD_PCT:.0f}% budget"
+        if result.within_budget
+        else f"OVER the {MAX_OVERHEAD_PCT:.0f}% budget"
+    )
+    return "\n".join([
+        "Tracing overhead (sqlengine agent-trace workload, min of "
+        f"{result.rounds} rounds)",
+        "",
+        f"  queries/round:    {result.queries}",
+        f"  untraced:         {result.untraced_seconds * 1e3:8.3f} ms",
+        f"  traced:           {result.traced_seconds * 1e3:8.3f} ms  "
+        f"({result.spans_per_round} spans)",
+        f"  overhead:         {result.overhead_pct:+8.2f} %  "
+        f"({per_query:+.0f} ns/query) — {verdict}",
+    ])
+
+
+def write_bench_json(result: ObsBenchResult,
+                     path: str = OUTPUT_FILE) -> None:
+    payload = {
+        "queries": result.queries,
+        "rounds": result.rounds,
+        "untraced_seconds": result.untraced_seconds,
+        "traced_seconds": result.traced_seconds,
+        "spans_per_round": result.spans_per_round,
+        "overhead_pct": result.overhead_pct,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "within_budget": result.within_budget,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(fast: bool = False) -> str:
+    result = run_obs_bench(fast=fast)
+    report = format_obs_bench(result)
+    print(report)
+    write_bench_json(result)
+    print(f"wrote {OUTPUT_FILE}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

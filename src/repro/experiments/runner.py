@@ -6,7 +6,12 @@ Usage::
     python -m repro.experiments all [--fast]
 
 Experiments: table2, costs, figure5, figure6, table3, joinbench,
-figure7, assumptions, parallel, service, sqlengine, analyzer.
+figure7, assumptions, parallel, service, sqlengine, analyzer, obs.
+
+``--trace FILE`` installs a process-wide tracer for the run and writes
+the resulting span forest as Chrome trace-event JSON (load it in
+https://ui.perfetto.dev) — handy for seeing where an experiment's time
+actually goes.
 """
 
 from __future__ import annotations
@@ -15,11 +20,12 @@ import argparse
 import sys
 
 from . import (analyzer_bench, assumptions, costs, figure5, figure6,
-               figure7, joinbench_exp, parallel_bench, service_bench,
-               sqlengine_bench, table2, table3)
+               figure7, joinbench_exp, obs_bench, parallel_bench,
+               service_bench, sqlengine_bench, table2, table3)
 
 EXPERIMENTS = {
     "analyzer": analyzer_bench.main,
+    "obs": obs_bench.main,
     "assumptions": assumptions.main,
     "parallel": parallel_bench.main,
     "service": service_bench.main,
@@ -49,14 +55,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run on reduced datasets (for smoke testing)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON of the run "
+             "(load it in https://ui.perfetto.dev)",
+    )
     arguments = parser.parse_args(argv)
-    if arguments.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            print(f"{'=' * 72}\n{name}\n{'=' * 72}")
-            EXPERIMENTS[name](fast=arguments.fast)
-            print()
-    else:
-        EXPERIMENTS[arguments.experiment](fast=arguments.fast)
+    tracer = None
+    previous = None
+    if arguments.trace:
+        from repro.obs import Tracer, set_default_tracer
+
+        tracer = Tracer(trace_id=f"experiments-{arguments.experiment}")
+        previous = set_default_tracer(tracer)
+    try:
+        if arguments.experiment == "all":
+            for name in sorted(EXPERIMENTS):
+                print(f"{'=' * 72}\n{name}\n{'=' * 72}")
+                EXPERIMENTS[name](fast=arguments.fast)
+                print()
+        else:
+            EXPERIMENTS[arguments.experiment](fast=arguments.fast)
+    finally:
+        if tracer is not None:
+            from repro.obs import set_default_tracer, write_chrome_trace
+
+            set_default_tracer(previous)
+            write_chrome_trace(
+                tracer, arguments.trace,
+                process_name=f"experiments:{arguments.experiment}",
+            )
+            print(f"trace: {tracer.span_count()} spans -> "
+                  f"{arguments.trace} (open in https://ui.perfetto.dev)")
     return 0
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.obs.tracer import current_tracer
+
 from .ledger import CostLedger
 from .pricing import ModelSpec, model_spec
 from .tokenizer import count_tokens
@@ -56,9 +58,33 @@ class LLMClient(ABC):
         return self.spec.name
 
     def complete(self, prompt: str, temperature: float = 0.0) -> ChatResponse:
-        """Send a prompt and return the model's reply, recording costs."""
+        """Send a prompt and return the model's reply, recording costs.
+
+        When a tracer is active the call is wrapped in an ``llm_call``
+        span carrying model, temperature, token counts, cost, and the
+        model's (simulated or real) latency; a raising ``_generate``
+        marks the span ``error``. Tracing never alters the response or
+        the ledger entry — reports stay byte-identical with it on.
+        """
         if not 0.0 <= temperature <= 2.0:
             raise ValueError(f"temperature {temperature} out of range [0, 2]")
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._complete(prompt, temperature)
+        with tracer.span(
+            self.model_name, "llm_call",
+            model=self.model_name, temperature=temperature,
+        ) as span:
+            response = self._complete(prompt, temperature)
+            span.set(
+                prompt_tokens=response.usage.prompt_tokens,
+                completion_tokens=response.usage.completion_tokens,
+                cost_usd=response.cost,
+                model_latency_seconds=response.latency_seconds,
+            )
+            return response
+
+    def _complete(self, prompt: str, temperature: float) -> ChatResponse:
         text = self._generate(prompt, temperature)
         usage = ChatUsage(count_tokens(prompt), count_tokens(text))
         cost = self.spec.cost(usage.prompt_tokens, usage.completion_tokens)

@@ -20,6 +20,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs.tracer import current_tracer
+
 from .base import ChatResponse, DelegatingLLMClient, LLMClient
 
 #: Default number of responses an :class:`LLMCache` retains.
@@ -171,14 +173,30 @@ class CachingLLMClient(DelegatingLLMClient):
         self.cache = cache
 
     def complete(self, prompt: str, temperature: float = 0.0) -> ChatResponse:
+        tracer = current_tracer()
         if temperature > 0.0:
             self.cache.note_bypass()
-            return self.inner.complete(prompt, temperature)
+            response = self.inner.complete(prompt, temperature)
+            # The inner client just closed the llm_call span; stamp how
+            # the cache treated the call onto it.
+            tracer.annotate_latest(cache="bypass")
+            return response
         key = self._key(prompt, temperature)
         cached = self.cache.get(key)
         if cached is not None:
+            if tracer.enabled:
+                now = tracer.clock()
+                tracer.record(
+                    cached.model, "llm_call", now, now,
+                    model=cached.model, temperature=temperature,
+                    cache="hit",
+                    prompt_tokens=cached.usage.prompt_tokens,
+                    completion_tokens=cached.usage.completion_tokens,
+                    cost_usd=0.0,
+                )
             return cached
         response = self.inner.complete(prompt, temperature)
+        tracer.annotate_latest(cache="miss")
         self.cache.put(key, response)
         return response
 

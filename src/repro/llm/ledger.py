@@ -303,5 +303,15 @@ class CostLedger:
     def retry_count(self) -> int:
         return len(self.events)
 
+    @property
+    def retry_backoff_seconds(self) -> float:
+        """Cumulative backoff sleep requested across all retry events.
+
+        Each :class:`RetryEvent` records the delay applied before its
+        next attempt; this sums them so ``/stats`` and reports can show
+        how much of a run's wall-clock went to waiting out failures.
+        """
+        return sum(event.delay_seconds for event in self.events)
+
     def __len__(self) -> int:
         return len(self.entries)

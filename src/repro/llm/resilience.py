@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.tracer import current_tracer
+
 from .base import ChatResponse, DelegatingLLMClient, LLMClient
 from .openai_client import TransportError
 
@@ -141,6 +143,7 @@ class ResilientLLMClient(DelegatingLLMClient):
                 if not policy.classify(error):
                     raise
                 last_error = error
+                tracer = current_tracer()
                 if attempt == policy.max_attempts:
                     self.ledger.record_retry(
                         model=self.model_name,
@@ -149,6 +152,13 @@ class ResilientLLMClient(DelegatingLLMClient):
                         error=repr(error),
                         gave_up=True,
                     )
+                    if tracer.enabled:
+                        now = tracer.clock()
+                        tracer.record(
+                            f"retry:{self.model_name}", "retry", now, now,
+                            status="error", attempt=attempt,
+                            error=repr(error), gave_up=True,
+                        )
                     raise RetriesExhaustedError(attempt, error) from error
                 delay = policy.delay_for(attempt, token)
                 self.ledger.record_retry(
@@ -157,6 +167,13 @@ class ResilientLLMClient(DelegatingLLMClient):
                     delay_seconds=delay,
                     error=repr(error),
                 )
-                if delay > 0:
-                    policy.sleep(delay)
+                # The retry span covers the backoff sleep, so waterfalls
+                # show waiting-out-a-failure as its own bar next to the
+                # model-call latency it shadows.
+                with tracer.span(
+                    f"retry:{self.model_name}", "retry",
+                    attempt=attempt, delay_seconds=delay, error=repr(error),
+                ):
+                    if delay > 0:
+                        policy.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,68 @@
+"""Unified observability layer: tracing, metrics, exports.
+
+This package is the one place the rest of the stack reports *where time
+and money went*. It deliberately sits below every other ``repro``
+package — nothing here imports pipeline, service, or engine code — so
+any layer (LLM client, SQL engine, HTTP front end) can attach spans or
+publish metrics without import cycles.
+
+Three modules:
+
+* :mod:`repro.obs.tracer` — deterministic span trees. Span ids are
+  parent-scoped sequence numbers (``1``, ``1.2``, ``1.2.3`` …), never
+  derived from wall clocks or randomness, so two runs that do the same
+  work produce the *same tree* — the integration suite diffs parallel
+  vs sequential runs on exactly this property. Wall times come only
+  from the tracer's injected clock (enforced by an AST lint in
+  ``tools/check_invariants.py``).
+* :mod:`repro.obs.metrics` — a process-level registry of named
+  counters/gauges/histograms plus *collectors* that absorb the stats
+  already kept elsewhere (cost ledger, LLM/SQL caches, engine strategy
+  counters, analyzer counters) behind one ``snapshot()``.
+* :mod:`repro.obs.export` — renderers: Chrome trace-event JSON (loads
+  in Perfetto / ``chrome://tracing``), Prometheus text exposition for
+  ``GET /metrics``, and ndjson structured logs with trace/span
+  correlation ids.
+"""
+
+from .export import (
+    to_chrome_trace,
+    to_ndjson,
+    to_prometheus,
+    write_chrome_trace,
+)
+from .metrics import (
+    Metric,
+    MetricsRegistry,
+    cache_metrics,
+    engine_metrics,
+    ledger_metrics,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanDelta,
+    Tracer,
+    current_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Metric",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanDelta",
+    "Tracer",
+    "cache_metrics",
+    "current_tracer",
+    "engine_metrics",
+    "ledger_metrics",
+    "set_default_tracer",
+    "to_chrome_trace",
+    "to_ndjson",
+    "to_prometheus",
+    "write_chrome_trace",
+]

@@ -1,0 +1,184 @@
+"""Trace and metrics exporters.
+
+Three output formats, all derived from the in-memory structures and
+never feeding back into them:
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format (an
+  object with a ``traceEvents`` array of complete ``"ph": "X"`` events,
+  timestamps in microseconds). Loads directly in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``; each root span
+  gets its own track so concurrent documents render side by side.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4) for a :class:`~repro.obs.metrics.MetricsRegistry`;
+  this is the body of the service's ``GET /metrics``.
+* :func:`to_ndjson` — one structured-log JSON object per span with
+  trace/span/parent correlation ids, for grep-able post-mortems and
+  log shippers.
+
+Determinism note: exporters assign span ids structurally (the same
+parent-scoped sequence numbers as :meth:`Tracer.tree`), so everything
+except the wall-time fields is reproducible run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, Iterator
+
+from .metrics import Metric, MetricsRegistry
+from .tracer import Span, Tracer
+
+
+# -- Chrome trace events -----------------------------------------------------
+
+
+def to_chrome_trace(
+    source: Tracer | list[Span], process_name: str = "cedar"
+) -> dict:
+    """Render a tracer (or a list of root spans) as trace-event JSON."""
+    roots = source.roots if isinstance(source, Tracer) else list(source)
+    events: list[dict] = [{
+        "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    epoch = min((span.start for root in roots for span in root.walk()),
+                default=0.0)
+    for lane, root in enumerate(roots, start=1):
+        events.append({
+            "ph": "M", "pid": 1, "tid": lane, "name": "thread_name",
+            "args": {"name": f"{root.kind}:{root.name}"},
+        })
+        for span in root.walk():
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": round((span.start - epoch) * 1e6, 3),
+                "dur": round(max(0.0, span.end - span.start) * 1e6, 3),
+                "pid": 1,
+                "tid": lane,
+                "args": {**span.attributes, "status": span.status},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    source: Tracer | list[Span], path_or_file: str | IO[str],
+    process_name: str = "cedar",
+) -> None:
+    """Serialise :func:`to_chrome_trace` output to a path or open file."""
+    payload = to_chrome_trace(source, process_name)
+    if hasattr(path_or_file, "write"):
+        json.dump(payload, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+
+# -- ndjson structured logs --------------------------------------------------
+
+
+def iter_span_records(
+    source: Tracer | list[Span], trace_id: str | None = None
+) -> Iterator[dict]:
+    """Depth-first span records with structural correlation ids."""
+    if isinstance(source, Tracer):
+        roots = source.roots
+        trace_id = trace_id if trace_id is not None else source.trace_id
+    else:
+        roots = list(source)
+        trace_id = trace_id if trace_id is not None else "trace"
+
+    def emit(span: Span, span_id: str, parent_id: str | None):
+        yield {
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": span.name,
+            "kind": span.kind,
+            "status": span.status,
+            "start": span.start,
+            "end": span.end,
+            "duration_seconds": round(span.end - span.start, 9),
+            "attributes": dict(span.attributes),
+        }
+        for index, child in enumerate(span.children, start=1):
+            yield from emit(child, f"{span_id}.{index}", span_id)
+
+    for index, root in enumerate(roots, start=1):
+        yield from emit(root, str(index), None)
+
+
+def to_ndjson(source: Tracer | list[Span],
+              trace_id: str | None = None) -> str:
+    """One JSON object per span, newline-delimited, depth-first."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True)
+        for record in iter_span_records(source, trace_id)
+    )
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _render_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _render_metric(metric: Metric) -> Iterator[str]:
+    if metric.help:
+        yield f"# HELP {metric.name} {metric.help}"
+    yield f"# TYPE {metric.name} {metric.type}"
+    for labels, value in metric.samples:
+        if metric.type == "histogram":
+            cumulative = 0
+            bounds = list(value["bounds"]) + [math.inf]
+            for bound, count in zip(bounds, value["counts"]):
+                cumulative += count
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                yield (f"{metric.name}_bucket"
+                       f"{_render_labels(labels, (('le', le),))} "
+                       f"{cumulative}")
+            yield (f"{metric.name}_sum{_render_labels(labels)} "
+                   f"{_format_value(value['sum'])}")
+            yield (f"{metric.name}_count{_render_labels(labels)} "
+                   f"{value['count']}")
+        else:
+            yield (f"{metric.name}{_render_labels(labels)} "
+                   f"{_format_value(value)}")
+
+
+def to_prometheus(
+    source: MetricsRegistry | Iterable[Metric],
+) -> str:
+    """Render a registry (or metric list) as text exposition format.
+
+    The output ends with a newline, as the format requires.
+    """
+    metrics = (source.collect() if isinstance(source, MetricsRegistry)
+               else list(source))
+    lines: list[str] = []
+    for metric in metrics:
+        lines.extend(_render_metric(metric))
+    return "\n".join(lines) + "\n"

@@ -11,10 +11,15 @@
 * ``GET /jobs/<id>/events`` — the job's event stream as ndjson.
   ``?wait=1`` streams until the terminal event (bounded by
   ``&timeout=<seconds>``); without it, replays the events so far.
+* ``GET /jobs/<id>/trace`` — the job's span tree as Chrome trace-event
+  JSON (queue wait plus the per-document verification waterfall); save
+  it and load it in Perfetto or ``chrome://tracing``.
 * ``GET /healthz`` — liveness plus draining flag.
 * ``GET /stats`` — queue depth, batch sizes, cache hit rate, SQL-engine
-  counters (plan cache, result cache, join strategies), ledger spend,
-  and the p50/p95 latency histogram.
+  counters (plan cache, result cache, join strategies), ledger spend
+  (including cumulative retry backoff), and the latency histogram.
+* ``GET /metrics`` — the same numbers in Prometheus text exposition
+  format, ready for a scrape config.
 
 Every request against a dataset shares one service-wide response cache
 and ledger, and jobs arriving close together coalesce into one verifier
@@ -42,6 +47,7 @@ from repro.datasets import (
     build_wikitext,
 )
 from repro.experiments import build_cedar
+from repro.obs.export import to_chrome_trace, to_prometheus
 
 from .events import JobEvent
 from .queue import (
@@ -176,11 +182,22 @@ class ServiceApp:
             return handle.events(timeout=timeout)
         return iter(handle.events_snapshot())
 
+    def job_trace(self, job_id: str) -> tuple[int, dict]:
+        """The job's span forest as Chrome trace-event JSON."""
+        handle = self.service.job(job_id)
+        if handle is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        return 200, to_chrome_trace(handle.spans(), process_name=job_id)
+
     def health(self) -> tuple[int, dict]:
         return 200, {"status": "ok", "draining": self.service.draining}
 
     def stats(self) -> tuple[int, dict]:
         return 200, self.service.stats().to_dict()
+
+    def metrics(self) -> str:
+        """The service registry in Prometheus text exposition format."""
+        return to_prometheus(self.service.metrics)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -199,6 +216,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         payload = json.dumps(body, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, body: str,
+                   content_type: str) -> None:
+        payload = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)
@@ -229,8 +255,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(*self.app.health())
         elif parts == ["stats"]:
             self._send_json(*self.app.stats())
+        elif parts == ["metrics"]:
+            self._send_text(
+                200, self.app.metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         elif len(parts) == 2 and parts[0] == "jobs":
             self._send_json(*self.app.job_summary(parts[1]))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            self._send_json(*self.app.job_trace(parts[1]))
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             query = parse_qs(url.query)
             wait = query.get("wait", ["0"])[0] not in ("0", "", "false")

@@ -49,6 +49,14 @@ from repro.core.reports import claim_record
 from repro.llm.cache import LLMCache
 from repro.llm.ledger import CostLedger
 from repro.llm.resilience import RetryPolicy
+from repro.obs.metrics import (
+    Metric,
+    MetricsRegistry,
+    cache_metrics,
+    engine_metrics,
+    ledger_metrics,
+)
+from repro.obs.tracer import NULL_TRACER, Span, Tracer
 from repro.sqlengine import QueryResultCache, engine_stats
 
 from .events import (
@@ -102,6 +110,10 @@ class ServiceConfig:
     retry: RetryPolicy | None = None
     ledger: CostLedger | None = None
     poll_interval: float = 0.02     # dispatcher shutdown-poll cadence
+    #: Per-job span trees (queue wait + the document waterfall), served
+    #: by ``GET /jobs/<id>/trace``. Tracing never changes verdicts or
+    #: spend; disable it to shave the last few percent off hot batches.
+    tracing: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -174,6 +186,9 @@ class Job:
         self.run: VerificationRun | None = None
         self.spend: dict | None = None
         self.error: str | None = None
+        #: Root spans filed under this job (queue_wait + one document
+        #: span per document) once its batch completes.
+        self.spans: list[Span] = []
         self._events: list[JobEvent] = []
         self._cond = threading.Condition()
         self._cancelled = False
@@ -303,6 +318,10 @@ class JobHandle:
             + (f": {self._job.error}" if self._job.error else "")
         )
 
+    def spans(self) -> list[Span]:
+        """Root spans filed under this job (populated at completion)."""
+        return list(self._job.spans)
+
 
 class _StreamingObserver(VerificationObserver):
     """Fan one batch's verifier progress out to each job's event stream.
@@ -391,6 +410,58 @@ class VerificationService:
         self._max_batch = 0
         self._running_jobs = 0
         self._histogram = LatencyHistogram()
+        #: Pull-based metrics registry behind ``GET /metrics``: ledger,
+        #: cache, and engine stats are translated at scrape time, so the
+        #: hot paths pay nothing extra per event.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(lambda: ledger_metrics(self.ledger))
+        self.metrics.register_collector(self._own_metrics)
+        self.metrics.register_collector(
+            lambda: engine_metrics(self._engine_stats())
+        )
+
+    def _engine_stats(self) -> dict:
+        """Process engine stats with this service's result cache spliced
+        in (mirrors :meth:`stats`)."""
+        stats = dict(engine_stats())
+        stats["result_cache"] = (
+            self.sql_cache.stats() if self.sql_cache is not None else None
+        )
+        return stats
+
+    def _own_metrics(self) -> list[Metric]:
+        """Queue/job/batch/latency state owned by the service itself."""
+        with self._lock:
+            counts = dict(self._counts)
+            running = self._running_jobs
+            batches = self._batches
+            batched_jobs = self._batched_jobs
+        metrics = [
+            Metric.gauge("cedar_queue_depth", len(self._queue),
+                         "Jobs waiting for a dispatcher"),
+            Metric.gauge("cedar_running_jobs", running,
+                         "Jobs currently inside a batch"),
+            Metric.counter("cedar_batches_total", batches,
+                           "Verifier batches dispatched"),
+            Metric.counter("cedar_batched_jobs_total", batched_jobs,
+                           "Jobs that went through a batch"),
+        ]
+        for state, count in sorted(counts.items()):
+            metrics.append(Metric.counter(
+                "cedar_jobs_total", count,
+                "Job admissions by outcome", {"state": state},
+            ))
+        latency = self._histogram.snapshot()
+        metrics.append(Metric.histogram(
+            "cedar_job_latency_seconds",
+            latency["buckets"]["bounds"],
+            latency["buckets"]["counts"],
+            latency["sum_seconds"], latency["count"],
+            "Completed-job latency, submission to done",
+        ))
+        if self.cache is not None:
+            metrics.extend(cache_metrics("llm", self.cache.stats))
+        return metrics
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -642,6 +713,21 @@ class VerificationService:
         verifier, verifier_lock = self._verifier_for(
             self._batch_key(runnable[0])
         )
+        # One tracer per batch: roots are routed to their owning jobs
+        # afterwards, so concurrent dispatchers never mix span forests.
+        # The clock is time.monotonic — the same epoch as the Job
+        # timestamps — so queue-wait bars line up with the work bars.
+        tracer: Tracer = (
+            Tracer(trace_id=f"batch-{batch_id}", clock=time.monotonic)
+            if self.config.tracing else NULL_TRACER
+        )
+        if tracer.enabled:
+            for job in runnable:
+                tracer.record(
+                    f"wait:{job.job_id}", "queue_wait",
+                    job.submitted_at, job.started_at or job.submitted_at,
+                    job_id=job.job_id, priority=job.priority,
+                )
         try:
             with verifier_lock:
                 checkpoint = verifier.ledger.checkpoint()
@@ -649,6 +735,7 @@ class VerificationService:
                     documents,
                     runnable[0].schedule,
                     observer=_StreamingObserver(doc_jobs, claim_jobs),
+                    tracer=tracer,
                 )
         except Exception as error:  # the whole batch is poisoned
             message = f"{type(error).__name__}: {error}"
@@ -659,6 +746,8 @@ class VerificationService:
         finally:
             with self._lock:
                 self._running_jobs -= len(runnable)
+            if tracer.enabled:
+                self._file_spans(tracer, runnable, doc_jobs)
         for job in runnable:
             if job.cancelled:
                 self._finalize(job, CANCELLED)
@@ -678,6 +767,25 @@ class VerificationService:
                 "tokens": totals.total_tokens,
             }
             self._finalize(job, COMPLETED)
+
+    @staticmethod
+    def _file_spans(
+        tracer: Tracer, runnable: list[Job], doc_jobs: dict[str, Job]
+    ) -> None:
+        """Route the batch tracer's root spans to their owning jobs.
+
+        ``queue_wait`` roots carry a ``job_id`` attribute; ``document``
+        roots carry ``doc_id``. Anything unroutable is dropped — spans
+        are diagnostics, never load-bearing state.
+        """
+        jobs_by_id = {job.job_id: job for job in runnable}
+        for span in tracer.drain_roots():
+            if span.kind == "queue_wait":
+                job = jobs_by_id.get(span.attributes.get("job_id"))
+            else:
+                job = doc_jobs.get(span.attributes.get("doc_id"))
+            if job is not None:
+                job.spans.append(span)
 
     def _drain_inline(self) -> None:
         """Run remaining queued jobs on the calling thread (never-started
@@ -771,6 +879,9 @@ class VerificationService:
                 "cost_usd": round(totals.cost, 6),
                 "tokens": totals.total_tokens,
                 "retries": self.ledger.retry_count,
+                "retry_backoff_seconds": round(
+                    self.ledger.retry_backoff_seconds, 6
+                ),
             },
             latency=self._histogram.snapshot(),
         )

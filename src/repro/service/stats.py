@@ -67,14 +67,25 @@ class LatencyHistogram:
             return self._max
 
     def snapshot(self) -> dict:
+        """Summary stats plus the raw bucket layout.
+
+        ``buckets`` exposes the geometric bounds and per-bucket counts
+        (the final count is the overflow bucket, whose upper edge is the
+        maximum value observed) so exporters — the Prometheus
+        ``/metrics`` endpoint in particular — can render the full
+        distribution instead of just two quantiles.
+        """
         with self._lock:
             count, total, maximum = self._count, self._sum, self._max
+            counts = list(self._counts)
         return {
             "count": count,
+            "sum_seconds": round(total, 6),
             "mean_seconds": round(total / count, 6) if count else 0.0,
             "max_seconds": round(maximum, 6),
             "p50_seconds": round(self.quantile(0.5), 6),
             "p95_seconds": round(self.quantile(0.95), 6),
+            "buckets": {"bounds": list(self._bounds), "counts": counts},
         }
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.obs.tracer import current_tracer
+
 from . import ast_nodes as ast
 from .analyzer import subquery_is_cacheable
 from .compiler import (
@@ -141,7 +143,33 @@ class Engine:
         self._subquery_meta: dict[int, tuple] = {}
 
     def execute(self, sql: str) -> QueryResult:
-        """Parse and execute SQL text (consulting the caches, if any)."""
+        """Parse and execute SQL text (consulting the caches, if any).
+
+        When a tracer is active, one pre-timed ``sql_execute`` leaf span
+        is recorded per call (the :meth:`Tracer.record` fast path — no
+        stack operations). Cache hit/miss status is deliberately *not*
+        an attribute: the shared plan/result caches are process-warm
+        state, and span trees must be identical run over run.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._execute_text(sql)
+        start = tracer.clock()
+        try:
+            result = self._execute_text(sql)
+        except Exception as error:
+            tracer.record(
+                "sql", "sql_execute", start, tracer.clock(),
+                status="error", sql=sql, error=type(error).__name__,
+            )
+            raise
+        tracer.record(
+            "sql", "sql_execute", start, tracer.clock(),
+            sql=sql, rows=len(result.rows),
+        )
+        return result
+
+    def _execute_text(self, sql: str) -> QueryResult:
         if self.naive:
             STRATEGY_COUNTERS.bump("naive_executions")
             return self.execute_statement(parse_select(sql), [])

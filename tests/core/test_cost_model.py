@@ -145,8 +145,13 @@ def test_closed_forms_match_monte_carlo(plan, seed):
         successes += succeeded
     simulated_cost = total_cost / trials
     simulated_accuracy = successes / trials
+    # Tolerance sized for the estimator, not the estimand: a cheap
+    # early stage followed by an expensive rarely-reached one makes the
+    # per-trial cost heavy-tailed, so at 4000 trials the sample mean
+    # wanders ~2σ ≈ 0.12·E[cost] for the worst generated plans. rel=0.08
+    # sat at the 2σ edge and flaked once in a few dozen examples.
     assert schedule_cost(schedule, profiles) == pytest.approx(
-        simulated_cost, rel=0.08, abs=0.1
+        simulated_cost, rel=0.12, abs=0.15
     )
     assert schedule_accuracy(schedule, profiles) == pytest.approx(
         simulated_accuracy, abs=0.05

@@ -70,6 +70,20 @@ class TestRecords:
         document, run, _ = verified
         assert "spend" not in document_report(document, run)
 
+    def test_retry_backoff_totals_surface_in_spend(self, verified):
+        document, run, ledger = verified
+        assert "retries" not in document_report(document, run,
+                                                ledger)["spend"]
+        ledger.record_retry("gpt-4o", attempt=1, delay_seconds=0.5,
+                            error="RateLimitError()")
+        ledger.record_retry("gpt-4o", attempt=2, delay_seconds=1.25,
+                            error="RateLimitError()")
+        spend = document_report(document, run, ledger)["spend"]
+        assert spend["retries"] == 2
+        assert spend["retry_backoff_seconds"] == pytest.approx(1.75)
+        markdown = to_markdown(document, run, ledger)
+        assert "2 retried, 1.750s of backoff" in markdown
+
 
 class TestJson:
     def test_round_trips(self, verified):

@@ -1,0 +1,149 @@
+"""Unit tests for the Chrome-trace, ndjson, and Prometheus exporters."""
+
+import io
+import json
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_ndjson,
+    to_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Metric, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self, start=1.0, step=0.25):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def small_tracer():
+    tracer = Tracer(trace_id="t-1", clock=FakeClock())
+    with tracer.span("doc-1", "document", doc_id="doc-1"):
+        with tracer.span("stage", "stage"):
+            tracer.record("sql", "sql_execute", 1.1, 1.2, rows=2)
+    with tracer.span("doc-2", "document", doc_id="doc-2"):
+        pass
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_and_units(self):
+        payload = to_chrome_trace(small_tracer(), process_name="cedar-test")
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert payload["displayTimeUnit"] == "ms"
+        assert metadata[0]["args"]["name"] == "cedar-test"
+        # One lane per root plus the process-name record.
+        assert len(metadata) == 3
+        assert len(complete) == 4
+        # Timestamps are microseconds relative to the earliest span.
+        root = next(e for e in complete if e["name"] == "doc-1")
+        assert root["ts"] == 0.0
+        sql = next(e for e in complete if e["name"] == "sql")
+        assert sql["dur"] == 0.1 * 1e6
+        assert sql["cat"] == "sql_execute"
+        assert sql["args"]["rows"] == 2
+        assert sql["args"]["status"] == "ok"
+
+    def test_roots_get_distinct_lanes(self):
+        events = to_chrome_trace(small_tracer())["traceEvents"]
+        lanes = {e["name"]: e["tid"] for e in events if e["ph"] == "X"
+                 and e["cat"] == "document"}
+        assert lanes["doc-1"] != lanes["doc-2"]
+
+    def test_accepts_span_list_and_writes_to_file(self):
+        tracer = small_tracer()
+        buffer = io.StringIO()
+        write_chrome_trace(list(tracer.roots), buffer)
+        parsed = json.loads(buffer.getvalue())
+        assert parsed == to_chrome_trace(list(tracer.roots))
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(small_tracer(), str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestNdjson:
+    def test_one_record_per_span_with_correlation_ids(self):
+        lines = to_ndjson(small_tracer()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 4
+        assert all(r["trace_id"] == "t-1" for r in records)
+        by_id = {r["span_id"]: r for r in records}
+        assert by_id["1"]["parent_id"] is None
+        assert by_id["1.1"]["parent_id"] == "1"
+        assert by_id["1.1.1"]["parent_id"] == "1.1"
+        assert by_id["2"]["name"] == "doc-2"
+        assert by_id["1.1.1"]["duration_seconds"] == 0.1
+
+    def test_trace_id_override(self):
+        record = json.loads(
+            to_ndjson(small_tracer(), trace_id="other").splitlines()[0]
+        )
+        assert record["trace_id"] == "other"
+
+
+class TestPrometheus:
+    def test_counter_gauge_and_help_type_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("cedar_jobs_total", "Jobs processed").inc(3)
+        registry.gauge("cedar_queue_depth", "Queue depth").set(2)
+        text = to_prometheus(registry)
+        assert "# HELP cedar_jobs_total Jobs processed" in text
+        assert "# TYPE cedar_jobs_total counter" in text
+        assert "cedar_jobs_total 3" in text
+        assert "# TYPE cedar_queue_depth gauge" in text
+        assert "cedar_queue_depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "cedar_latency_seconds", bounds=[0.1, 1.0]
+        )
+        for value in (0.05, 0.5, 99.0):
+            histogram.observe(value)
+        lines = to_prometheus(registry).splitlines()
+        buckets = [line for line in lines if "_bucket" in line]
+        assert buckets == [
+            'cedar_latency_seconds_bucket{le="0.1"} 1',
+            'cedar_latency_seconds_bucket{le="1"} 2',
+            'cedar_latency_seconds_bucket{le="+Inf"} 3',
+        ]
+        assert "cedar_latency_seconds_count 3" in lines
+        assert any(line.startswith("cedar_latency_seconds_sum ")
+                   for line in lines)
+
+    def test_labels_are_escaped(self):
+        text = to_prometheus([
+            Metric.counter("cedar_x_total", 1,
+                           labels={"q": 'say "hi"\nback\\slash'}),
+        ])
+        assert r'q="say \"hi\"\nback\\slash"' in text
+
+    def test_valid_exposition_shape(self):
+        # Every non-comment line is `name{labels} value` with a numeric
+        # value — the contract a Prometheus scraper relies on.
+        registry = MetricsRegistry()
+        registry.counter("cedar_a_total").inc()
+        registry.histogram("cedar_b_seconds", bounds=[1.0]).observe(0.5)
+        registry.register_collector(
+            lambda: [Metric.gauge("cedar_c", 1.5, labels={"k": "v"})]
+        )
+        for line in to_prometheus(registry).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            assert name_part.startswith("cedar_")
+            float(value_part)  # must parse

@@ -1,0 +1,145 @@
+"""Unit tests for the metrics registry and the stats collectors."""
+
+import pytest
+
+from repro.llm import CostLedger
+from repro.obs.metrics import (
+    Metric,
+    MetricsRegistry,
+    cache_metrics,
+    engine_metrics,
+    ledger_metrics,
+    merge_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cedar_test_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("cedar_depth")
+        gauge.set(5)
+        gauge.dec(2)
+        gauge.inc(0.5)
+        assert gauge.value == 3.5
+
+    def test_histogram_buckets_and_overflow(self):
+        histogram = MetricsRegistry().histogram(
+            "cedar_latency_seconds", bounds=[0.1, 1.0]
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(99.0)
+        metric = histogram.collect()
+        ((labels, value),) = metric.samples
+        assert labels == ()
+        assert value["counts"] == [1, 1, 1]
+        assert value["count"] == 3
+        assert value["sum"] == pytest.approx(99.55)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("cedar_bad", bounds=[2.0, 1.0])
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("cedar_x_total") is registry.counter(
+            "cedar_x_total"
+        )
+
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("cedar_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("cedar_x_total")
+
+
+class TestRegistry:
+    def test_collect_merges_collector_families(self):
+        registry = MetricsRegistry()
+        registry.counter("cedar_jobs_total").inc(4)
+        registry.register_collector(
+            lambda: [Metric.counter("cedar_cache_hits_total", 7,
+                                    labels={"cache": "a"})]
+        )
+        registry.register_collector(
+            lambda: [Metric.counter("cedar_cache_hits_total", 9,
+                                    labels={"cache": "b"})]
+        )
+        by_name = {m.name: m for m in registry.collect()}
+        assert by_name["cedar_jobs_total"].samples[0][1] == 4
+        hits = by_name["cedar_cache_hits_total"]
+        assert len(hits.samples) == 2
+        assert {dict(labels)["cache"] for labels, _ in hits.samples} \
+            == {"a", "b"}
+
+    def test_snapshot_collapses_unlabelled_singletons(self):
+        registry = MetricsRegistry()
+        registry.counter("cedar_jobs_total").inc(2)
+        registry.register_collector(
+            lambda: [Metric.gauge("cedar_depth", 3,
+                                  labels={"queue": "main"})]
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["cedar_jobs_total"] == 2
+        assert snapshot["cedar_depth"] == {"queue=main": 3}
+
+    def test_merge_preserves_first_seen_order(self):
+        merged = merge_metrics([
+            Metric.counter("b_total", 1),
+            Metric.counter("a_total", 1),
+            Metric.counter("b_total", 2, labels={"x": "y"}),
+        ])
+        assert [m.name for m in merged] == ["b_total", "a_total"]
+        assert len(merged[0].samples) == 2
+
+
+class TestCollectors:
+    def test_ledger_metrics_names_and_values(self):
+        ledger = CostLedger()
+        metrics = {m.name for m in ledger_metrics(ledger)}
+        assert "cedar_llm_calls_total" in metrics
+        assert "cedar_llm_retry_backoff_seconds_total" in metrics
+        assert "cedar_sql_executions_total" in metrics
+
+    def test_cache_metrics_accept_dicts_and_objects(self):
+        class Stats:
+            hits, misses, bypasses, evictions, size = 5, 2, 1, 0, 9
+
+        for stats in (Stats(), {"hits": 5, "misses": 2, "bypasses": 1,
+                                "evictions": 0, "size": 9}):
+            by_name = {m.name: m for m in cache_metrics("llm", stats)}
+            ((labels, hits),) = by_name["cedar_cache_hits_total"].samples
+            assert dict(labels) == {"cache": "llm"}
+            assert hits == 5
+            assert by_name["cedar_cache_entries"].samples[0][1] == 9
+
+    def test_engine_metrics_render_strategies_and_analyzer(self):
+        stats = {
+            "plan_cache": {"hits": 3, "misses": 1, "size": 4},
+            "strategies": {"hash_joins": 2},
+            "analyzer": {"queries_analyzed": 6},
+            "result_cache": {"hits": 1, "misses": 1},
+        }
+        metrics = engine_metrics(stats)
+        names = {m.name for m in metrics}
+        assert "cedar_sql_strategy_total" in names
+        assert "cedar_sql_analyzer_total" in names
+        caches = {
+            dict(labels).get("cache")
+            for metric in metrics if metric.name == "cedar_cache_hits_total"
+            for labels, _ in metric.samples
+        }
+        assert caches == {"sql_plan", "sql_result"}
+
+    def test_engine_metrics_default_to_live_stats(self):
+        # No stats argument: pulls repro.sqlengine.engine_stats().
+        names = {m.name for m in engine_metrics()}
+        assert "cedar_sql_strategy_total" in names

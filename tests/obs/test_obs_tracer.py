@@ -1,0 +1,235 @@
+"""Unit tests for the deterministic span tree tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    MAX_ATTRIBUTE_LENGTH,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_default_tracer,
+    strip_times,
+)
+
+
+class FakeClock:
+    """Deterministic injected clock: each call advances by ``step``."""
+
+    def __init__(self, start=100.0, step=0.5):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpanStructure:
+    def test_nesting_and_structural_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("doc-1", "document"):
+            with tracer.span("stage-a", "stage"):
+                with tracer.span("call", "llm_call"):
+                    pass
+            with tracer.span("stage-b", "stage"):
+                pass
+        tree = tracer.tree()
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["span_id"] == "1"
+        assert [c["span_id"] for c in root["children"]] == ["1.1", "1.2"]
+        assert root["children"][0]["children"][0]["span_id"] == "1.1.1"
+
+    def test_ids_are_parent_scoped_sequence_numbers_not_clock(self):
+        # Two tracers with wildly different clocks produce identical
+        # timeless trees — identity is purely structural.
+        def build(clock):
+            tracer = Tracer(clock=clock)
+            with tracer.span("doc", "document", doc_id="d1"):
+                with tracer.span("m", "method"):
+                    pass
+            return tracer.tree(include_times=False)
+
+        assert build(FakeClock(0.0, 1.0)) == build(FakeClock(9e9, 777.0))
+
+    def test_record_attaches_pretimed_leaf(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("doc", "document"):
+            span = tracer.record("sql", "sql_execute", 1.0, 2.5, rows=3)
+        assert span.start == 1.0 and span.end == 2.5
+        assert span.duration == 1.5
+        assert tracer.tree()[0]["children"][0]["attributes"]["rows"] == 3
+
+    def test_exception_marks_span_errored(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doc", "document"):
+                with tracer.span("m", "method"):
+                    raise RuntimeError("boom")
+        tree = tracer.tree()
+        assert tree[0]["status"] == "error"
+        method = tree[0]["children"][0]
+        assert method["status"] == "error"
+        assert method["attributes"]["error"] == "RuntimeError"
+
+    def test_annotate_open_and_latest_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("doc", "document"):
+            tracer.annotate(claims=4)
+            with tracer.span("call", "llm_call"):
+                pass
+            tracer.annotate_latest(cache="hit")
+        root = tracer.tree()[0]
+        assert root["attributes"]["claims"] == 4
+        assert root["children"][0]["attributes"]["cache"] == "hit"
+
+    def test_long_attributes_are_clipped(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("doc", "document", sql="x" * 1000):
+            tracer.annotate(note="y" * 1000)
+        attributes = tracer.tree()[0]["attributes"]
+        assert len(attributes["sql"]) == MAX_ATTRIBUTE_LENGTH
+        assert len(attributes["note"]) == MAX_ATTRIBUTE_LENGTH
+        assert attributes["sql"].endswith("…")
+
+    def test_injected_clock_is_the_only_time_source(self):
+        clock = FakeClock(start=10.0, step=1.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("doc", "document"):
+            pass
+        root = tracer.tree()[0]
+        assert root["start"] == 10.0
+        assert root["end"] == 11.0
+
+    def test_strip_times_matches_timeless_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("doc", "document"):
+            with tracer.span("m", "method"):
+                pass
+        assert strip_times(tracer.tree()) == tracer.tree(
+            include_times=False
+        )
+
+
+class TestCaptureAbsorb:
+    def test_absorb_in_submission_order_ignores_completion_order(self):
+        tracer = Tracer(clock=FakeClock())
+        deltas = [None, None]
+        barrier = threading.Barrier(2)
+
+        def work(index):
+            with tracer.capture() as delta:
+                barrier.wait()
+                with tracer.span(f"doc-{index}", "document"):
+                    pass
+            deltas[index] = delta
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in (1, 0)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for delta in deltas:           # submission order, not finish order
+            tracer.absorb(delta)
+        assert [r["name"] for r in tracer.tree()] == ["doc-0", "doc-1"]
+
+    def test_capture_activates_tracer_on_worker_thread(self):
+        tracer = Tracer(clock=FakeClock())
+        seen = []
+
+        def work():
+            with tracer.capture():
+                seen.append(current_tracer() is tracer)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert seen == [True]
+        assert current_tracer() is NULL_TRACER
+
+    def test_absorb_under_open_span_grafts_as_children(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.capture() as delta:
+            with tracer.span("inner", "document"):
+                pass
+        with tracer.span("outer", "document"):
+            tracer.absorb(delta)
+        root = tracer.tree()[0]
+        assert root["name"] == "outer"
+        assert [c["name"] for c in root["children"]] == ["inner"]
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activated_wins_over_default(self):
+        default = Tracer(trace_id="default", clock=FakeClock())
+        active = Tracer(trace_id="active", clock=FakeClock())
+        previous = set_default_tracer(default)
+        try:
+            assert current_tracer() is default
+            with active.activated():
+                assert current_tracer() is active
+            assert current_tracer() is default
+        finally:
+            set_default_tracer(previous)
+
+    def test_set_default_returns_previous(self):
+        tracer = Tracer(clock=FakeClock())
+        assert set_default_tracer(tracer) is None
+        assert set_default_tracer(None) is tracer
+
+
+class TestNullTracer:
+    def test_records_nothing_and_costs_no_state(self):
+        null = NullTracer()
+        with null.span("doc", "document", doc_id="d"):
+            null.annotate(ignored=True)
+        null.record("sql", "sql_execute", 0.0, 1.0)
+        null.annotate_latest(ignored=True)
+        with null.capture() as delta:
+            pass
+        null.absorb(delta)
+        assert null.tree() == []
+        assert null.span_count() == 0
+        assert not null.enabled
+
+    def test_shared_singleton_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_span_yields_a_span_object(self):
+        # Instrumented code does `with tracer.span(...) as s: s.set(...)`
+        # unconditionally; the null handle must tolerate that.
+        with NULL_TRACER.span("doc", "document") as span:
+            assert isinstance(span, Span)
+            span.set(anything="goes")
+
+
+class TestIntrospection:
+    def test_span_count_and_len(self):
+        tracer = Tracer(clock=FakeClock())
+        for name in ("a", "b"):
+            with tracer.span(name, "document"):
+                with tracer.span("m", "method"):
+                    pass
+        assert len(tracer) == 2
+        assert tracer.span_count() == 4
+
+    def test_drain_roots_with_predicate(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("keep", "queue_wait"):
+            pass
+        with tracer.span("take", "document"):
+            pass
+        drained = tracer.drain_roots(lambda s: s.kind == "document")
+        assert [s.name for s in drained] == ["take"]
+        assert [r["name"] for r in tracer.tree()] == ["keep"]
+        assert tracer.drain_roots() and tracer.tree() == []

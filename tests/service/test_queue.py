@@ -121,3 +121,43 @@ class TestLatencyHistogram:
     def test_invalid_quantile_rejected(self):
         with pytest.raises(ValueError):
             LatencyHistogram().quantile(1.5)
+
+    def test_snapshot_exposes_bucket_bounds_and_counts(self):
+        histogram = LatencyHistogram(first_bound=0.001, factor=2.0,
+                                     buckets=4)
+        histogram.record(0.0005)   # first bucket (≤1 ms)
+        histogram.record(0.003)    # third bucket (≤4 ms)
+        histogram.record(99.0)     # overflow
+        buckets = histogram.snapshot()["buckets"]
+        assert buckets["bounds"] == [0.001, 0.002, 0.004, 0.008]
+        # One count per bound plus the trailing overflow bucket.
+        assert buckets["counts"] == [1, 0, 1, 0, 1]
+        assert sum(buckets["counts"]) == histogram.count
+
+    def test_overflow_bucket_lands_in_final_count(self):
+        histogram = LatencyHistogram(first_bound=0.001, factor=2.0,
+                                     buckets=3)
+        histogram.record(50.0)
+        counts = histogram.snapshot()["buckets"]["counts"]
+        assert counts == [0, 0, 0, 1]
+
+    def test_quantiles_are_monotone_in_q(self):
+        histogram = LatencyHistogram()
+        for value in (0.002, 0.002, 0.015, 0.3, 0.3, 0.9, 7.0, 120.0):
+            histogram.record(value)
+        quantiles = [histogram.quantile(q / 20) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+    def test_quantile_extremes(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        histogram.record(2.0)
+        # q=0 reports from the lowest occupied bucket, q=1 the maximum.
+        assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+        assert histogram.quantile(1.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_snapshot_sum_seconds(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.25)
+        histogram.record(0.75)
+        assert histogram.snapshot()["sum_seconds"] == pytest.approx(1.0)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo-specific AST lints that generic linters cannot express.
 
-Run by ``make lint`` (through ``tools/lint.py``). Two invariants:
+Run by ``make lint`` (through ``tools/lint.py``). Three invariants:
 
 1. **No direct ``Engine()`` construction in library code.** Outside
    ``src/repro/sqlengine/`` (plus tests and benchmarks, which exercise
@@ -15,6 +15,14 @@ Run by ``make lint`` (through ``tools/lint.py``). Two invariants:
    dataset and benchmark must be reproducible; an unseeded generator
    silently breaks byte-identical reports. Applies everywhere, pragma
    ``# lint: allow-unseeded`` to opt out.
+
+3. **No direct clock or RNG use in ``src/repro/obs/``.** Span identity
+   must stay purely structural, so the tracing package may not *call*
+   ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()`` (or
+   anything else off the ``time`` module) and may not import ``random``
+   at all. Wall times flow only through the injected ``clock`` callable
+   — referencing ``time.perf_counter`` as a default argument is fine,
+   calling it is not. No pragma: there is no legitimate exception.
 
 Exit status is the number of violations (0 = clean).
 """
@@ -37,6 +45,9 @@ ENGINE_EXEMPT = (
     Path("benchmarks"),
     Path("tools"),
 )
+
+# The tracing package: wall-clock only via the injected ``clock``.
+OBS_PACKAGE = Path("src/repro/obs")
 
 
 def _is_engine_call(node: ast.Call) -> bool:
@@ -64,6 +75,40 @@ def _has_pragma(source_lines: list[str], node: ast.Call, pragma: str) -> bool:
     return pragma in line
 
 
+def _obs_violations(relative: Path, tree: ast.AST) -> list[str]:
+    """Clock/RNG bans inside the tracing package (invariant 3)."""
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                violations.append(
+                    f"{relative}:{node.lineno}: time.{func.attr}() called "
+                    "inside repro/obs/ — wall times must come from the "
+                    "injected clock (pass time functions by reference only)"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "random":
+                    violations.append(
+                        f"{relative}:{node.lineno}: random imported inside "
+                        "repro/obs/ — span identity must be structural, "
+                        "never RNG-derived"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "random":
+                violations.append(
+                    f"{relative}:{node.lineno}: random imported inside "
+                    "repro/obs/ — span identity must be structural, "
+                    "never RNG-derived"
+                )
+    return violations
+
+
 def check_file(path: Path) -> list[str]:
     relative = path.relative_to(REPO_ROOT)
     source = path.read_text(encoding="utf-8")
@@ -76,6 +121,8 @@ def check_file(path: Path) -> list[str]:
         relative.is_relative_to(prefix) for prefix in ENGINE_EXEMPT
     )
     violations = []
+    if relative.is_relative_to(OBS_PACKAGE):
+        violations.extend(_obs_violations(relative, tree))
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
