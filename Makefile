@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-parallel bench-service bench-sqlengine \
-	bench-analyzer bench-obs serve experiments
+	bench-analyzer bench-obs bench-cache serve experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -38,6 +38,11 @@ bench-analyzer:
 # layer's ≤5% contract (writes BENCH_obs.json).
 bench-obs:
 	$(PYTHON) -m repro.experiments obs
+
+# Cold vs warm persistent-L2 verification — the ≥3× restart contract
+# (writes BENCH_cache.json).
+bench-cache:
+	$(PYTHON) -m repro.experiments cache
 
 # HTTP front end for the verification service (Ctrl-C drains and exits).
 serve:

@@ -7,6 +7,8 @@ The package mirrors the paper's architecture (see README.md):
   scheduler;
 * :mod:`repro.sqlengine` — the relational engine claims are verified
   against;
+* :mod:`repro.cache` — the tiered cache substrate (in-memory L1,
+  persistent sqlite L2, warm-start method-profile store);
 * :mod:`repro.llm` — the LLM client layer (pricing, cost ledger, offline
   simulation, OpenAI adapter);
 * :mod:`repro.agents` — the ReAct agent framework and its tools;
@@ -27,6 +29,7 @@ and one call verifies a batch of documents::
                        config=repro.VerifierConfig(workers=4))
 """
 
+from repro.cache import CacheConfig, CacheStats, open_cache
 from repro.core import (
     AgentMethod,
     Claim,
@@ -53,10 +56,12 @@ from repro.llm import (
 )
 from repro.sqlengine import Database, Engine, Table, load_csv
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AgentMethod",
+    "CacheConfig",
+    "CacheStats",
     "Claim",
     "ClaimReport",
     "CostLedger",
@@ -78,6 +83,7 @@ __all__ = [
     "VerifierConfig",
     "__version__",
     "load_csv",
+    "open_cache",
     "optimal_schedule",
     "profile_methods",
     "verify",

@@ -1,0 +1,53 @@
+"""Unified pluggable caching: one protocol, two tiers, one stats shape.
+
+See :mod:`repro.cache.api` for the design. The short version:
+
+* :class:`CacheBackend` — the protocol every tier speaks
+  (``get``/``put``/``evict``/``stats``, namespace-scoped keys);
+* :class:`MemoryCacheBackend` (L1) and :class:`SqliteCacheBackend`
+  (persistent L2) — the two shipped backends;
+* :class:`TieredCache` — composes them behind each public cache facade;
+* :class:`CacheConfig` / :func:`open_cache` — declarative wiring,
+  threaded through ``VerifierConfig`` and ``ServiceConfig``;
+* :class:`ProfileStore` / :func:`warm_profiles` — the opt-in warm-start
+  store feeding the Algorithm-10 scheduler from real traffic.
+"""
+
+from .api import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_PERSIST_NAMESPACES,
+    CacheBackend,
+    CacheConfig,
+    CacheStats,
+    Codec,
+    stable_key,
+)
+from .memory import MemoryCacheBackend
+from .persistent import SqliteCacheBackend
+from .profiles import (
+    MethodObservation,
+    ProfileStore,
+    record_run_profiles,
+    warm_profiles,
+)
+from .store import CacheStore, open_cache
+from .tiered import TieredCache
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_PERSIST_NAMESPACES",
+    "CacheBackend",
+    "CacheConfig",
+    "CacheStats",
+    "CacheStore",
+    "Codec",
+    "MemoryCacheBackend",
+    "MethodObservation",
+    "ProfileStore",
+    "SqliteCacheBackend",
+    "TieredCache",
+    "open_cache",
+    "record_run_profiles",
+    "stable_key",
+    "warm_profiles",
+]

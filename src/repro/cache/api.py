@@ -1,0 +1,204 @@
+"""The unified cache API: one stats shape, one backend protocol, one config.
+
+Before this module existed the repo kept three near-identical ad-hoc LRU
+implementations — ``llm/cache.py::LLMCache``, the planner's ``_LruCache``
+behind ``PlanCache``/``QueryResultCache``, and the analyzer's memo dict —
+each with its own counter names and its own stats accessor. They are now
+thin facades over one :class:`~repro.cache.tiered.TieredCache` apiece,
+which composes backends speaking the :class:`CacheBackend` protocol:
+
+* **L1** — :class:`~repro.cache.memory.MemoryCacheBackend`, the familiar
+  thread-safe in-process LRU holding live objects;
+* **L2** — :class:`~repro.cache.persistent.SqliteCacheBackend`, a
+  persistent store that survives restarts and is shareable across
+  workers. Values cross the L2 boundary as text through a
+  :class:`Codec`, so only types with an exact serialised round trip
+  (``ChatResponse``, ``QueryResult``) are persisted.
+
+Keys are namespace-scoped. L1 keys stay whatever the facade always used
+(the tuples are only meaningful within one process); L2 keys must be
+*stable* across processes, which :func:`stable_key` provides by hashing
+the JSON rendering of the key parts. The SQL result namespace therefore
+keys on :meth:`Database.content_fingerprint` — a content hash — rather
+than the process-local ``(token, version)`` fingerprint.
+
+Determinism contract: a cache hit (either tier) returns a value equal to
+what the original computation produced, so cold-cache and warm-cache
+runs render byte-identical reports. The tests in
+``tests/integration/test_engine_cache_determinism.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable, Protocol, runtime_checkable
+
+#: Default byte budget of the persistent L2 tier.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Namespaces persisted to L2 by default. Plan and analysis namespaces
+#: stay L1-only: their values are live AST/analysis objects whose
+#: recomputation (a parse) is cheaper than a faithful serialisation.
+DEFAULT_PERSIST_NAMESPACES = ("llm", "sql_result")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing one cache's traffic (every cache, one shape)."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over cacheable lookups (bypasses excluded)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __sub__(self, earlier: "CacheStats") -> "CacheStats":
+        """Traffic between two snapshots of the *same* cache.
+
+        ``later - earlier`` isolates one window's counters — e.g. the
+        hits a single job or batch contributed. The size fields describe
+        the cache itself, not traffic, so the later snapshot's values are
+        kept as-is.
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            bypasses=self.bypasses - earlier.bypasses,
+            evictions=self.evictions - earlier.evictions,
+            expirations=self.expirations - earlier.expirations,
+            size=self.size,
+            max_size=self.max_size,
+        )
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate the traffic of two *different* caches."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            bypasses=self.bypasses + other.bypasses,
+            evictions=self.evictions + other.evictions,
+            expirations=self.expirations + other.expirations,
+            size=self.size + other.size,
+            max_size=self.max_size + other.max_size,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (reports, ``/stats`` endpoint)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "lookups": self.lookups,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """One storage tier: namespace-scoped get/put/evict/stats.
+
+    ``get`` returns None on a miss (caches never store None — the
+    sentinel convention every existing cache already followed). ``key``
+    is any hashable for in-memory backends; persistent backends receive
+    :func:`stable_key` strings and text-encoded values only.
+    """
+
+    def get(self, namespace: str, key: Hashable) -> object | None: ...
+
+    def put(self, namespace: str, key: Hashable, value: object) -> None: ...
+
+    def evict(self, namespace: str | None = None) -> None: ...
+
+    def stats(self, namespace: str | None = None) -> CacheStats: ...
+
+    def reset_stats(self, namespace: str | None = None) -> None: ...
+
+
+class Codec(Protocol):
+    """Exact text round trip for values crossing the persistent boundary.
+
+    ``decode(encode(value))`` must be *equal* to ``value`` in every field
+    the rest of the system can observe — the determinism contract rides
+    on it. Python's JSON float rendering round-trips exactly, which is
+    why the shipped codecs are plain ``json`` over dataclass fields.
+    """
+
+    def encode(self, value: object) -> str: ...
+
+    def decode(self, text: str) -> object: ...
+
+
+def stable_key(namespace: str, *parts: object) -> str:
+    """A process-independent cache key: sha256 over the JSON'd parts.
+
+    Every part must render deterministically — strings, numbers, bools,
+    None, or nested lists thereof. Callers hash whatever identified the
+    entry in their L1 key *minus* anything process-local (object tokens,
+    ids), substituting content-derived equivalents.
+    """
+    payload = json.dumps(
+        [namespace, *parts], separators=(",", ":"), ensure_ascii=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheConfig:
+    """Declarative cache setup, threaded through Verifier/Service configs.
+
+    ``path=None`` (the default) means no persistent tier: every facade
+    behaves exactly as before, pure in-memory L1. With a path, an
+    sqlite-backed L2 is opened lazily (and at most once per config
+    object — :meth:`open` memoises) and shared by every cache the config
+    reaches.
+
+    ``profiles=True`` additionally opts in to the warm-start profile
+    store: verification runs append ledger-derived per-method
+    cost/accuracy observations to the same file, and
+    :func:`repro.cache.warm_profiles` blends them into the
+    Algorithm-10 scheduler's priors. Off by default so default runs
+    stay byte-identical and side-effect free.
+    """
+
+    path: str | None = None
+    ttl_seconds: float | None = None
+    max_bytes: int = DEFAULT_MAX_BYTES
+    persist_namespaces: tuple[str, ...] = DEFAULT_PERSIST_NAMESPACES
+    profiles: bool = False
+    _store: object = field(default=None, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False,
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+
+    def open(self):
+        """The opened :class:`~repro.cache.store.CacheStore` (memoised)."""
+        from .store import CacheStore
+
+        with self._lock:
+            if self._store is None:
+                self._store = CacheStore(self)
+            return self._store

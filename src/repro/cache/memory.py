@@ -1,0 +1,115 @@
+"""The in-memory L1 backend: one thread-safe LRU for all namespaces.
+
+This is the LRU skeleton the three pre-unification caches each
+reimplemented, now written once against the
+:class:`~repro.cache.api.CacheBackend` protocol. Entries are keyed
+``(namespace, key)`` and share a single recency list, but stats are
+tracked per namespace so each facade reports its own traffic.
+
+Values are stored live (no serialisation); callers that hand out
+mutable values keep their own defensive-copy discipline, exactly as the
+old ``QueryResultCache`` did.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from .api import CacheStats
+
+_COUNTER_NAMES = ("hits", "misses", "evictions")
+
+
+class MemoryCacheBackend:
+    """Thread-safe LRU over ``(namespace, key)`` with per-namespace stats."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, Hashable], object] = (
+            OrderedDict()
+        )
+        self._counters: dict[str, dict[str, int]] = {}
+        self._sizes: dict[str, int] = {}
+
+    def _counter(self, namespace: str) -> dict[str, int]:
+        counter = self._counters.get(namespace)
+        if counter is None:
+            counter = dict.fromkeys(_COUNTER_NAMES, 0)
+            self._counters[namespace] = counter
+        return counter
+
+    def get(self, namespace: str, key: Hashable) -> object | None:
+        full = (namespace, key)
+        with self._lock:
+            counter = self._counter(namespace)
+            try:
+                value = self._entries[full]
+            except KeyError:
+                counter["misses"] += 1
+                return None
+            self._entries.move_to_end(full)
+            counter["hits"] += 1
+            return value
+
+    def put(self, namespace: str, key: Hashable, value: object) -> None:
+        full = (namespace, key)
+        with self._lock:
+            if full not in self._entries:
+                self._sizes[namespace] = self._sizes.get(namespace, 0) + 1
+            self._entries[full] = value
+            self._entries.move_to_end(full)
+            while len(self._entries) > self.max_entries:
+                (evicted_ns, _), _ = self._entries.popitem(last=False)
+                self._sizes[evicted_ns] -= 1
+                self._counter(evicted_ns)["evictions"] += 1
+
+    def evict(self, namespace: str | None = None) -> None:
+        """Drop entries (one namespace, or everything). Stats survive."""
+        with self._lock:
+            if namespace is None:
+                self._entries.clear()
+                self._sizes.clear()
+                return
+            doomed = [f for f in self._entries if f[0] == namespace]
+            for full in doomed:
+                del self._entries[full]
+            self._sizes[namespace] = 0
+
+    def stats(self, namespace: str | None = None) -> CacheStats:
+        with self._lock:
+            if namespace is not None:
+                counter = self._counter(namespace)
+                return CacheStats(
+                    hits=counter["hits"],
+                    misses=counter["misses"],
+                    evictions=counter["evictions"],
+                    size=self._sizes.get(namespace, 0),
+                    max_size=self.max_entries,
+                )
+            totals = dict.fromkeys(_COUNTER_NAMES, 0)
+            for counter in self._counters.values():
+                for name in _COUNTER_NAMES:
+                    totals[name] += counter[name]
+            return CacheStats(
+                hits=totals["hits"],
+                misses=totals["misses"],
+                evictions=totals["evictions"],
+                size=len(self._entries),
+                max_size=self.max_entries,
+            )
+
+    def reset_stats(self, namespace: str | None = None) -> None:
+        with self._lock:
+            if namespace is None:
+                self._counters.clear()
+            else:
+                self._counters.pop(namespace, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

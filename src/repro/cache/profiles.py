@@ -1,0 +1,167 @@
+"""The warm-start profile store: learned method profiles that persist.
+
+The Algorithm-10 DP scheduler plans over
+:class:`~repro.core.cost_model.MethodProfile` triples — per-try accuracy,
+cost, and latency. Out of the box those come from a profiling phase over
+held-out documents (:func:`repro.core.profiling.profile_methods`): static
+priors, re-paid on every restart. Scrutinizer's lesson (PAPERS.md) is
+that *learned* cost/accuracy models beat priors once real traffic exists;
+this module persists that traffic.
+
+Observations land in the ``method_profiles`` table of the same sqlite
+file as the L2 cache, one row per (run, method): how many tries the
+method consumed, how many claims it verified, and the ledger-metered
+dollars/latency those tries cost. :func:`warm_profiles` then folds the
+accumulated observations over a prior profile list — methods with enough
+recorded trials get their observed rates, the rest keep their priors.
+
+Recording is opt-in (``CacheConfig(profiles=True)``) and reading is an
+explicit call, so default runs neither write this table nor change
+behaviour because of it — reports stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .persistent import SqliteCacheBackend
+
+
+@dataclass(frozen=True)
+class MethodObservation:
+    """Accumulated traffic of one method across recorded runs."""
+
+    method: str
+    trials: int
+    successes: int
+    cost: float
+    latency_seconds: float
+
+    @property
+    def accuracy(self) -> float:
+        """Observed per-try success rate."""
+        if self.trials <= 0:
+            return 0.0
+        return min(1.0, self.successes / self.trials)
+
+    @property
+    def cost_per_try(self) -> float:
+        return self.cost / self.trials if self.trials > 0 else 0.0
+
+    @property
+    def latency_per_try(self) -> float:
+        return self.latency_seconds / self.trials if self.trials > 0 else 0.0
+
+
+class ProfileStore:
+    """Reads and writes ``method_profiles`` rows on a shared L2 file."""
+
+    def __init__(self, backend: SqliteCacheBackend) -> None:
+        self._backend = backend
+
+    def record(
+        self,
+        method: str,
+        *,
+        trials: int,
+        successes: int,
+        cost: float,
+        latency_seconds: float,
+    ) -> None:
+        """Append one observation row (a no-op when nothing was tried)."""
+        if trials <= 0:
+            return
+        self._backend.run(
+            "INSERT INTO method_profiles "
+            "(method, recorded_at, trials, successes, cost, latency_seconds) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (method, self._backend.now(), trials, successes,
+             cost, latency_seconds),
+        )
+
+    def observations(self) -> dict[str, MethodObservation]:
+        """Per-method aggregates over every recorded run."""
+        rows = self._backend.run(
+            "SELECT method, SUM(trials), SUM(successes), SUM(cost), "
+            "SUM(latency_seconds) FROM method_profiles "
+            "GROUP BY method ORDER BY method"
+        )
+        return {
+            method: MethodObservation(
+                method=method,
+                trials=int(trials),
+                successes=int(successes),
+                cost=float(cost),
+                latency_seconds=float(latency),
+            )
+            for method, trials, successes, cost, latency in rows
+        }
+
+    def clear(self) -> None:
+        self._backend.run("DELETE FROM method_profiles")
+
+
+def record_run_profiles(
+    store: ProfileStore, run, ledger, since: int = 0
+) -> None:
+    """Derive one run's per-method observations and append them.
+
+    ``run`` is a :class:`~repro.core.pipeline.VerificationRun`: its
+    claim reports carry per-method try counts and which method verified
+    each claim. Costs come from the ledger's ``method:<name>`` tags,
+    restricted to entries recorded after ``since`` (a
+    :meth:`~repro.llm.ledger.CostLedger.checkpoint` taken when the run
+    started) so earlier runs on a shared ledger are not double-counted.
+    Cache-served calls record no ledger entry, so observed costs are
+    what the run *actually spent* — exactly the number the scheduler
+    should plan with.
+    """
+    trials: dict[str, int] = {}
+    successes: dict[str, int] = {}
+    for report in run.reports.values():
+        for name, count in report.method_attempts.items():
+            trials[name] = trials.get(name, 0) + count
+        if report.verified_by is not None:
+            successes[report.verified_by] = (
+                successes.get(report.verified_by, 0) + 1
+            )
+    for name in sorted(trials):
+        totals = ledger.totals_for_tags((f"method:{name}",), since=since)
+        store.record(
+            name,
+            trials=trials[name],
+            successes=successes.get(name, 0),
+            cost=totals.cost,
+            latency_seconds=totals.latency_seconds,
+        )
+
+
+def warm_profiles(
+    store: ProfileStore, priors, min_trials: int = 20
+):
+    """Blend stored observations over prior profiles (Algorithm-10 input).
+
+    Returns a new profile list in prior order: methods with at least
+    ``min_trials`` recorded tries get their observed accuracy/cost/
+    latency, the rest keep their priors (small samples would otherwise
+    swing the DP's schedule on noise). The result feeds
+    :func:`repro.core.scheduling.optimal_schedule` unchanged.
+    """
+    # Imported lazily: repro.core imports repro.cache (via the LLM cache
+    # facade), so a module-level import here would be a cycle.
+    from repro.core.cost_model import MethodProfile
+
+    observed = store.observations()
+    profiles = []
+    for prior in priors:
+        observation = observed.get(prior.name)
+        if observation is None or observation.trials < min_trials:
+            profiles.append(prior)
+            continue
+        profiles.append(MethodProfile(
+            name=prior.name,
+            accuracy=observation.accuracy,
+            cost=observation.cost_per_try,
+            latency_seconds=observation.latency_per_try,
+        ))
+    return profiles

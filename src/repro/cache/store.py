@@ -1,0 +1,95 @@
+"""The opened form of a :class:`~repro.cache.api.CacheConfig`.
+
+A :class:`CacheStore` owns (at most) one persistent backend and hands
+out namespace-scoped views of it: ``l2_for(namespace)`` returns the
+backend for namespaces the config persists (None otherwise — the facade
+then runs L1-only), and ``profile_store()`` returns the warm-start
+profile store when the config opted in.
+
+``open_cache(path)`` is the one-liner public entry point; configs built
+by hand reach the same place through ``CacheConfig.open()``, which
+memoises so every cache wired from one config shares one store (and one
+sqlite connection).
+"""
+
+from __future__ import annotations
+
+from .api import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_PERSIST_NAMESPACES,
+    CacheConfig,
+)
+from .persistent import SqliteCacheBackend
+from .profiles import ProfileStore
+
+
+class CacheStore:
+    """One opened cache configuration: L2 backend plus profile store."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._backend: SqliteCacheBackend | None = None
+        if config.path is not None:
+            self._backend = SqliteCacheBackend(
+                config.path,
+                ttl_seconds=config.ttl_seconds,
+                max_bytes=config.max_bytes,
+            )
+
+    @property
+    def backend(self) -> SqliteCacheBackend | None:
+        return self._backend
+
+    @property
+    def persistent(self) -> bool:
+        return self._backend is not None and self._backend.enabled
+
+    def l2_for(self, namespace: str) -> SqliteCacheBackend | None:
+        """The persistent tier for one namespace, or None.
+
+        None means the namespace runs L1-only: the config has no path,
+        the backend failed open (never crash — degrade to in-memory), or
+        the namespace is not in ``persist_namespaces``.
+        """
+        if not self.persistent:
+            return None
+        if namespace not in self.config.persist_namespaces:
+            return None
+        return self._backend
+
+    def profile_store(self) -> ProfileStore | None:
+        """The warm-start profile store, when the config opted in."""
+        if not self.persistent or not self.config.profiles:
+            return None
+        return ProfileStore(self._backend)
+
+    def stats(self) -> dict:
+        """Per-namespace L2 stats (JSON-ready), for ``/stats`` renderings."""
+        if self._backend is None:
+            return {}
+        return {
+            namespace: self._backend.stats(namespace).to_dict()
+            for namespace in self._backend.namespaces()
+        }
+
+    def close(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+
+
+def open_cache(
+    path: str | None = None,
+    *,
+    ttl_seconds: float | None = None,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+    persist_namespaces: tuple[str, ...] = DEFAULT_PERSIST_NAMESPACES,
+    profiles: bool = False,
+) -> CacheStore:
+    """Open a cache store directly (sugar over ``CacheConfig(...).open()``)."""
+    return CacheConfig(
+        path=path,
+        ttl_seconds=ttl_seconds,
+        max_bytes=max_bytes,
+        persist_namespaces=persist_namespaces,
+        profiles=profiles,
+    ).open()

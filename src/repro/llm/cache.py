@@ -1,4 +1,4 @@
-"""Thread-safe LLM response cache with LRU eviction.
+"""Thread-safe LLM response cache with LRU eviction (now tiered).
 
 Identical temperature-0 calls are deterministic — for the offline
 simulation by construction (the RNG seed is a pure function of model,
@@ -12,17 +12,33 @@ Serving a cached completion for a retry would collapse those trials into
 one draw, silently breaking Theorems 6.1-6.2 (and the repro's simulated
 retries, which must advance the per-claim RNG). Bypasses are counted so
 the stats stay honest about how much traffic was cacheable at all.
+
+:class:`LLMCache` is a facade over :class:`repro.cache.TieredCache`:
+pure in-memory by default, and backed by the persistent L2 tier when
+constructed with an opened :class:`repro.cache.CacheStore` — responses
+then survive restarts under the ``"llm"`` namespace, serialised through
+:data:`CHAT_RESPONSE_CODEC` (an exact JSON round trip, so warm runs stay
+byte-identical to cold ones). :class:`CacheStats` lives in
+:mod:`repro.cache.api` now and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
+import json
 
+from repro.cache import CacheStats, CacheStore, TieredCache, stable_key
 from repro.obs.tracer import current_tracer
 
-from .base import ChatResponse, DelegatingLLMClient, LLMClient
+from .base import ChatResponse, ChatUsage, DelegatingLLMClient, LLMClient
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "CachingLLMClient",
+    "CHAT_RESPONSE_CODEC",
+    "DEFAULT_CACHE_SIZE",
+    "LLMCache",
+]
 
 #: Default number of responses an :class:`LLMCache` retains.
 DEFAULT_CACHE_SIZE = 1024
@@ -31,132 +47,99 @@ DEFAULT_CACHE_SIZE = 1024
 CacheKey = tuple[str, str, float, object]
 
 
-@dataclass(frozen=True)
-class CacheStats:
-    """Counters describing one cache's traffic."""
+class _ChatResponseCodec:
+    """Exact JSON round trip for :class:`ChatResponse` (the L2 codec).
 
-    hits: int = 0
-    misses: int = 0
-    bypasses: int = 0
-    evictions: int = 0
-    size: int = 0
-    max_size: int = 0
+    Every field is a str/int/float, and Python's JSON float rendering
+    round-trips exactly, so ``decode(encode(r)) == r`` — the property the
+    warm-start determinism contract rests on.
+    """
 
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
+    def encode(self, response: ChatResponse) -> str:
+        return json.dumps({
+            "text": response.text,
+            "model": response.model,
+            "prompt_tokens": response.usage.prompt_tokens,
+            "completion_tokens": response.usage.completion_tokens,
+            "cost": response.cost,
+            "latency_seconds": response.latency_seconds,
+        }, sort_keys=True)
 
-    @property
-    def hit_rate(self) -> float:
-        """Hits over cacheable lookups (bypasses excluded)."""
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def __sub__(self, earlier: "CacheStats") -> "CacheStats":
-        """Traffic between two snapshots of the *same* cache.
-
-        ``later - earlier`` isolates one window's counters — e.g. the
-        hits a single job or batch contributed. The size fields describe
-        the cache itself, not traffic, so the later snapshot's values are
-        kept as-is.
-        """
-        return CacheStats(
-            hits=self.hits - earlier.hits,
-            misses=self.misses - earlier.misses,
-            bypasses=self.bypasses - earlier.bypasses,
-            evictions=self.evictions - earlier.evictions,
-            size=self.size,
-            max_size=self.max_size,
+    def decode(self, text: str) -> ChatResponse:
+        data = json.loads(text)
+        return ChatResponse(
+            text=data["text"],
+            model=data["model"],
+            usage=ChatUsage(
+                prompt_tokens=data["prompt_tokens"],
+                completion_tokens=data["completion_tokens"],
+            ),
+            cost=data["cost"],
+            latency_seconds=data["latency_seconds"],
         )
 
-    def __add__(self, other: "CacheStats") -> "CacheStats":
-        """Aggregate the traffic of two *different* caches."""
-        return CacheStats(
-            hits=self.hits + other.hits,
-            misses=self.misses + other.misses,
-            bypasses=self.bypasses + other.bypasses,
-            evictions=self.evictions + other.evictions,
-            size=self.size + other.size,
-            max_size=self.max_size + other.max_size,
-        )
 
-    def to_dict(self) -> dict:
-        """JSON-friendly rendering (reports, ``/stats`` endpoint)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "lookups": self.lookups,
-            "bypasses": self.bypasses,
-            "evictions": self.evictions,
-            "size": self.size,
-            "max_size": self.max_size,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+CHAT_RESPONSE_CODEC = _ChatResponseCodec()
 
 
 class LLMCache:
     """An LRU map from prompts to :class:`ChatResponse` objects.
 
-    Safe for concurrent use: one lock guards the map and the counters.
-    Intended to be shared — across the methods of one verifier, and
-    across repeated runs over the same documents (where the hit rate is
-    highest).
+    Safe for concurrent use. Intended to be shared — across the methods
+    of one verifier, and across repeated runs over the same documents
+    (where the hit rate is highest). Pass ``store`` (an opened
+    :class:`~repro.cache.CacheStore` persisting the ``"llm"`` namespace)
+    to add a restart-surviving L2 tier behind the in-memory L1.
     """
 
-    def __init__(self, max_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        max_size: int = DEFAULT_CACHE_SIZE,
+        *,
+        store: CacheStore | None = None,
+    ) -> None:
         if max_size < 1:
             raise ValueError("max_size must be at least 1")
         self.max_size = max_size
-        self._store: OrderedDict[CacheKey, ChatResponse] = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._bypasses = 0
-        self._evictions = 0
+        l2 = store.l2_for("llm") if store is not None else None
+        self._tier = TieredCache(
+            "llm", max_size, l2=l2, codec=CHAT_RESPONSE_CODEC,
+        )
+
+    def _stable_key(self, key: CacheKey) -> str | None:
+        if not self._tier.has_l2:
+            return None
+        model, prompt, temperature, seed = key
+        # The seed is config-derived (stable across restarts) for the
+        # simulated clients and None for hosted ones; repr() folds both
+        # into one deterministic string.
+        return stable_key("llm", model, prompt, temperature, repr(seed))
 
     def get(self, key: CacheKey) -> ChatResponse | None:
         """Look up a response, refreshing its recency on a hit."""
-        with self._lock:
-            response = self._store.get(key)
-            if response is None:
-                self._misses += 1
-                return None
-            self._store.move_to_end(key)
-            self._hits += 1
-            return response
+        return self._tier.get(key, self._stable_key(key))
 
     def put(self, key: CacheKey, response: ChatResponse) -> None:
         """Insert a response, evicting the least recently used on overflow."""
-        with self._lock:
-            self._store[key] = response
-            self._store.move_to_end(key)
-            while len(self._store) > self.max_size:
-                self._store.popitem(last=False)
-                self._evictions += 1
+        self._tier.put(key, response, self._stable_key(key))
 
     def note_bypass(self) -> None:
         """Count a call that skipped the cache (temperature > 0)."""
-        with self._lock:
-            self._bypasses += 1
+        self._tier.note_bypass()
 
     def clear(self) -> None:
-        with self._lock:
-            self._store.clear()
+        self._tier.clear()
 
     @property
     def stats(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                bypasses=self._bypasses,
-                evictions=self._evictions,
-                size=len(self._store),
-                max_size=self.max_size,
-            )
+        return self._tier.stats()
+
+    def tier_stats(self) -> dict:
+        """Per-tier stats (``{"l1": ..., "l2": ...}``) for metrics."""
+        return self._tier.tier_stats()
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._store)
+        return len(self._tier)
 
 
 class CachingLLMClient(DelegatingLLMClient):

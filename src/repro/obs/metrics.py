@@ -296,14 +296,13 @@ def ledger_metrics(ledger) -> list[Metric]:
     ]
 
 
-def cache_metrics(cache_name: str, stats) -> list[Metric]:
-    """Translate one :class:`~repro.llm.cache.CacheStats`-shaped object
-    (the LLM cache and the SQL result cache share the counter names)."""
-    labels = {"cache": cache_name}
+def _stats_getter(stats):
     if isinstance(stats, dict):
-        get = stats.get
-    else:
-        get = lambda key, default=0: getattr(stats, key, default)  # noqa: E731
+        return stats.get
+    return lambda key, default=0: getattr(stats, key, default)
+
+
+def _cache_samples(labels: dict[str, str], get) -> list[Metric]:
     return [
         Metric.counter("cedar_cache_hits_total", get("hits", 0),
                        "Cache hits by cache", labels),
@@ -313,9 +312,35 @@ def cache_metrics(cache_name: str, stats) -> list[Metric]:
                        "Lookups that skipped the cache", labels),
         Metric.counter("cedar_cache_evictions_total", get("evictions", 0),
                        "LRU evictions by cache", labels),
+        Metric.counter("cedar_cache_expirations_total",
+                       get("expirations", 0),
+                       "TTL expirations by cache", labels),
         Metric.gauge("cedar_cache_entries", get("size", 0),
                      "Current entries by cache", labels),
     ]
+
+
+def cache_metrics(cache_name: str, stats, tiers: dict | None = None)\
+        -> list[Metric]:
+    """Translate one :class:`~repro.cache.CacheStats`-shaped object —
+    every cache (LLM, SQL result, plan, analyzer memo) shares the
+    counter names now, distinguished by the ``cache`` label.
+
+    ``tiers`` (or a ``"tiers"`` key inside a dict-shaped ``stats``, as
+    the tiered ``QueryResultCache.stats()`` emits) adds per-tier samples
+    labelled ``{cache=..., tier=l1|l2}`` on the same families.
+    """
+    get = _stats_getter(stats)
+    metrics = _cache_samples({"cache": cache_name}, get)
+    if tiers is None and isinstance(stats, dict):
+        tiers = stats.get("tiers")
+    if tiers:
+        for tier_name, tier_stats in sorted(tiers.items()):
+            metrics.extend(_cache_samples(
+                {"cache": cache_name, "tier": tier_name},
+                _stats_getter(tier_stats),
+            ))
+    return metrics
 
 
 def engine_metrics(stats: dict | None = None) -> list[Metric]:
@@ -338,6 +363,9 @@ def engine_metrics(stats: dict | None = None) -> list[Metric]:
             "cedar_sql_analyzer_total", count,
             "Static analyzer activity", {"counter": counter},
         ))
+    analyzer_memo = stats.get("analyzer_memo")
+    if analyzer_memo:
+        metrics.extend(cache_metrics("sql_analysis", analyzer_memo))
     result_cache = stats.get("result_cache")
     if result_cache:
         metrics.extend(cache_metrics("sql_result", result_cache))

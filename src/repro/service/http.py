@@ -1,25 +1,32 @@
 """Stdlib HTTP front end for the verification service.
 
-``python -m repro.service`` serves these endpoints:
+``python -m repro.service`` serves these endpoints, mounted under the
+versioned ``/v1/`` prefix:
 
-* ``POST /verify`` — body ``{"dataset": "tabfact", "document": 0}``
+* ``POST /v1/verify`` — body ``{"dataset": "tabfact", "document": 0}``
   (optional ``"client_id"``, ``"priority"``). Clones the dataset
   document under a request-unique tag and submits it; replies ``202``
   with the job id, or a structured rejection: ``429`` (queue full /
   client limit), ``503`` (draining), ``409`` (claim-id conflict).
-* ``GET /jobs/<id>`` — job state summary.
-* ``GET /jobs/<id>/events`` — the job's event stream as ndjson.
+* ``GET /v1/jobs/<id>`` — job state summary.
+* ``GET /v1/jobs/<id>/events`` — the job's event stream as ndjson.
   ``?wait=1`` streams until the terminal event (bounded by
   ``&timeout=<seconds>``); without it, replays the events so far.
-* ``GET /jobs/<id>/trace`` — the job's span tree as Chrome trace-event
-  JSON (queue wait plus the per-document verification waterfall); save
-  it and load it in Perfetto or ``chrome://tracing``.
-* ``GET /healthz`` — liveness plus draining flag.
-* ``GET /stats`` — queue depth, batch sizes, cache hit rate, SQL-engine
-  counters (plan cache, result cache, join strategies), ledger spend
-  (including cumulative retry backoff), and the latency histogram.
-* ``GET /metrics`` — the same numbers in Prometheus text exposition
+* ``GET /v1/jobs/<id>/trace`` — the job's span tree as Chrome
+  trace-event JSON (queue wait plus the per-document verification
+  waterfall); save it and load it in Perfetto or ``chrome://tracing``.
+* ``GET /v1/healthz`` — liveness plus draining flag.
+* ``GET /v1/stats`` — queue depth, batch sizes, cache hit rate (L1 and
+  persistent L2 tiers when configured), SQL-engine counters (plan
+  cache, result cache, join strategies), ledger spend (including
+  cumulative retry backoff), and the latency histogram.
+* ``GET /v1/metrics`` — the same numbers in Prometheus text exposition
   format, ready for a scrape config.
+
+The legacy unprefixed paths (``POST /verify``, ``GET /stats``, ...)
+keep working as aliases but answer with a ``Deprecation: true``
+response header; an unknown version prefix (``/v2/...``) is rejected
+with a structured 404 naming the supported versions.
 
 Every request against a dataset shares one service-wide response cache
 and ledger, and jobs arriving close together coalesce into one verifier
@@ -34,6 +41,7 @@ from __future__ import annotations
 import itertools
 import json
 import math
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Iterator
@@ -65,6 +73,13 @@ _DEFAULT_DATASETS: dict[str, Callable[[], DatasetBundle]] = {
     "tabfact": lambda: build_tabfact(table_count=8, total_claims=28),
     "wikitext": lambda: build_wikitext(document_count=5, total_claims=18),
 }
+
+#: The one API version this build serves; bump alongside breaking
+#: route changes and keep the old prefix routed during a deprecation
+#: window.
+API_VERSION = "v1"
+
+_VERSION_PART = re.compile(r"v\d+")
 
 #: HTTP status per admission-rejection code.
 _REJECTION_STATUS = {
@@ -158,7 +173,7 @@ class ServiceApp:
             "job_id": handle.job_id,
             "state": handle.state,
             "claims": len(document.claims),
-            "events_url": f"/jobs/{handle.job_id}/events",
+            "events_url": f"/{API_VERSION}/jobs/{handle.job_id}/events",
         }
 
     def job_summary(self, job_id: str) -> tuple[int, dict]:
@@ -212,11 +227,40 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    def _extra_headers(self) -> None:
+        # Legacy unprefixed paths still work, but every response from
+        # one carries the deprecation signal so clients can migrate on
+        # their own schedule (draft-ietf-httpapi-deprecation-header).
+        if getattr(self, "_legacy_path", False):
+            self.send_header("Deprecation", "true")
+
+    def _route_parts(self) -> list[str] | None:
+        """Path segments with the version prefix resolved.
+
+        Returns the post-prefix segments for ``/v1/...``, the raw
+        segments for legacy unprefixed paths (flagging the response as
+        deprecated), or ``None`` after answering an unsupported
+        ``/v<k>/`` prefix with a structured 404.
+        """
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        self._legacy_path = not (parts and _VERSION_PART.fullmatch(parts[0]))
+        if self._legacy_path:
+            return parts
+        if parts[0] != API_VERSION:
+            self._send_json(404, {
+                "error": f"unknown API version {parts[0]!r}",
+                "supported": [API_VERSION],
+            })
+            return None
+        return parts[1:]
+
     def _send_json(self, status: int, body: dict) -> None:
         payload = json.dumps(body, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        self._extra_headers()
         self.end_headers()
         self.wfile.write(payload)
 
@@ -226,6 +270,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        self._extra_headers()
         self.end_headers()
         self.wfile.write(payload)
 
@@ -235,6 +280,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        self._extra_headers()
         self.end_headers()
         try:
             for event in events:
@@ -250,7 +296,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server's casing)
         url = urlparse(self.path)
-        parts = [p for p in url.path.split("/") if p]
+        parts = self._route_parts()
+        if parts is None:
+            return
         if parts == ["healthz"]:
             self._send_json(*self.app.health())
         elif parts == ["stats"]:
@@ -287,7 +335,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlparse(self.path)
-        if url.path.rstrip("/") != "/verify":
+        parts = self._route_parts()
+        if parts is None:
+            return
+        if parts != ["verify"]:
             self._send_json(404, {"error": f"no route for {url.path}"})
             return
         length = int(self.headers.get("Content-Length", 0))

@@ -43,6 +43,7 @@ from repro.core import (
     VerificationRun,
     VerifierConfig,
 )
+from repro.cache import CacheConfig
 from repro.core.claims import Claim, Document
 from repro.core.pipeline import ClaimReport
 from repro.core.reports import claim_record
@@ -114,6 +115,12 @@ class ServiceConfig:
     #: by ``GET /jobs/<id>/trace``. Tracing never changes verdicts or
     #: spend; disable it to shave the last few percent off hot batches.
     tracing: bool = True
+    #: Persistent cache wiring (see :mod:`repro.cache`): with a
+    #: ``CacheConfig(path=...)``, the service's shared LLM and SQL-result
+    #: caches gain a restart-surviving L2 tier (its stats appear in
+    #: ``/stats`` and ``GET /v1/metrics`` under ``tier`` labels). None
+    #: keeps the pure in-memory behaviour.
+    cache_config: CacheConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -374,18 +381,26 @@ class VerificationService:
             self.config.ledger
             if self.config.ledger is not None else CostLedger()
         )
+        #: The opened persistent store (None without a cache_config) —
+        #: one sqlite file shared by both caches below.
+        self.cache_store = (
+            self.config.cache_config.open()
+            if self.config.cache_config is not None else None
+        )
         #: One response cache shared by every verifier the service owns,
         #: so requests warm each other's entries (the cross-request half
         #: of the PR 1 cache).
         self.cache = (
-            LLMCache(self.config.cache_size)
+            LLMCache(self.config.cache_size, store=self.cache_store)
             if self.config.cache_size > 0 else None
         )
         #: One query-result cache shared the same way: jobs that verify
         #: against the same database re-use each other's SQL results
         #: (keys carry the database fingerprint, so mutation invalidates).
         self.sql_cache = (
-            QueryResultCache(self.config.sql_cache_size)
+            QueryResultCache(
+                self.config.sql_cache_size, store=self.cache_store,
+            )
             if self.config.sql_cache_size > 0 else None
         )
         self._queue = BoundedJobQueue(self.config.max_queue_depth)
@@ -460,7 +475,11 @@ class VerificationService:
             "Completed-job latency, submission to done",
         ))
         if self.cache is not None:
-            metrics.extend(cache_metrics("llm", self.cache.stats))
+            metrics.extend(cache_metrics(
+                "llm", self.cache.stats,
+                tiers=(self.cache.tier_stats()
+                       if self.cache_store is not None else None),
+            ))
         return metrics
 
     # -- lifecycle -----------------------------------------------------------

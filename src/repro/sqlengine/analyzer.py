@@ -43,7 +43,9 @@ from . import ast_nodes as ast
 from .errors import ParseError, TokenizeError
 from .functions import SCALAR_FUNCTION_NAMES
 from .parser import parse_select
-from .planner import _LruCache, normalize_sql, shared_plan_cache
+from repro.cache import TieredCache
+
+from .planner import normalize_sql, shared_plan_cache
 from .table import Database, Table
 from .values import CASTABLE_TYPES, coerce_numeric
 
@@ -225,7 +227,16 @@ def record_rejection() -> None:
 
 # -- entry points -------------------------------------------------------------
 
-_ANALYSIS_CACHE = _LruCache(512)
+#: Memoized analyses. L1-only (no stable key is ever passed): analyses
+#: hold live AST references and re-deriving one is cheap, so persisting
+#: them buys nothing. The unified stats surface as ``analyzer_memo`` in
+#: ``engine_stats()``.
+_ANALYSIS_CACHE = TieredCache("sql_analysis", 512)
+
+
+def analysis_memo_stats() -> dict:
+    """Unified :class:`repro.cache.CacheStats` rendering of the memo."""
+    return _ANALYSIS_CACHE.stats().to_dict()
 
 
 def analyze_sql(sql: str, database: Database) -> QueryAnalysis:
@@ -256,6 +267,7 @@ def reset_analyzer() -> None:
     """Zero the counters and drop memoized analyses (test/bench hook)."""
     ANALYZER_COUNTERS.reset()
     _ANALYSIS_CACHE.clear()
+    _ANALYSIS_CACHE.reset_stats()
 
 
 def _analyze_uncached(sql: str, database: Database) -> QueryAnalysis:

@@ -183,14 +183,17 @@ class Engine:
                 self.plan_cache.put(key, statement)
         if self.result_cache is None:
             return self.execute_statement(statement, [])
+        # ``database=`` lets the cache derive a content-based stable key
+        # for its persistent tier; the L1 key stays the cheap
+        # process-local fingerprint pair.
         cache_key = (self.database.fingerprint(), key)
-        cached = self.result_cache.get(cache_key)
+        cached = self.result_cache.get(cache_key, database=self.database)
         if cached is not None:
             STRATEGY_COUNTERS.bump("result_cache_hits")
             return cached
         STRATEGY_COUNTERS.bump("result_cache_misses")
         result = self.execute_statement(statement, [])
-        self.result_cache.put(cache_key, result)
+        self.result_cache.put(cache_key, result, database=self.database)
         return result
 
     def execute_scalar(self, sql: str) -> SqlValue:
@@ -225,13 +228,13 @@ class Engine:
             STRATEGY_COUNTERS.bump("subquery_cache_bypasses")
             return self.execute_statement(statement, outer_scopes)
         cache_key = (fingerprint, meta[3])
-        cached = self.result_cache.get(cache_key)
+        cached = self.result_cache.get(cache_key, database=self.database)
         if cached is not None:
             STRATEGY_COUNTERS.bump("subquery_cache_hits")
             return cached
         STRATEGY_COUNTERS.bump("subquery_cache_misses")
         result = self.execute_statement(statement, outer_scopes)
-        self.result_cache.put(cache_key, result)
+        self.result_cache.put(cache_key, result, database=self.database)
         return result
 
     def execute_statement(

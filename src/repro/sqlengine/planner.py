@@ -7,33 +7,43 @@ This module is the bookkeeping half of the compile-and-cache engine:
 * :class:`PlanCache` — thread-safe LRU from normalized SQL to the parsed
   statement, so the tokenizer/parser run once per distinct query. A
   module-level default (:func:`shared_plan_cache`) is shared by every
-  engine unless a caller supplies its own.
+  engine unless a caller supplies its own. L1-only on purpose: plans are
+  live AST objects and a re-parse is cheaper than a faithful
+  serialisation.
 * :class:`QueryResultCache` — thread-safe LRU from
   ``(database fingerprint, normalized SQL)`` to a finished
   :class:`~repro.sqlengine.executor.QueryResult`. Fingerprints come from
   :meth:`Database.fingerprint`, so mutating a database invalidates its
-  entries by key change rather than by explicit purge.
+  entries by key change rather than by explicit purge. With an opened
+  :class:`repro.cache.CacheStore` it gains a persistent L2 tier keyed on
+  :meth:`Database.content_fingerprint` — a content hash that *is* stable
+  across processes — so results survive restarts.
 * :class:`StrategyCounters` — process-wide counters for which execution
   strategies fired (hash vs nested-loop joins, pushed predicates, indexed
   scans, compiled vs interpreted expressions, result-cache traffic).
   Surfaced in ``/stats`` and in report renderings via
   :func:`engine_stats`.
 
-Statement ASTs are frozen dataclasses, so sharing one parse across
-threads and engines is safe. Cached results are defensively copied on
-both insert and hit — ``QueryResult.rows`` is a mutable list and callers
-are allowed to mangle what they get back.
+Both caches are facades over :class:`repro.cache.TieredCache` — the
+unified cache layer that replaced this module's private ``_LruCache``
+skeleton. Statement ASTs are frozen dataclasses, so sharing one parse
+across threads and engines is safe. Cached results are defensively
+copied on both insert and hit — ``QueryResult.rows`` is a mutable list
+and callers are allowed to mangle what they get back.
 """
 
 from __future__ import annotations
 
+import json
 import threading
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING
+
+from repro.cache import CacheStore, TieredCache, stable_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor imports us)
     from .ast_nodes import SelectStatement
     from .executor import QueryResult
+    from .table import Database
 
 DEFAULT_PLAN_CACHE_SIZE = 512
 DEFAULT_RESULT_CACHE_SIZE = 1024
@@ -76,87 +86,136 @@ def normalize_sql(sql: str) -> str:
     return "".join(parts)
 
 
-class _LruCache:
-    """Thread-safe LRU with hit/miss/eviction stats (shared skeleton)."""
+class _QueryResultCodec:
+    """Exact JSON round trip for :class:`QueryResult` (the L2 codec).
 
-    def __init__(self, max_size: int) -> None:
-        if max_size <= 0:
-            raise ValueError("cache size must be positive")
-        self.max_size = max_size
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+    ``SqlValue`` is ``None | bool | int | float | str`` — all JSON-native
+    with exact float round trips — so only the row *tuples* need
+    restoring on decode.
+    """
 
-    def get(self, key: Hashable):
-        with self._lock:
-            try:
-                value = self._entries[key]
-            except KeyError:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return value
+    def encode(self, result: "QueryResult") -> str:
+        return json.dumps({
+            "columns": list(result.columns),
+            "rows": [list(row) for row in result.rows],
+        }, sort_keys=True)
 
-    def put(self, key: Hashable, value: object) -> None:
-        with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_size:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+    def decode(self, text: str) -> "QueryResult":
+        # Imported lazily: the executor imports this module at load time.
+        from .executor import QueryResult
 
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def stats(self) -> dict:
-        with self._lock:
-            lookups = self._hits + self._misses
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "size": len(self._entries),
-                "max_size": self.max_size,
-                "hit_rate": round(self._hits / lookups, 4) if lookups else 0.0,
-            }
+        data = json.loads(text)
+        return QueryResult(
+            columns=list(data["columns"]),
+            rows=[tuple(row) for row in data["rows"]],
+        )
 
 
-class PlanCache(_LruCache):
+QUERY_RESULT_CODEC = _QueryResultCodec()
+
+
+class PlanCache:
     """Normalized SQL text → parsed :class:`SelectStatement`.
 
     Only successful parses are cached; malformed SQL re-raises its parse
     error on every attempt, exactly like the uncached engine.
     """
 
+    def __init__(self, max_size: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if max_size <= 0:
+            raise ValueError("cache size must be positive")
+        self.max_size = max_size
+        self._tier = TieredCache("sql_plan", max_size)
+
     def get(self, key: str) -> "SelectStatement | None":
-        return super().get(key)  # type: ignore[return-value]
+        return self._tier.get(key)  # type: ignore[return-value]
+
+    def put(self, key: str, value: "SelectStatement") -> None:
+        self._tier.put(key, value)
+
+    def clear(self) -> None:
+        self._tier.clear()
+
+    def reset_stats(self) -> None:
+        self._tier.reset_stats()
+
+    def __len__(self) -> int:
+        return len(self._tier)
+
+    def stats(self) -> dict:
+        return self._tier.stats().to_dict()
 
 
-class QueryResultCache(_LruCache):
+class QueryResultCache:
     """(database fingerprint, normalized SQL) → :class:`QueryResult`.
 
     Correlated subqueries never reach this cache: the engine consults it
-    only at the top-level text entry point, where no outer row scope
-    exists. Entries are copied in and out, so cached rows can never be
-    mutated by a caller.
+    only where no outer row scope exists. Entries are copied in and out,
+    so cached rows can never be mutated by a caller.
+
+    The L1 key keeps the process-local ``Database.fingerprint()`` pair
+    (cheap, and mutation-safe by key change). When a ``store`` with a
+    persistent tier is attached, lookups that pass ``database=`` also
+    probe L2 under a content-derived stable key, so a fresh process —
+    whose fingerprints restart from scratch — still hits results a
+    previous run computed over identical data.
     """
 
-    def get(self, key: tuple) -> "QueryResult | None":
-        result = super().get(key)
+    def __init__(
+        self,
+        max_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        *,
+        store: CacheStore | None = None,
+    ) -> None:
+        if max_size <= 0:
+            raise ValueError("cache size must be positive")
+        self.max_size = max_size
+        l2 = store.l2_for("sql_result") if store is not None else None
+        self._tier = TieredCache(
+            "sql_result", max_size, l2=l2, codec=QUERY_RESULT_CODEC,
+        )
+
+    def _stable_key(
+        self, key: tuple, database: "Database | None"
+    ) -> str | None:
+        if database is None or not self._tier.has_l2:
+            return None
+        return stable_key(
+            "sql_result", database.content_fingerprint(), key[1],
+        )
+
+    def get(
+        self, key: tuple, database: "Database | None" = None
+    ) -> "QueryResult | None":
+        result = self._tier.get(key, self._stable_key(key, database))
         if result is None:
             return None
         return result.copy()  # type: ignore[union-attr]
 
-    def put(self, key: tuple, value: "QueryResult") -> None:
-        super().put(key, value.copy())
+    def put(
+        self, key: tuple, value: "QueryResult",
+        database: "Database | None" = None,
+    ) -> None:
+        self._tier.put(key, value.copy(), self._stable_key(key, database))
+
+    def clear(self) -> None:
+        self._tier.clear()
+
+    def reset_stats(self) -> None:
+        self._tier.reset_stats()
+
+    def __len__(self) -> int:
+        return len(self._tier)
+
+    def stats(self) -> dict:
+        rendered = self._tier.stats().to_dict()
+        if self._tier.has_l2:
+            rendered["tiers"] = self._tier.tier_stats()
+        return rendered
+
+    def tier_stats(self) -> dict:
+        """Per-tier stats (``{"l1": ..., "l2": ...}``) for metrics."""
+        return self._tier.tier_stats()
 
 
 _STRATEGY_NAMES = (
@@ -212,12 +271,13 @@ def engine_stats() -> dict:
     """Aggregate engine-layer stats for ``/stats`` and reports."""
     # Imported lazily: the analyzer sits above the planner in the module
     # hierarchy (it imports the shared plan cache from here).
-    from .analyzer import ANALYZER_COUNTERS
+    from .analyzer import ANALYZER_COUNTERS, analysis_memo_stats
 
     return {
         "plan_cache": _SHARED_PLAN_CACHE.stats(),
         "strategies": STRATEGY_COUNTERS.snapshot(),
         "analyzer": ANALYZER_COUNTERS.snapshot(),
+        "analyzer_memo": analysis_memo_stats(),
     }
 
 
@@ -231,7 +291,4 @@ def reset_engine_stats() -> None:
     STRATEGY_COUNTERS.reset()
     reset_analyzer()
     _SHARED_PLAN_CACHE.clear()
-    with _SHARED_PLAN_CACHE._lock:
-        _SHARED_PLAN_CACHE._hits = 0
-        _SHARED_PLAN_CACHE._misses = 0
-        _SHARED_PLAN_CACHE._evictions = 0
+    _SHARED_PLAN_CACHE.reset_stats()

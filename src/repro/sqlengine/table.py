@@ -16,7 +16,9 @@ query-result cache keys on so stale results can never be served.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from collections.abc import Iterable, Sequence
 from copy import deepcopy
 from dataclasses import dataclass, field
@@ -67,6 +69,7 @@ class Table:
         self._unique_cache: dict[str, tuple[SqlValue, ...]] = {}
         self._equality_indexes: dict[str, object] = {}
         self._null_cache: dict[str, bool] = {}
+        self._content_fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -178,6 +181,27 @@ class Table:
         """Return the first ``limit`` rows (used for prompt samples)."""
         return self.rows[:limit]
 
+    def content_fingerprint(self) -> str:
+        """A sha256 over name, columns, and rows (memoized).
+
+        Unlike :meth:`Database.fingerprint`, this depends only on the
+        stored data: two processes that build identical tables compute
+        identical fingerprints, which is what lets the persistent
+        query-result cache serve across restarts. JSON's float rendering
+        round-trips exactly, so the hash distinguishes every distinct
+        ``SqlValue``. Tables are immutable, so one hash per table.
+        """
+        if self._content_fingerprint is None:
+            payload = json.dumps(
+                [self.name, self.column_names,
+                 [list(row) for row in self.rows]],
+                separators=(",", ":"), ensure_ascii=False,
+            )
+            self._content_fingerprint = hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest()
+        return self._content_fingerprint
+
 
 #: Process-unique creation tokens for Database fingerprints. ``id()`` is
 #: unsuitable (addresses are recycled, which would let a dead database's
@@ -197,6 +221,10 @@ class Database:
         compare=False,
     )
     _version: int = field(default=0, repr=False, compare=False)
+    _content_fp: str | None = field(default=None, repr=False, compare=False)
+    _content_fp_version: int = field(
+        default=-1, repr=False, compare=False,
+    )
 
     def add(self, table: Table) -> None:
         """Register a table, replacing any same-named table."""
@@ -211,6 +239,30 @@ class Database:
         so mutating the database silently invalidates them.
         """
         return (self._token, self._version)
+
+    def content_fingerprint(self) -> str:
+        """A content hash of every table, stable across processes.
+
+        This is the persistent cache's key ingredient: where
+        :meth:`fingerprint` identifies *this object's* state (its token
+        restarts with the process), the content fingerprint is equal for
+        any two databases holding identical data — including one rebuilt
+        by a seeded generator in a fresh process. Memoized per
+        ``_version``, so mutation invalidates it exactly like the cheap
+        fingerprint. The database *name* is deliberately excluded: query
+        results depend only on the data.
+        """
+        if self._content_fp is None or self._content_fp_version != (
+            self._version
+        ):
+            hasher = hashlib.sha256()
+            for key in sorted(self._tables):
+                hasher.update(
+                    self._tables[key].content_fingerprint().encode("ascii")
+                )
+            self._content_fp = hasher.hexdigest()
+            self._content_fp_version = self._version
+        return self._content_fp
 
     def __deepcopy__(self, memo: dict) -> "Database":
         # A copy must get its own token: it starts identical but mutates

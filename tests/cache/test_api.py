@@ -1,0 +1,129 @@
+"""The unified cache API: stats shape, stable keys, config, codecs."""
+
+import pytest
+
+from repro.cache import (
+    DEFAULT_PERSIST_NAMESPACES,
+    CacheBackend,
+    CacheConfig,
+    CacheStats,
+    MemoryCacheBackend,
+    SqliteCacheBackend,
+    open_cache,
+    stable_key,
+)
+from repro.llm import ChatResponse, ChatUsage
+from repro.llm.cache import CHAT_RESPONSE_CODEC
+from repro.sqlengine import QueryResult
+from repro.sqlengine.planner import QUERY_RESULT_CODEC
+
+
+class TestCacheStats:
+    def test_hit_rate_excludes_bypasses(self):
+        stats = CacheStats(hits=3, misses=1, bypasses=10)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+
+    def test_empty_hit_rate_is_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_subtraction_isolates_a_window(self):
+        earlier = CacheStats(hits=2, misses=1, size=5, max_size=8)
+        later = CacheStats(hits=7, misses=2, size=6, max_size=8)
+        window = later - earlier
+        assert (window.hits, window.misses) == (5, 1)
+        # Size describes the cache now, not the window's traffic.
+        assert (window.size, window.max_size) == (6, 8)
+
+    def test_addition_aggregates_two_caches(self):
+        total = CacheStats(hits=1, size=2) + CacheStats(hits=2, size=3)
+        assert total.hits == 3
+        assert total.size == 5
+
+    def test_to_dict_shape(self):
+        rendered = CacheStats(hits=1, misses=3).to_dict()
+        assert set(rendered) == {
+            "hits", "misses", "lookups", "bypasses", "evictions",
+            "expirations", "size", "max_size", "hit_rate",
+        }
+        assert rendered["hit_rate"] == 0.25
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        assert stable_key("ns", "a", 1) == stable_key("ns", "a", 1)
+
+    def test_namespace_and_parts_matter(self):
+        baseline = stable_key("ns", "a", 1)
+        assert stable_key("other", "a", 1) != baseline
+        assert stable_key("ns", "a", 2) != baseline
+        assert stable_key("ns", "a1") != baseline  # no concatenation tricks
+
+    def test_distinguishes_types(self):
+        assert stable_key("ns", 1) != stable_key("ns", "1")
+        assert stable_key("ns", None) != stable_key("ns", "null")
+
+
+class TestCacheConfig:
+    def test_defaults_have_no_persistent_tier(self):
+        store = CacheConfig().open()
+        assert store.backend is None
+        assert not store.persistent
+        assert store.l2_for("llm") is None
+        assert store.profile_store() is None
+        assert store.stats() == {}
+
+    def test_open_is_memoised(self):
+        config = CacheConfig()
+        assert config.open() is config.open()
+
+    def test_path_enables_default_namespaces_only(self, tmp_path):
+        store = open_cache(tmp_path / "l2.sqlite")
+        assert store.persistent
+        for namespace in DEFAULT_PERSIST_NAMESPACES:
+            assert store.l2_for(namespace) is store.backend
+        assert store.l2_for("sql_plan") is None
+        assert store.profile_store() is None  # profiles are opt-in
+        store.close()
+
+    def test_profiles_opt_in(self, tmp_path):
+        store = open_cache(tmp_path / "l2.sqlite", profiles=True)
+        assert store.profile_store() is not None
+        store.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(max_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(ttl_seconds=0)
+
+    def test_backends_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(MemoryCacheBackend(4), CacheBackend)
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        assert isinstance(backend, CacheBackend)
+        backend.close()
+
+
+class TestCodecs:
+    def test_chat_response_exact_round_trip(self):
+        response = ChatResponse(
+            text="verdict: TRUE\nbecause 0.1 + 0.2 == 0.30000000000000004",
+            model="gpt-4o",
+            usage=ChatUsage(prompt_tokens=123, completion_tokens=45),
+            cost=0.1 + 0.2,  # a float that exposes sloppy serialisation
+            latency_seconds=1.25,
+        )
+        decoded = CHAT_RESPONSE_CODEC.decode(
+            CHAT_RESPONSE_CODEC.encode(response)
+        )
+        assert decoded == response
+
+    def test_query_result_exact_round_trip(self):
+        result = QueryResult(
+            columns=["name", "score", "ratio"],
+            rows=[("a", 1, 0.1 + 0.2), ("b", None, -3.5), ("c", True, 2.0)],
+        )
+        decoded = QUERY_RESULT_CODEC.decode(QUERY_RESULT_CODEC.encode(result))
+        assert decoded.columns == result.columns
+        assert decoded.rows == result.rows
+        assert all(isinstance(row, tuple) for row in decoded.rows)

@@ -1,0 +1,190 @@
+"""Backend behaviour: L1 LRU, sqlite persistence/TTL/budget, tiering."""
+
+import json
+
+import pytest
+
+from repro.cache import (
+    MemoryCacheBackend,
+    SqliteCacheBackend,
+    TieredCache,
+)
+
+
+class _JsonCodec:
+    def encode(self, value):
+        return json.dumps(value)
+
+    def decode(self, text):
+        return json.loads(text)
+
+
+class _Clock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestMemoryBackend:
+    def test_lru_evicts_least_recent_across_namespaces(self):
+        backend = MemoryCacheBackend(2)
+        backend.put("a", "k1", 1)
+        backend.put("b", "k2", 2)
+        backend.get("a", "k1")            # refresh k1; k2 is least-recent
+        backend.put("a", "k3", 3)
+        assert backend.get("b", "k2") is None
+        assert backend.get("a", "k1") == 1
+        # The eviction is charged to the evicted entry's namespace.
+        assert backend.stats("b").evictions == 1
+        assert backend.stats("a").evictions == 0
+
+    def test_namespaces_are_disjoint_keyspaces(self):
+        backend = MemoryCacheBackend(8)
+        backend.put("a", "k", "from-a")
+        backend.put("b", "k", "from-b")
+        assert backend.get("a", "k") == "from-a"
+        assert backend.get("b", "k") == "from-b"
+
+    def test_per_namespace_stats_and_aggregate(self):
+        backend = MemoryCacheBackend(8)
+        backend.put("a", "k", 1)
+        backend.get("a", "k")
+        backend.get("b", "missing")
+        assert backend.stats("a").hits == 1
+        assert backend.stats("b").misses == 1
+        total = backend.stats()
+        assert (total.hits, total.misses, total.size) == (1, 1, 1)
+
+    def test_evict_one_namespace_keeps_others(self):
+        backend = MemoryCacheBackend(8)
+        backend.put("a", "k", 1)
+        backend.put("b", "k", 2)
+        backend.evict("a")
+        assert backend.get("a", "k") is None
+        assert backend.get("b", "k") == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryCacheBackend(0)
+
+
+class TestSqliteBackend:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "l2.sqlite"
+        first = SqliteCacheBackend(path)
+        first.put("llm", "key1", "value1")
+        first.close()
+        second = SqliteCacheBackend(path)
+        assert second.get("llm", "key1") == "value1"
+        assert second.stats("llm").hits == 1
+        second.close()
+
+    def test_ttl_expires_lazily(self, tmp_path):
+        clock = _Clock()
+        backend = SqliteCacheBackend(
+            tmp_path / "l2.sqlite", ttl_seconds=60.0, clock=clock
+        )
+        backend.put("llm", "k", "v")
+        clock.now += 59.0
+        assert backend.get("llm", "k") == "v"
+        clock.now += 2.0
+        assert backend.get("llm", "k") is None
+        stats = backend.stats("llm")
+        assert stats.expirations == 1
+        assert stats.misses == 1
+        assert stats.size == 0              # the expired row was deleted
+        backend.close()
+
+    def test_byte_budget_drops_oldest_first(self, tmp_path):
+        clock = _Clock()
+        backend = SqliteCacheBackend(
+            tmp_path / "l2.sqlite", max_bytes=250, clock=clock
+        )
+        for index in range(5):
+            clock.now += 1.0
+            backend.put("llm", f"k{index}", "x" * 100)
+        # 5 * 100 bytes against a 250-byte budget: the first puts go.
+        assert backend.get("llm", "k0") is None
+        assert backend.get("llm", "k4") == "x" * 100
+        assert backend.stats("llm").evictions >= 3
+        backend.close()
+
+    def test_corrupt_file_is_quarantined(self, tmp_path):
+        path = tmp_path / "l2.sqlite"
+        path.write_bytes(b"garbage, not sqlite" * 32)
+        backend = SqliteCacheBackend(path)
+        assert backend.enabled
+        assert (tmp_path / "l2.sqlite.corrupt").exists()
+        backend.put("llm", "k", "v")
+        assert backend.get("llm", "k") == "v"
+        backend.close()
+
+    def test_disabled_backend_degrades_to_misses(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        backend.put("llm", "k", "v")
+        backend.close()                     # simulate mid-flight failure
+        assert not backend.enabled
+        assert backend.get("llm", "k") is None
+        backend.put("llm", "k2", "v2")      # silently dropped, no crash
+        assert backend.namespaces() == []
+
+
+class TestTieredCache:
+    def test_l2_requires_codec(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        with pytest.raises(ValueError):
+            TieredCache("ns", 8, l2=backend)
+        backend.close()
+
+    def test_l2_hit_promotes_into_l1(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        writer = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        writer.put(("local", 1), {"answer": 42}, stable_key="stable-1")
+        # A second facade (fresh L1, same L2) — the restart picture.
+        reader = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        assert reader.get(("local", 1), stable_key="stable-1") == {
+            "answer": 42
+        }
+        tiers = reader.tier_stats()
+        assert tiers["l1"]["misses"] == 1
+        assert tiers["l2"]["hits"] >= 1
+        # Promoted: the next read is pure L1.
+        reader.get(("local", 1), stable_key="stable-1")
+        assert reader.tier_stats()["l1"]["hits"] == 1
+        assert reader.stats().hits == 2
+        backend.close()
+
+    def test_no_stable_key_stays_l1_only(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        cache = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        cache.put("k", [1, 2, 3])
+        assert backend.stats("ns").size == 0
+        fresh = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        assert fresh.get("k") is None
+        backend.close()
+
+    def test_undecodable_l2_payload_is_a_miss(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        backend.put("ns", "stable-1", "{not json")
+        cache = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        assert cache.get("k", stable_key="stable-1") is None
+        assert cache.stats().misses == 1
+        backend.close()
+
+    def test_bypasses_counted_without_touching_tiers(self):
+        cache = TieredCache("ns", 8)
+        cache.note_bypass()
+        stats = cache.stats()
+        assert stats.bypasses == 1
+        assert stats.lookups == 0
+
+    def test_clear_leaves_shared_l2_alone(self, tmp_path):
+        backend = SqliteCacheBackend(tmp_path / "l2.sqlite")
+        cache = TieredCache("ns", 8, l2=backend, codec=_JsonCodec())
+        cache.put("k", "v", stable_key="stable-1")
+        cache.clear()
+        assert len(cache) == 0
+        assert backend.stats("ns").size == 1
+        backend.close()

@@ -1,0 +1,90 @@
+"""The warm-start profile store and its blend into scheduler priors."""
+
+from repro.cache import (
+    MethodObservation,
+    ProfileStore,
+    SqliteCacheBackend,
+    warm_profiles,
+)
+from repro.core import MethodProfile
+
+
+def _store(tmp_path):
+    return ProfileStore(SqliteCacheBackend(tmp_path / "l2.sqlite"))
+
+
+class TestProfileStore:
+    def test_observations_aggregate_across_runs(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("one_shot", trials=10, successes=7,
+                     cost=0.5, latency_seconds=2.0)
+        store.record("one_shot", trials=10, successes=9,
+                     cost=0.3, latency_seconds=1.0)
+        store.record("agent", trials=4, successes=4,
+                     cost=1.0, latency_seconds=8.0)
+        observed = store.observations()
+        assert set(observed) == {"agent", "one_shot"}
+        one_shot = observed["one_shot"]
+        assert one_shot.trials == 20
+        assert one_shot.successes == 16
+        assert one_shot.accuracy == 0.8
+        assert one_shot.cost_per_try == (0.5 + 0.3) / 20
+        assert one_shot.latency_per_try == 3.0 / 20
+
+    def test_zero_trial_records_are_dropped(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("noop", trials=0, successes=0,
+                     cost=0.0, latency_seconds=0.0)
+        assert store.observations() == {}
+
+    def test_clear(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("m", trials=1, successes=1,
+                     cost=0.1, latency_seconds=0.1)
+        store.clear()
+        assert store.observations() == {}
+
+    def test_accuracy_is_clamped(self):
+        observation = MethodObservation(
+            method="m", trials=2, successes=5,
+            cost=0.0, latency_seconds=0.0,
+        )
+        assert observation.accuracy == 1.0
+
+
+class TestWarmProfiles:
+    def test_enough_trials_overrides_the_prior(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("one_shot", trials=50, successes=40,
+                     cost=5.0, latency_seconds=25.0)
+        priors = [
+            MethodProfile("one_shot", accuracy=0.6, cost=0.2),
+            MethodProfile("agent", accuracy=0.9, cost=1.5),
+        ]
+        warmed = warm_profiles(store, priors, min_trials=20)
+        assert [p.name for p in warmed] == ["one_shot", "agent"]
+        assert warmed[0].accuracy == 0.8
+        assert warmed[0].cost == 0.1
+        assert warmed[0].latency_seconds == 0.5
+        assert warmed[1] is priors[1]       # no data: prior kept
+
+    def test_small_samples_keep_priors(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("one_shot", trials=3, successes=0,
+                     cost=0.1, latency_seconds=0.1)
+        priors = [MethodProfile("one_shot", accuracy=0.6, cost=0.2)]
+        warmed = warm_profiles(store, priors, min_trials=20)
+        assert warmed == priors
+
+    def test_results_are_valid_scheduler_input(self, tmp_path):
+        store = _store(tmp_path)
+        store.record("m", trials=100, successes=100,
+                     cost=0.0, latency_seconds=0.0)
+        warmed = warm_profiles(
+            store, [MethodProfile("m", accuracy=0.5, cost=0.5)],
+            min_trials=1,
+        )
+        # MethodProfile validates accuracy/cost on construction; landing
+        # here at all means the blend produced legal values.
+        assert 0.0 <= warmed[0].accuracy <= 1.0
+        assert warmed[0].cost >= 0.0

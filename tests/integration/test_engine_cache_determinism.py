@@ -1,20 +1,25 @@
-"""Determinism guard: the SQL engine's caches never change output.
+"""Determinism guard: caching never changes output, at any tier.
 
 The compile-and-cache engine (plan cache, compiled evaluators, hash
-joins, shared result cache) promises byte-identical behaviour. This
+joins, shared result cache) promises byte-identical behaviour, and the
+persistent L2 tier extends that promise across process restarts. This
 suite runs ``repro.verify()`` end to end with the caches on and off
 under a fixed seed and compares the rendered reports byte for byte —
 if any optimization leaks into verdicts, queries, or spend, the diff
-shows up here.
+shows up here. The L2 scenarios simulate kill-and-restart by reopening
+a fresh ``CacheConfig`` on the same sqlite path, and prove the
+corruption policy (garbage file → quarantine, never a crash).
 """
 
 import repro
+from repro.cache import CacheConfig
 from repro.core import ScheduleEntry, VerifierConfig, to_json, to_markdown
 from repro.datasets import build_tabfact
 from repro.experiments import build_cedar
 
 
-def _verify(sql_cache_size: int, workers: int = 1):
+def _verify(sql_cache_size: int, workers: int = 1,
+            cache_path=None, cache_size: int = 0):
     """One full verification arm: fresh bundle, fixed seed."""
     bundle = build_tabfact(table_count=5, total_claims=15)
     system = build_cedar(bundle, seed=9)
@@ -22,15 +27,20 @@ def _verify(sql_cache_size: int, workers: int = 1):
         ScheduleEntry(system.method_by_name("one_shot[gpt-3.5-turbo]"), 2),
         ScheduleEntry(system.method_by_name("agent[gpt-4o]"), 1),
     ]
-    run = repro.verify(
-        bundle.documents,
-        schedule=entries,
-        config=VerifierConfig(
-            ledger=system.ledger,
-            workers=workers,
-            sql_cache_size=sql_cache_size,
-        ),
+    # A fresh CacheConfig per arm means a fresh sqlite connection to the
+    # same file — exactly what a process restart looks like to L2.
+    cache_config = (
+        CacheConfig(path=cache_path) if cache_path is not None else None
     )
+    config = VerifierConfig(
+        ledger=system.ledger,
+        workers=workers,
+        sql_cache_size=sql_cache_size,
+        cache_size=cache_size,
+        cache_config=cache_config,
+    )
+    run = repro.verify(bundle.documents, schedule=entries, config=config)
+    store = config.open_cache_store()
     # The ledger's sql_seconds is wall-clock (and legitimately differs
     # between arms — that is the point of the caches), so reports are
     # rendered without the spend section for the byte comparison.
@@ -38,8 +48,11 @@ def _verify(sql_cache_size: int, workers: int = 1):
     rendered = [to_markdown(doc, run) for doc in bundle.documents]
     verdicts = [claim.correct for claim in bundle.claims]
     ledger = system.ledger
-    return reports, rendered, verdicts, (ledger.totals().calls,
-                                         ledger.totals().cost)
+    l2_stats = store.backend.stats() if store is not None else None
+    if store is not None:
+        store.close()
+    return (reports, rendered, verdicts,
+            (ledger.totals().calls, ledger.totals().cost), l2_stats)
 
 
 class TestCacheDeterminism:
@@ -63,3 +76,65 @@ class TestCacheDeterminism:
         assert parallel[0] == sequential[0]
         assert parallel[2] == sequential[2]
         assert parallel[3] == sequential[3]
+
+
+class TestPersistentTierDeterminism:
+    def test_kill_and_restart_warm_run_is_byte_identical(self, tmp_path):
+        """Cold run writes L2; a fresh process reads it back verbatim."""
+        path = tmp_path / "l2.sqlite"
+        baseline = _verify(sql_cache_size=256)          # no L2 at all
+        cold = _verify(sql_cache_size=256, cache_size=64, cache_path=path)
+        assert path.exists()
+        assert cold[4].size > 0                         # L2 was populated
+        # "Restart": everything rebuilt from scratch — new bundle, new
+        # engines, new VerifierConfig — only the sqlite file survives.
+        warm = _verify(sql_cache_size=256, cache_size=64, cache_path=path)
+        assert warm[4].hits > 0                         # L2 actually served
+        for arm in (cold, warm):
+            assert arm[0] == baseline[0]                # JSON reports
+            assert arm[1] == baseline[1]                # markdown
+            assert arm[2] == baseline[2]                # verdicts
+        # Warm L2 hits skip the simulated LLM, so calls/cost drop —
+        # report bytes must not.
+        assert warm[0] == cold[0]
+        assert warm[1] == cold[1]
+
+    def test_corrupt_l2_file_recovers_without_crashing(self, tmp_path):
+        """Garbage where the database should be → quarantine, not error."""
+        path = tmp_path / "l2.sqlite"
+        path.write_bytes(b"this is not a sqlite file\x00\xff" * 64)
+        baseline = _verify(sql_cache_size=256)
+        run = _verify(sql_cache_size=256, cache_size=64, cache_path=path)
+        assert run[0] == baseline[0]
+        assert run[2] == baseline[2]
+        # The poisoned file was moved aside and a fresh store written.
+        assert (tmp_path / "l2.sqlite.corrupt").exists()
+        assert run[4].size > 0
+
+    def test_profile_store_opt_in_keeps_reports_identical(self, tmp_path):
+        """Recording method profiles must never perturb the run itself."""
+        bundle = build_tabfact(table_count=5, total_claims=15)
+        system = build_cedar(bundle, seed=9)
+        entries = [
+            ScheduleEntry(system.method_by_name("one_shot[gpt-3.5-turbo]"),
+                          2),
+            ScheduleEntry(system.method_by_name("agent[gpt-4o]"), 1),
+        ]
+        config = VerifierConfig(
+            ledger=system.ledger,
+            sql_cache_size=256,
+            cache_config=CacheConfig(path=tmp_path / "l2.sqlite",
+                                     profiles=True),
+        )
+        run = repro.verify(bundle.documents, schedule=entries, config=config)
+        reports = [to_json(doc, run) for doc in bundle.documents]
+        baseline = _verify(sql_cache_size=256)
+        assert reports == baseline[0]
+        store = config.open_cache_store()
+        observed = store.profile_store().observations()
+        assert observed                                  # something recorded
+        for obs in observed.values():
+            assert obs.trials > 0
+            assert 0.0 <= obs.accuracy <= 1.0
+            assert obs.cost >= 0.0
+        store.close()

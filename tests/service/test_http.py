@@ -47,6 +47,11 @@ def get_json(url):
         return response.status, json.loads(response.read())
 
 
+def get_json_with_headers(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read()), response.headers
+
+
 def post_json(url, payload):
     request = urllib.request.Request(
         url,
@@ -60,19 +65,34 @@ def post_json(url, payload):
 
 class TestHttpSmoke:
     def test_healthz(self, server):
-        status, body = get_json(f"{server}/healthz")
+        status, body, headers = get_json_with_headers(f"{server}/v1/healthz")
         assert status == 200
         assert body == {"status": "ok", "draining": False}
+        assert headers.get("Deprecation") is None
+
+    def test_legacy_alias_carries_deprecation_header(self, server):
+        status, body, headers = get_json_with_headers(f"{server}/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "draining": False}
+        assert headers.get("Deprecation") == "true"
+
+    def test_unknown_version_structured_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{server}/v2/healthz")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["supported"] == ["v1"]
+        assert "v2" in body["error"]
 
     def test_submit_stream_and_summary(self, server):
         status, body = post_json(
-            f"{server}/verify", {"dataset": "tiny", "document": 0}
+            f"{server}/v1/verify", {"dataset": "tiny", "document": 0}
         )
         assert status == 202
         assert body["state"] == "queued"
         assert body["claims"] > 0
         job_id = body["job_id"]
-        assert body["events_url"] == f"/jobs/{job_id}/events"
+        assert body["events_url"] == f"/v1/jobs/{job_id}/events"
 
         # ?wait=1 streams ndjson until the terminal event.
         with urllib.request.urlopen(
@@ -87,13 +107,13 @@ class TestHttpSmoke:
         verdicts = [e for e in events if e["event"] == "claim_verdict"]
         assert len(verdicts) == body["claims"]
 
-        status, summary = get_json(f"{server}/jobs/{job_id}")
+        status, summary = get_json(f"{server}/v1/jobs/{job_id}")
         assert status == 200
         assert summary["state"] == "completed"
         assert summary["events"] == len(events)
 
         # Without ?wait the stream is an instant replay.
-        status, _ = get_json(f"{server}/jobs/{job_id}")
+        status, _ = get_json(f"{server}/v1/jobs/{job_id}")
         with urllib.request.urlopen(
             f"{server}{body['events_url']}", timeout=10
         ) as response:
@@ -101,7 +121,7 @@ class TestHttpSmoke:
         assert replay == events
 
     def test_stats_route(self, server):
-        status, body = get_json(f"{server}/stats")
+        status, body = get_json(f"{server}/v1/stats")
         assert status == 200
         assert body["queue_depth"] == 0
         assert "hit_rate" in body["cache"]

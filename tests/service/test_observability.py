@@ -13,6 +13,7 @@ import urllib.request
 
 import pytest
 
+from repro.cache import CacheConfig
 from repro.core import ScheduleEntry, VerifierConfig
 from repro.datasets import build_aggchecker
 from repro.experiments import build_cedar
@@ -107,6 +108,23 @@ class TestServiceMetrics:
         assert 'cedar_jobs_total{state="completed"} 1' in text
         assert "cedar_job_latency_seconds_bucket" in text
         assert 'cedar_cache_hits_total{cache="llm"}' in text
+        # No persistent tier configured: no tier-labelled samples.
+        assert 'tier="l2"' not in text
+
+    def test_tier_labelled_cache_metrics_when_persistent(self, tmp_path):
+        service, _ = drain_one_job(
+            cache_config=CacheConfig(path=tmp_path / "l2.sqlite"),
+        )
+        text = to_prometheus(service.metrics)
+        lines = text.splitlines()
+        for cache_name in ("llm", "sql_result"):
+            for tier in ("l1", "l2"):
+                assert any(
+                    line.startswith("cedar_cache_hits_total")
+                    and f'cache="{cache_name}"' in line
+                    and f'tier="{tier}"' in line
+                    for line in lines
+                ), f"missing {cache_name}/{tier} tier sample"
 
 
 @pytest.fixture(scope="module")

@@ -17,7 +17,7 @@ from repro.sqlengine import (
     reset_engine_stats,
     shared_plan_cache,
 )
-from repro.sqlengine.planner import STRATEGY_COUNTERS, _LruCache
+from repro.sqlengine.planner import STRATEGY_COUNTERS
 
 
 def _database():
@@ -62,10 +62,10 @@ def test_normalize_keeps_keyword_case():
     assert normalize_sql("select a from t") == "select a from t"
 
 
-# -- LRU cache skeleton -------------------------------------------------------
+# -- LRU cache skeleton (now repro.cache.TieredCache behind the facades) ------
 
 def test_lru_eviction_order():
-    cache = _LruCache(2)
+    cache = PlanCache(2)
     cache.put("a", 1)
     cache.put("b", 2)
     cache.get("a")          # refresh a; b is now least-recent
@@ -77,7 +77,7 @@ def test_lru_eviction_order():
 
 
 def test_lru_stats_track_hits_and_misses():
-    cache = _LruCache(4)
+    cache = PlanCache(4)
     cache.put("k", "v")
     cache.get("k")
     cache.get("absent")
@@ -220,10 +220,13 @@ def test_strategy_counters_record_hash_join():
 
 def test_engine_stats_shape():
     stats = engine_stats()
-    assert set(stats) == {"plan_cache", "strategies", "analyzer"}
+    assert set(stats) == {
+        "plan_cache", "strategies", "analyzer", "analyzer_memo",
+    }
     assert "hit_rate" in stats["plan_cache"]
     assert "pushed_predicates" in stats["strategies"]
     assert "queries_analyzed" in stats["analyzer"]
+    assert "hit_rate" in stats["analyzer_memo"]
 
 
 # -- table memoization --------------------------------------------------------

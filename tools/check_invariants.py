@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo-specific AST lints that generic linters cannot express.
 
-Run by ``make lint`` (through ``tools/lint.py``). Three invariants:
+Run by ``make lint`` (through ``tools/lint.py``). Five invariants:
 
 1. **No direct ``Engine()`` construction in library code.** Outside
    ``src/repro/sqlengine/`` (plus tests and benchmarks, which exercise
@@ -24,12 +24,28 @@ Run by ``make lint`` (through ``tools/lint.py``). Three invariants:
    — referencing ``time.perf_counter`` as a default argument is fine,
    calling it is not. No pragma: there is no legitimate exception.
 
+4. **Examples and docs import only the public surface.** Every
+   ``from repro[.sub] import X`` in ``examples/*.py`` and in the
+   parseable ```` ```python ```` blocks of ``README.md`` and
+   ``docs/*.md`` must name a package with an ``__all__`` and pick
+   names from it. Deep-module imports and private names in showcased
+   code turn internals into de-facto API; keep the shop window
+   honest. Unparseable snippets (ellipses, shell transcripts) are
+   skipped.
+
+5. **Only ``src/repro/cache/`` talks to sqlite.** The persistent L2
+   tier owns the schema, the corruption quarantine, and the
+   disable-on-error policy; a stray ``sqlite3.connect`` elsewhere
+   bypasses all three. Pragma ``# lint: allow-sqlite`` to opt out
+   (e.g. a test deliberately inspecting the L2 file).
+
 Exit status is the number of violations (0 = clean).
 """
 
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
@@ -37,6 +53,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 ENGINE_PRAGMA = "# lint: allow-engine"
 SEED_PRAGMA = "# lint: allow-unseeded"
+SQLITE_PRAGMA = "# lint: allow-sqlite"
+
+# The one place allowed to open sqlite connections (invariant 5).
+SQLITE_OWNER = Path("src/repro/cache")
+
+_FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 # Directories whose files may construct Engine() directly.
 ENGINE_EXEMPT = (
@@ -109,6 +131,136 @@ def _obs_violations(relative: Path, tree: ast.AST) -> list[str]:
     return violations
 
 
+def _sqlite_violations(
+    relative: Path, tree: ast.AST, lines: list[str]
+) -> list[str]:
+    """sqlite stays behind the cache package (invariant 5)."""
+    if relative.is_relative_to(SQLITE_OWNER):
+        return []
+    message = (
+        "sqlite used outside src/repro/cache/ — the persistent tier "
+        "owns connection, quarantine, and eviction policy "
+        f"({SQLITE_PRAGMA} to opt out)"
+    )
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            hit = any(a.name.split(".")[0] == "sqlite3" for a in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            hit = bool(node.module) and (
+                node.module.split(".")[0] == "sqlite3"
+            )
+        else:
+            continue
+        if hit and SQLITE_PRAGMA not in lines[node.lineno - 1]:
+            violations.append(f"{relative}:{node.lineno}: {message}")
+    return violations
+
+
+def _public_surface() -> dict[str, set[str] | None]:
+    """``__all__`` per ``repro`` package, parsed without importing."""
+    surface: dict[str, set[str] | None] = {}
+    for init in (REPO_ROOT / "src" / "repro").rglob("__init__.py"):
+        module = ".".join(init.parent.relative_to(REPO_ROOT / "src").parts)
+        try:
+            tree = ast.parse(init.read_text(encoding="utf-8"))
+        except SyntaxError:
+            surface[module] = None
+            continue
+        names: set[str] | None = None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                try:
+                    names = set(ast.literal_eval(node.value))
+                except ValueError:
+                    names = None
+        surface[module] = names
+    return surface
+
+
+def _surface_violations(
+    where: str, tree: ast.AST, surface: dict[str, set[str] | None]
+) -> list[str]:
+    """Showcased code imports only exported names (invariant 4)."""
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or node.level:
+            continue
+        module = node.module or ""
+        if module.split(".")[0] != "repro":
+            continue
+        if module not in surface:
+            violations.append(
+                f"{where}:{node.lineno}: import from {module} — examples "
+                "and docs must import from a repro package, not a deep "
+                "module"
+            )
+            continue
+        exported = surface[module]
+        if exported is None:
+            violations.append(
+                f"{where}:{node.lineno}: {module} has no parseable "
+                "__all__ — give the package an explicit public surface"
+            )
+            continue
+        for alias in node.names:
+            if alias.name != "*" and alias.name not in exported:
+                violations.append(
+                    f"{where}:{node.lineno}: {module}.{alias.name} is not "
+                    f"in {module}.__all__ — export it or drop it from "
+                    "showcased code"
+                )
+    return violations
+
+
+def check_showcased_code() -> list[str]:
+    """Invariant 4 over ``examples/`` and the docs' python snippets.
+
+    A separate pass on purpose: examples are user-facing scripts, not
+    library code, so the Engine/seed rules don't apply to them — only
+    the public-surface rule does.
+    """
+    surface = _public_surface()
+    violations = []
+    examples = REPO_ROOT / "examples"
+    if examples.is_dir():
+        for path in sorted(examples.glob("*.py")):
+            relative = path.relative_to(REPO_ROOT)
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except SyntaxError as error:
+                violations.append(
+                    f"{relative}:{error.lineno}: syntax error: {error.msg}"
+                )
+                continue
+            violations.extend(
+                _surface_violations(str(relative), tree, surface)
+            )
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    for path in docs:
+        if not path.is_file():
+            continue
+        relative = path.relative_to(REPO_ROOT)
+        text = path.read_text(encoding="utf-8")
+        for match in _FENCED_PYTHON.finditer(text):
+            snippet = match.group(1)
+            try:
+                tree = ast.parse(snippet)
+            except SyntaxError:
+                continue  # prose-ish snippet (ellipses etc.) — skip
+            line_base = text[: match.start(1)].count("\n")
+            for violation in _surface_violations("", tree, surface):
+                _, line, rest = violation.split(":", 2)
+                violations.append(
+                    f"{relative}:{line_base + int(line)}:{rest}"
+                )
+    return violations
+
+
 def check_file(path: Path) -> list[str]:
     relative = path.relative_to(REPO_ROOT)
     source = path.read_text(encoding="utf-8")
@@ -123,6 +275,7 @@ def check_file(path: Path) -> list[str]:
     violations = []
     if relative.is_relative_to(OBS_PACKAGE):
         violations.extend(_obs_violations(relative, tree))
+    violations.extend(_sqlite_violations(relative, tree, lines))
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
@@ -156,6 +309,7 @@ def main() -> int:
             continue
         for path in sorted(root.rglob("*.py")):
             violations.extend(check_file(path))
+    violations.extend(check_showcased_code())
     for violation in violations:
         print(violation)
     if not violations:
