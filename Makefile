@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench bench-parallel bench-service bench-sqlengine \
-	bench-analyzer bench-obs bench-cache serve experiments
+	bench-analyzer bench-obs bench-cache bench-cluster serve \
+	serve-cluster experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,9 +45,19 @@ bench-obs:
 bench-cache:
 	$(PYTHON) -m repro.experiments cache
 
+# Saturation throughput and p99, 1 process vs 4 sharded workers behind
+# the consistent-hash router (writes BENCH_cluster.json).
+bench-cluster:
+	$(PYTHON) -m repro.experiments cluster
+
 # HTTP front end for the verification service (Ctrl-C drains and exits).
 serve:
 	$(PYTHON) -m repro.service
+
+# Sharded multi-worker cluster: asyncio router + N worker processes
+# (Ctrl-C drains every shard and exits).
+serve-cluster:
+	$(PYTHON) -m repro.cluster --workers 4
 
 experiments:
 	$(PYTHON) -m repro.experiments all --fast

@@ -1,0 +1,426 @@
+"""Cluster saturation benchmark — 1 process vs N sharded workers.
+
+Drives the same mixed-priority, many-client closed-loop workload against
+two deployments of the verification service:
+
+* **single** — today's ``python -m repro.service`` shape: one process,
+  one dispatcher, the stdlib threaded HTTP front end;
+* **cluster** — ``python -m repro.cluster``: the asyncio router
+  consistent-hashing the same jobs onto N worker processes.
+
+The workload is the regime the cluster exists for: every job verifies a
+*distinct* document (the "bench" dataset profile's 16 hot documents),
+so nothing is answered from a warm response cache and every claim pays
+its simulated model latency (:class:`LatencySimulatingClient`, the same
+scaled-sleep wrapper the parallel and cache benchmarks use). A single
+process runs one micro-batch at a time — its saturation throughput is
+capped by one dispatcher's worth of concurrent model calls — while the
+cluster runs one batch *per shard*: the speedup measures genuine
+process-level scale-out of latency-bound work, not CPU parallelism
+(record ``cpu_count`` honestly: this box may well have one core).
+
+Each client thread loops submit → follow the ndjson event stream to the
+terminal event → next job, so offered load tracks capacity (closed
+loop) and per-job latency includes queueing. Reported per arm:
+saturation throughput (jobs/s), p50/p99 job latency, and verdict
+digests — the cluster must produce byte-identical verdicts to the
+single process for the same documents and seed.
+
+Run with::
+
+    python -m repro.experiments cluster --fast
+
+Writes ``BENCH_cluster.json`` so the scale-out factor is
+machine-checkable. Acceptance: >= 2.5x saturation throughput at 4
+workers with p99 latency no worse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from .common import format_table
+
+#: Acceptance bar at the full (4-worker) configuration.
+MIN_SPEEDUP = 2.5
+
+OUTPUT_FILE = "BENCH_cluster.json"
+
+#: (worker counts, client threads, jobs) for the two modes. Jobs never
+#: exceed the bench profile's document count: every measured job is a
+#: *distinct* document, so none is a warm-cache replay and each pays
+#: its simulated model latency (the regime the cluster scales).
+FULL = ((1, 4), 16, 32)
+FAST = ((1, 2), 6, 8)
+
+#: Scaled simulated model latency. Deliberately 10x the parallel
+#: bench's scale: the cluster's claim is scale-out of *latency-bound*
+#: capacity, so model latency must dominate per-claim compute the way
+#: it does against hosted APIs — at 0.01 on a small box, Python-side
+#: compute swamps the sleeps and every deployment converges on the
+#: single core's ceiling.
+LATENCY_SCALE = 0.1
+
+_TAG = re.compile(r"^r\d+/")
+
+
+@dataclass
+class ArmResult:
+    """One deployment's saturation numbers."""
+
+    label: str
+    workers: int
+    jobs: int
+    wall_seconds: float
+    throughput: float            # jobs per second at saturation
+    p50_seconds: float
+    p99_seconds: float
+    rejected: int                # admission rejections seen by clients
+    verdicts: dict = field(default_factory=dict)  # doc -> verdict digest
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "workers": self.workers,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "throughput_jobs_per_second": round(self.throughput, 3),
+            "p50_seconds": round(self.p50_seconds, 3),
+            "p99_seconds": round(self.p99_seconds, 3),
+            "rejected": self.rejected,
+        }
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (sorted_values[low] * (1 - fraction)
+            + sorted_values[high] * fraction)
+
+
+def _verdict_digest(events: list[dict]) -> list:
+    """Order/tag-independent verdict record for one job's event stream."""
+    return sorted(
+        (_TAG.sub("", event["claim_id"]), event["verdict"])
+        for event in events
+        if event.get("event") == "claim_verdict"
+    )
+
+
+class _LoadGenerator:
+    """Closed-loop mixed-priority clients against one HTTP base URL."""
+
+    def __init__(self, base_url: str, clients: int, jobs: int,
+                 documents: int) -> None:
+        self.base_url = base_url
+        self.clients = clients
+        self.latencies: list[float] = []
+        self.verdicts: dict[int, list] = {}
+        self.rejected = 0
+        self._lock = threading.Lock()
+        # One shared queue of (document, priority) jobs — identical for
+        # both arms: distinct documents round-robin, priorities
+        # alternating high/low. Clients pull from it work-stealing
+        # style, so a slow shard delays only its own jobs and never
+        # idles a client that could be driving another shard.
+        self.work: list[tuple[int, int]] = [
+            (index % documents, index % 2) for index in range(jobs)
+        ]
+
+    def _post(self, payload: dict) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/verify",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=300) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def _next_job(self) -> tuple[int, int] | None:
+        with self._lock:
+            return self.work.pop(0) if self.work else None
+
+    def _run_client(self, client_index: int) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            document, priority = job
+            started = time.monotonic()
+            while True:
+                status, body = self._post({
+                    "dataset": "aggchecker",
+                    "document": document,
+                    "priority": priority,
+                    "client_id": f"load-{client_index}",
+                })
+                if status == 202:
+                    break
+                # Back off as instructed and retry: a closed-loop
+                # client never abandons its job.
+                with self._lock:
+                    self.rejected += 1
+                time.sleep(min(1.0, body.get("retry_after_seconds", 1) / 4))
+            with urllib.request.urlopen(
+                f"{self.base_url}{body['events_url']}?wait=1&timeout=300",
+                timeout=300,
+            ) as response:
+                events = [json.loads(line) for line in response
+                          if line.strip()]
+            assert events[-1]["event"] == "job_done", events[-1]
+            elapsed = time.monotonic() - started
+            with self._lock:
+                self.latencies.append(elapsed)
+                self.verdicts.setdefault(document, _verdict_digest(events))
+
+    def run(self) -> float:
+        threads = [
+            threading.Thread(target=self._run_client, args=(index,))
+            for index in range(self.clients)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.monotonic() - started
+
+
+def _measure(base_url: str, label: str, workers: int, clients: int,
+             jobs: int, documents: int) -> ArmResult:
+    generator = _LoadGenerator(base_url, clients, jobs, documents)
+    wall = generator.run()
+    latencies = sorted(generator.latencies)
+    return ArmResult(
+        label=label,
+        workers=workers,
+        jobs=len(latencies),
+        wall_seconds=wall,
+        throughput=len(latencies) / wall if wall > 0 else 0.0,
+        p50_seconds=_quantile(latencies, 0.50),
+        p99_seconds=_quantile(latencies, 0.99),
+        rejected=generator.rejected,
+        verdicts=generator.verdicts,
+    )
+
+
+def _run_single_arm(clients: int, jobs: int, documents: int) -> ArmResult:
+    """Today's one-process deployment, warmed up like the workers are."""
+    from repro.service import ServiceConfig, VerificationService
+    from repro.service.http import ServiceApp, make_server
+
+    from .parallel_bench import LatencySimulatingClient
+
+    from repro.cluster.worker import dataset_builders
+
+    service = VerificationService(ServiceConfig(
+        max_queue_depth=256, per_client_limit=1_000_000, use_samples=True,
+    )).start()
+    app = ServiceApp(
+        service,
+        datasets=dataset_builders("bench"),
+        seed=0,
+        client_wrapper=lambda client: LatencySimulatingClient(
+            client, LATENCY_SCALE,
+        ),
+    )
+    app.warm("aggchecker")  # dataset build happens off the clock
+    http_server = make_server(port=0, app=app)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    host, port = http_server.server_address[:2]
+    try:
+        return _measure(f"http://{host}:{port}", "single-process", 1,
+                        clients, jobs, documents)
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.shutdown(drain=True)
+        thread.join(timeout=10)
+
+
+def _run_cluster_arm(workers: int, clients: int, jobs: int,
+                     documents: int) -> ArmResult:
+    """The router + N worker processes on the same workload."""
+    from repro.cluster import ClusterConfig, ClusterRouter
+
+    loop = asyncio.new_event_loop()
+    loop_thread = threading.Thread(target=loop.run_forever, daemon=True)
+    loop_thread.start()
+
+    def run(coroutine, timeout=600):
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, loop,
+        ).result(timeout)
+
+    async def _start():
+        router = ClusterRouter(ClusterConfig(
+            workers=workers,
+            profile="bench",
+            per_client_limit=1_000_000,
+            latency_scale=LATENCY_SCALE,
+            spawn_timeout=180.0,
+        ))
+        await router.start()
+        host, port = await router.serve_http(port=0)
+        return router, host, port
+
+    router, host, port = run(_start())
+    # Every worker builds the dataset bundle off the clock, one at a
+    # time (concurrent builds just contend for the same core).
+    for worker_id in sorted(router.supervisor.slots):
+        link = router.supervisor.link(worker_id)
+        if link is not None:
+            run(link.request("warm", timeout=600, dataset="aggchecker"))
+    try:
+        return _measure(f"http://{host}:{port}",
+                        f"cluster-{workers}", workers,
+                        clients, jobs, documents)
+    finally:
+        run(router.drain(timeout=120))
+        run(router.stop())
+        loop.call_soon_threadsafe(loop.stop)
+        loop_thread.join(timeout=10)
+
+
+@dataclass
+class ClusterBenchResult:
+    single: ArmResult
+    cluster: list[ArmResult]
+    documents: int
+    clients: int
+
+    @property
+    def best(self) -> ArmResult:
+        return max(self.cluster, key=lambda arm: arm.workers)
+
+    @property
+    def speedup(self) -> float:
+        if self.single.throughput <= 0:
+            return 0.0
+        return self.best.throughput / self.single.throughput
+
+    @property
+    def p99_no_worse(self) -> bool:
+        # "No worse" with a 10% measurement-noise allowance.
+        return self.best.p99_seconds <= self.single.p99_seconds * 1.10
+
+    @property
+    def verdicts_match(self) -> bool:
+        reference = self.single.verdicts
+        for arm in self.cluster:
+            for document, digest in arm.verdicts.items():
+                if reference.get(document) != digest:
+                    return False
+        return True
+
+
+def run_cluster_bench(fast: bool = False) -> ClusterBenchResult:
+    worker_counts, clients, jobs = FAST if fast else FULL
+    from repro.cluster.worker import dataset_builders
+
+    documents = len(
+        dataset_builders("bench")["aggchecker"]().documents
+    )
+    documents = min(documents, jobs)
+    single = _run_single_arm(clients, jobs, documents)
+    cluster = [
+        _run_cluster_arm(workers, clients, jobs, documents)
+        for workers in worker_counts
+    ]
+    return ClusterBenchResult(
+        single=single, cluster=cluster,
+        documents=documents, clients=clients,
+    )
+
+
+def format_cluster_bench(result: ClusterBenchResult) -> str:
+    rows = []
+    for arm in [result.single] + result.cluster:
+        rows.append([
+            arm.label,
+            str(arm.workers),
+            f"{arm.throughput:.2f}",
+            f"{arm.p50_seconds * 1000:.0f}",
+            f"{arm.p99_seconds * 1000:.0f}",
+            str(arm.rejected),
+        ])
+    table = format_table(
+        ["deployment", "workers", "jobs/s", "p50 ms", "p99 ms", "shed"],
+        rows,
+    )
+    lines = [
+        "Cluster saturation benchmark "
+        f"({result.clients} closed-loop clients, "
+        f"{result.documents} distinct documents, "
+        f"latency scale {LATENCY_SCALE}):",
+        "",
+        table,
+        "",
+        f"scale-out: {result.speedup:.2f}x throughput at "
+        f"{result.best.workers} workers "
+        f"(target >= {MIN_SPEEDUP:.1f}x at 4)",
+        f"p99 no worse: {result.p99_no_worse}   "
+        f"verdicts match single-process: {result.verdicts_match}",
+    ]
+    return "\n".join(lines)
+
+
+def write_bench_json(result: ClusterBenchResult,
+                     path: str = OUTPUT_FILE) -> None:
+    payload = {
+        "benchmark": "cluster",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "closed-loop saturation throughput on a latency-bound "
+            "workload (simulated model latency, scaled sleeps); the "
+            "speedup is process-level scale-out of concurrent model "
+            "calls, not CPU parallelism"
+        ),
+        "latency_scale": LATENCY_SCALE,
+        "clients": result.clients,
+        "documents": result.documents,
+        "min_speedup_target": MIN_SPEEDUP,
+        "single": result.single.to_dict(),
+        "cluster": [arm.to_dict() for arm in result.cluster],
+        "speedup": round(result.speedup, 3),
+        "p99_no_worse": result.p99_no_worse,
+        "verdicts_match": result.verdicts_match,
+        "within_target": (
+            result.speedup >= MIN_SPEEDUP
+            and result.p99_no_worse
+            and result.verdicts_match
+        ),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(fast: bool = False) -> str:
+    result = run_cluster_bench(fast=fast)
+    report = format_cluster_bench(result)
+    print(report)
+    write_bench_json(result)
+    print(f"wrote {OUTPUT_FILE}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,7 @@ Usage::
 
 Experiments: table2, costs, figure5, figure6, table3, joinbench,
 figure7, assumptions, parallel, service, sqlengine, analyzer, obs,
-cache.
+cache, cluster.
 
 ``--trace FILE`` installs a process-wide tracer for the run and writes
 the resulting span forest as Chrome trace-event JSON (load it in
@@ -20,13 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import (analyzer_bench, assumptions, cache_bench, costs, figure5,
-               figure6, figure7, joinbench_exp, obs_bench, parallel_bench,
-               service_bench, sqlengine_bench, table2, table3)
+from . import (analyzer_bench, assumptions, cache_bench, cluster_bench,
+               costs, figure5, figure6, figure7, joinbench_exp, obs_bench,
+               parallel_bench, service_bench, sqlengine_bench, table2,
+               table3)
 
 EXPERIMENTS = {
     "analyzer": analyzer_bench.main,
     "cache": cache_bench.main,
+    "cluster": cluster_bench.main,
     "obs": obs_bench.main,
     "assumptions": assumptions.main,
     "parallel": parallel_bench.main,

@@ -23,16 +23,20 @@ from .events import (
     JobQueued,
     JobStarted,
     StageStarted,
+    WorkerLost,
 )
 from .queue import (
     REASON_CLIENT_LIMIT,
     REASON_CONFLICT,
     REASON_DRAINING,
     REASON_QUEUE_FULL,
+    RETRYABLE_REASONS,
     AdmissionError,
     BoundedJobQueue,
     RejectionReason,
+    retry_after_seconds,
 )
+from .signals import install_drain_handlers, restore_handlers
 from .service import (
     CANCELLED,
     COMPLETED,
@@ -69,11 +73,16 @@ __all__ = [
     "REASON_CONFLICT",
     "REASON_DRAINING",
     "REASON_QUEUE_FULL",
+    "RETRYABLE_REASONS",
     "RUNNING",
     "RejectionReason",
     "ServiceConfig",
     "ServiceStats",
     "StageStarted",
     "VerificationService",
+    "WorkerLost",
     "clone_document",
+    "install_drain_handlers",
+    "restore_handlers",
+    "retry_after_seconds",
 ]

@@ -1,16 +1,22 @@
 """CLI entry point: ``python -m repro.service`` (or ``make serve``).
 
 Starts the verification service behind the stdlib HTTP front end and
-blocks until interrupted; Ctrl-C drains accepted jobs before exiting.
+blocks until signalled. SIGTERM and SIGINT (Ctrl-C) both trigger a
+graceful drain — the server stops accepting, every accepted job is
+flushed, then the process exits; a second signal kills it the blunt
+way. ``GET /readyz`` flips to 503 the moment the drain starts, so a
+load balancer in front stops routing first.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 
 from .http import ServiceApp, make_server
 from .service import ServiceConfig, VerificationService
+from .signals import install_drain_handlers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,13 +59,22 @@ def main(argv: list[str] | None = None) -> int:
     server = make_server(arguments.host, arguments.port, app,
                          verbose=arguments.verbose)
     host, port = server.server_address[:2]
+
+    def begin_drain(signum: int) -> None:
+        # Refuse new work immediately (readyz goes 503, submits get
+        # `draining` + Retry-After), then stop the accept loop from a
+        # side thread: BaseServer.shutdown() blocks until serve_forever
+        # exits, so calling it in the handler frame would deadlock.
+        service.begin_drain()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    install_drain_handlers(begin_drain)
     print(f"serving CEDAR verification on http://{host}:{port}  "
-          "(POST /verify, GET /stats; Ctrl-C drains and exits)")
+          "(POST /v1/verify, GET /v1/stats; SIGTERM/Ctrl-C drains and exits)")
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
-        print("\ndraining accepted jobs …")
     finally:
+        print("draining accepted jobs …")
         server.server_close()
         service.shutdown(drain=True)
     return 0

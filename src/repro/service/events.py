@@ -135,3 +135,23 @@ class JobCancelled(JobEvent):
     terminal: ClassVar[bool] = True
     job_id: str
     ts: float = field(default_factory=_now)
+
+
+@dataclass(frozen=True)
+class WorkerLost(JobEvent):
+    """Terminal: the worker process running the job died mid-flight.
+
+    Emitted by the cluster router (never by a single-process service)
+    for every non-terminal job routed to a crashed shard, so clients get
+    a structured end-of-stream instead of a wedged connection. The job
+    was *accepted* but its verdicts are unknown; resubmitting is safe —
+    ids were released when the stream closed, and the shard's caches
+    make the retry cheap.
+    """
+
+    kind: ClassVar[str] = "worker_lost"
+    terminal: ClassVar[bool] = True
+    job_id: str
+    worker: int = -1             # shard index of the dead worker
+    error: str = ""
+    ts: float = field(default_factory=_now)

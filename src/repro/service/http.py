@@ -15,7 +15,10 @@ versioned ``/v1/`` prefix:
 * ``GET /v1/jobs/<id>/trace`` — the job's span tree as Chrome
   trace-event JSON (queue wait plus the per-document verification
   waterfall); save it and load it in Perfetto or ``chrome://tracing``.
-* ``GET /v1/healthz`` — liveness plus draining flag.
+* ``GET /v1/healthz`` — liveness (always 200 while the process is up).
+* ``GET /v1/readyz`` — readiness: 200 while submissions are accepted,
+  503 once draining; the 503 carries a ``Retry-After`` hint. Rejected
+  submissions (429/503) carry the same queue-depth-derived header.
 * ``GET /v1/stats`` — queue depth, batch sizes, cache hit rate (L1 and
   persistent L2 tiers when configured), SQL-engine counters (plan
   cache, result cache, join strategies), ledger spend (including
@@ -63,16 +66,23 @@ from .queue import (
     REASON_CONFLICT,
     REASON_DRAINING,
     REASON_QUEUE_FULL,
+    RETRYABLE_REASONS,
     AdmissionError,
+    retry_after_seconds,
 )
 from .service import ServiceConfig, VerificationService, clone_document
 
-_DEFAULT_DATASETS: dict[str, Callable[[], DatasetBundle]] = {
+#: The datasets served by default — also the cluster workers' default
+#: profile, so the router and its shards agree on document identity.
+DEFAULT_DATASETS: dict[str, Callable[[], DatasetBundle]] = {
     "aggchecker": lambda: build_aggchecker(document_count=12,
                                            total_claims=72),
     "tabfact": lambda: build_tabfact(table_count=8, total_claims=28),
     "wikitext": lambda: build_wikitext(document_count=5, total_claims=18),
 }
+
+#: Backwards-compatible alias (pre-cluster name).
+_DEFAULT_DATASETS = DEFAULT_DATASETS
 
 #: The one API version this build serves; bump alongside breaking
 #: route changes and keep the old prefix routed during a deprecation
@@ -105,18 +115,27 @@ class ServiceApp:
         service: VerificationService | None = None,
         datasets: dict[str, Callable[[], DatasetBundle]] | None = None,
         seed: int = 0,
+        client_wrapper: Callable | None = None,
     ) -> None:
         self.service = service if service is not None else (
             VerificationService().start()
         )
         self._builders = dict(
-            datasets if datasets is not None else _DEFAULT_DATASETS
+            datasets if datasets is not None else DEFAULT_DATASETS
         )
         self._seed = seed
+        #: Optional LLM-client decorator applied to every method of a
+        #: freshly built dataset system — the benchmarks use it to
+        #: stack simulated model latency under the response cache.
+        self._client_wrapper = client_wrapper
         self._datasets: dict[str, tuple[DatasetBundle,
                                         list[ScheduleEntry]]] = {}
         self._lock = threading.Lock()
         self._request_seq = itertools.count(1)
+
+    @property
+    def datasets(self) -> list[str]:
+        return sorted(self._builders)
 
     def _dataset(self, name: str) -> tuple[DatasetBundle,
                                            list[ScheduleEntry]]:
@@ -128,6 +147,9 @@ class ServiceApp:
                     bundle, seed=self._seed,
                     config=VerifierConfig(ledger=self.service.ledger),
                 )
+                if self._client_wrapper is not None:
+                    for method in system.methods:
+                        method.client = self._client_wrapper(method.client)
                 # Single-try stages: deterministic (temperature 0
                 # everywhere) and maximally cacheable across requests.
                 schedule = [ScheduleEntry(method, 1)
@@ -135,6 +157,16 @@ class ServiceApp:
                 entry = (bundle, schedule)
                 self._datasets[name] = entry
             return entry
+
+    def warm(self, name: str) -> int:
+        """Force-build a dataset's bundle and systems (an expensive,
+        once-per-process step otherwise paid by the first submission);
+        returns the document count. Lets deployments and benchmarks
+        warm every worker before taking traffic."""
+        if name not in self._builders:
+            raise KeyError(f"unknown dataset {name!r}")
+        bundle, _schedule = self._dataset(name)
+        return len(bundle.documents)
 
     # -- routes --------------------------------------------------------------
 
@@ -168,7 +200,14 @@ class ServiceApp:
             )
         except AdmissionError as error:
             status = _REJECTION_STATUS.get(error.reason.code, 429)
-            return status, {"rejected": error.reason.to_dict()}
+            body = {"rejected": error.reason.to_dict()}
+            if error.reason.code in RETRYABLE_REASONS:
+                # The client should come back once the backlog (or the
+                # drain) has had time to clear; scale the hint by it.
+                body["retry_after_seconds"] = retry_after_seconds(
+                    self.service.queue_depth
+                )
+            return status, body
         return 202, {
             "job_id": handle.job_id,
             "state": handle.state,
@@ -205,7 +244,20 @@ class ServiceApp:
         return 200, to_chrome_trace(handle.spans(), process_name=job_id)
 
     def health(self) -> tuple[int, dict]:
+        """Liveness: the process is up and answering (draining or not)."""
         return 200, {"status": "ok", "draining": self.service.draining}
+
+    def ready(self) -> tuple[int, dict]:
+        """Readiness: 200 only while new submissions are accepted.
+
+        A draining service stays *live* (``/healthz`` keeps returning
+        200 so orchestrators don't kill it mid-flush) but flips
+        ``/readyz`` to 503 so load balancers stop sending it work.
+        """
+        if self.service.ready:
+            return 200, {"ready": True, "draining": False}
+        return 503, {"ready": False,
+                     "draining": self.service.draining}
 
     def stats(self) -> tuple[int, dict]:
         return 200, self.service.stats().to_dict()
@@ -255,11 +307,19 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return None
         return parts[1:]
 
-    def _send_json(self, status: int, body: dict) -> None:
+    def _send_json(self, status: int, body: dict,
+                   headers: dict[str, str] | None = None) -> None:
         payload = json.dumps(body, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        # Structured rejections advertise when to come back; the header
+        # mirrors the body's retry_after_seconds for plain HTTP clients.
+        if "retry_after_seconds" in body:
+            self.send_header("Retry-After",
+                             str(int(body["retry_after_seconds"])))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self._extra_headers()
         self.end_headers()
         self.wfile.write(payload)
@@ -301,6 +361,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return
         if parts == ["healthz"]:
             self._send_json(*self.app.health())
+        elif parts == ["readyz"]:
+            status, body = self.app.ready()
+            if status != 200:
+                body["retry_after_seconds"] = retry_after_seconds(
+                    self.app.service.queue_depth
+                )
+            self._send_json(status, body)
         elif parts == ["stats"]:
             self._send_json(*self.app.stats())
         elif parts == ["metrics"]:

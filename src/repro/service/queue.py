@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -25,6 +26,31 @@ REASON_QUEUE_FULL = "queue_full"
 REASON_CLIENT_LIMIT = "client_limit"
 REASON_DRAINING = "draining"
 REASON_CONFLICT = "conflict"
+
+#: The rejection codes whose HTTP responses should carry a Retry-After
+#: header: backlog (queue_full), fairness (client_limit), and shutdown
+#: (draining) all clear with time; a ``conflict`` does not.
+RETRYABLE_REASONS = frozenset(
+    {REASON_QUEUE_FULL, REASON_CLIENT_LIMIT, REASON_DRAINING}
+)
+
+
+def retry_after_seconds(
+    queue_depth: int,
+    per_job_seconds: float = 0.25,
+    floor: int = 1,
+    ceiling: int = 60,
+) -> int:
+    """A Retry-After hint (whole seconds) derived from queue depth.
+
+    The estimate is deliberately coarse — backlog times one nominal
+    per-job drain cost, clamped to ``[floor, ceiling]`` — because its
+    only job is to spread retries out proportionally to load. Both the
+    single-process HTTP front end and the cluster router derive their
+    429/503 ``Retry-After`` headers from it.
+    """
+    estimate = math.ceil((max(0, queue_depth) + 1) * per_job_seconds)
+    return int(min(ceiling, max(floor, estimate)))
 
 
 @dataclass(frozen=True)

@@ -500,6 +500,15 @@ class VerificationService:
                 self._threads.append(thread)
         return self
 
+    def begin_drain(self) -> None:
+        """Flip to draining without blocking: new submissions are
+        refused (``/readyz`` goes 503) while dispatchers keep flushing
+        what was already accepted. Safe to call from a signal handler;
+        follow with :meth:`shutdown` to actually wait the drain out.
+        """
+        with self._lock:
+            self._draining = True
+
     def shutdown(self, drain: bool = True,
                  timeout: float | None = None) -> None:
         """Stop the service, refusing new submissions immediately.
@@ -535,6 +544,21 @@ class VerificationService:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """True while the service accepts new submissions.
+
+        Liveness and readiness are distinct probes: a draining service
+        is still *alive* (it answers requests, flushes jobs) but not
+        *ready* (submits are refused). ``GET /readyz`` reports this.
+        """
+        return not (self._draining or self._stop.is_set())
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet picked up by a dispatcher."""
+        return len(self._queue)
 
     # -- admission -----------------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Consistent-hash ring: stability, minimal remapping, balance."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+
+def _keys(count):
+    return [f"fingerprint-{index:04d}" for index in range(count)]
+
+
+def test_routing_is_deterministic():
+    ring = HashRing(range(4))
+    again = HashRing(range(4))
+    for key in _keys(200):
+        assert ring.route(key) == again.route(key)
+
+
+def test_same_key_same_worker_across_ring_rebuilds():
+    # The ring is rebuilt from worker ids alone (no runtime state), so
+    # a router restart routes every fingerprint identically.
+    ring = HashRing([0, 1, 2])
+    mapping = {key: ring.route(key) for key in _keys(500)}
+    rebuilt = HashRing([0, 1, 2])
+    assert mapping == {key: rebuilt.route(key) for key in _keys(500)}
+
+
+def test_route_respects_live_subset():
+    ring = HashRing(range(4))
+    for key in _keys(100):
+        assert ring.route(key, live=[2]) == 2
+    assert ring.route("anything", live=[]) is None
+
+
+def test_worker_loss_remaps_only_dead_workers_keys():
+    ring = HashRing(range(4))
+    keys = _keys(1000)
+    before = {key: ring.route(key) for key in keys}
+    live = [0, 1, 3]  # worker 2 died
+    moved = {
+        key for key in keys
+        if ring.route(key, live=live) != before[key]
+    }
+    # Exactly the dead worker's keys move; every other key stays put.
+    assert moved == {key for key, worker in before.items() if worker == 2}
+    # And they move onto live workers only.
+    for key in moved:
+        assert ring.route(key, live=live) in live
+
+
+def test_respawn_restores_the_exact_prior_routing():
+    ring = HashRing(range(4))
+    keys = _keys(500)
+    before = {key: ring.route(key) for key in keys}
+    # Kill worker 1, then bring it back: routing snaps back exactly.
+    assert {key: ring.route(key, live=[0, 2, 3]) for key in keys} != before
+    assert {key: ring.route(key, live=[0, 1, 2, 3]) for key in keys} == before
+
+
+def test_virtual_nodes_spread_load_roughly_evenly():
+    workers = 4
+    ring = HashRing(range(workers), replicas=DEFAULT_REPLICAS)
+    counts = {worker: 0 for worker in range(workers)}
+    for key in _keys(4000):
+        counts[ring.route(key)] += 1
+    for worker, count in counts.items():
+        # Perfect balance is 1000 each; 64 virtual nodes keep every
+        # shard within a loose 2x band (deterministic, not flaky).
+        assert 400 <= count <= 2000, (worker, counts)
+
+
+def test_assignment_matches_route():
+    ring = HashRing(range(3))
+    keys = _keys(30)
+    assignment = ring.assignment(keys)
+    assert sorted(assignment) == sorted(keys)
+    for key, worker in assignment.items():
+        assert ring.route(key) == worker
+    # Routing restricted to a live subset drops nothing.
+    partial = ring.assignment(keys, live=[0, 2])
+    assert sorted(partial) == sorted(keys)
+    assert set(partial.values()) <= {0, 2}
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing([0], replicas=0)

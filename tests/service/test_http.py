@@ -163,6 +163,11 @@ class TestHttpSmoke:
         assert excinfo.value.code == 400
         assert "priority" in json.loads(excinfo.value.read())["error"]
 
+    def test_readyz_reports_accepting(self, server):
+        status, body, _ = get_json_with_headers(f"{server}/v1/readyz")
+        assert status == 200
+        assert body == {"ready": True, "draining": False}
+
     def test_bad_events_timeout_400(self, server):
         status, body = post_json(f"{server}/verify", {"dataset": "tiny"})
         assert status == 202
@@ -171,3 +176,100 @@ class TestHttpSmoke:
                 get_json(f"{server}{body['events_url']}?wait=1&timeout={bad}")
             assert excinfo.value.code == 400
             assert "timeout" in json.loads(excinfo.value.read())["error"]
+
+
+class TestAdmissionRejections:
+    """429/503 + Retry-After on retryable rejections, and readiness.
+
+    Uses a deliberately *unstarted* service: submitted jobs stay queued,
+    so limit-driven rejections are deterministic rather than a race
+    against the dispatcher.
+    """
+
+    @pytest.fixture()
+    def tight(self):
+        service = VerificationService(ServiceConfig(
+            max_queue_depth=2, per_client_limit=1, use_samples=False,
+        ))
+        app = ServiceApp(
+            service=service,
+            datasets={"tiny": lambda: build_aggchecker(document_count=2,
+                                                       total_claims=6)},
+        )
+        http_server = make_server(port=0, app=app)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = http_server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", service
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.shutdown(drain=False)
+            thread.join(timeout=5.0)
+
+    @staticmethod
+    def _rejection(url, payload):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        error = excinfo.value
+        return error.code, json.loads(error.read()), error.headers
+
+    def test_client_limit_is_429_with_retry_after(self, tight):
+        url, _service = tight
+        status, body = post_json(
+            f"{url}/v1/verify",
+            {"dataset": "tiny", "document": 0, "client_id": "hog"},
+        )
+        assert status == 202
+        code, body, headers = self._rejection(
+            f"{url}/v1/verify",
+            {"dataset": "tiny", "document": 1, "client_id": "hog"},
+        )
+        assert code == 429
+        assert body["rejected"]["code"] == "client_limit"
+        assert body["retry_after_seconds"] >= 1
+        assert int(headers["Retry-After"]) == body["retry_after_seconds"]
+
+    def test_queue_full_is_429_with_retry_after(self, tight):
+        url, _service = tight
+        for client in ("a", "b"):
+            status, _ = post_json(
+                f"{url}/v1/verify",
+                {"dataset": "tiny", "document": 0, "client_id": client},
+            )
+            assert status == 202
+        code, body, headers = self._rejection(
+            f"{url}/v1/verify",
+            {"dataset": "tiny", "document": 0, "client_id": "c"},
+        )
+        assert code == 429
+        assert body["rejected"]["code"] == "queue_full"
+        assert "Retry-After" in headers
+
+    def test_draining_is_503_and_flips_readyz_not_healthz(self, tight):
+        url, service = tight
+        service.begin_drain()
+        code, body, headers = self._rejection(
+            f"{url}/v1/verify", {"dataset": "tiny", "document": 0},
+        )
+        assert code == 503
+        assert body["rejected"]["code"] == "draining"
+        assert "Retry-After" in headers
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(f"{url}/v1/readyz")
+        assert excinfo.value.code == 503
+        ready_body = json.loads(excinfo.value.read())
+        assert ready_body["ready"] is False
+        assert ready_body["draining"] is True
+        # Liveness is a different question: the process is healthy.
+        status, body = get_json(f"{url}/v1/healthz")
+        assert status == 200
+        assert body["draining"] is True

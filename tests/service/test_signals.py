@@ -1,0 +1,65 @@
+"""Drain-on-signal semantics: first signal drains, second kills."""
+
+import os
+import signal
+import threading
+
+from repro.service.signals import (
+    DRAIN_SIGNALS,
+    install_drain_handlers,
+    restore_handlers,
+)
+
+
+def test_first_signal_invokes_drain_callback():
+    calls = []
+    previous = install_drain_handlers(calls.append)
+    try:
+        os.kill(os.getpid(), signal.SIGTERM)
+        # Delivery is synchronous for a self-signal in the main thread.
+        assert calls == [signal.SIGTERM]
+    finally:
+        restore_handlers(previous)
+
+
+def test_handlers_restored_before_callback_runs():
+    # By the time drain() executes, the old dispositions are back — the
+    # guarantee that lets a second Ctrl-C interrupt a stuck drain.
+    seen = {}
+    previous = install_drain_handlers(
+        lambda signum: seen.update(
+            {s: signal.getsignal(s) for s in DRAIN_SIGNALS}
+        )
+    )
+    try:
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert seen  # callback ran
+        for signum in DRAIN_SIGNALS:
+            assert seen[signum] == previous[signum]
+    finally:
+        restore_handlers(previous)
+
+
+def test_both_drain_signals_are_covered():
+    previous = install_drain_handlers(lambda signum: None)
+    try:
+        assert set(previous) == set(DRAIN_SIGNALS)
+        installed = {signal.getsignal(s) for s in DRAIN_SIGNALS}
+        assert len(installed) == 1  # one shared handler
+    finally:
+        restore_handlers(previous)
+    for signum in DRAIN_SIGNALS:
+        assert signal.getsignal(signum) == previous[signum]
+
+
+def test_callback_may_hand_off_to_a_thread():
+    # The documented pattern: the handler only starts a thread.
+    drained = threading.Event()
+    previous = install_drain_handlers(
+        lambda signum: threading.Thread(target=drained.set).start()
+    )
+    try:
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert drained.wait(timeout=5)
+    finally:
+        restore_handlers(previous)
