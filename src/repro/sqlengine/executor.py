@@ -114,6 +114,19 @@ class _Relation:
 
 _UNSET = object()
 
+#: Process-wide default for engines constructed with ``vectorized=None``.
+#: Live (engines consult it per call through the ``vectorized`` property),
+#: so toggling it also affects engines already cached via ``engine_for``.
+VECTORIZED_DEFAULT = True
+
+
+def set_vectorized_default(enabled: bool) -> bool:
+    """Set the process-wide vectorized default; returns the old value."""
+    global VECTORIZED_DEFAULT
+    previous = VECTORIZED_DEFAULT
+    VECTORIZED_DEFAULT = bool(enabled)
+    return previous
+
 
 class Engine:
     """Executes SELECT statements against a :class:`Database`."""
@@ -123,12 +136,14 @@ class Engine:
         database: Database,
         *,
         naive: bool = False,
+        vectorized: "bool | None" = None,
         plan_cache: "PlanCache | None | object" = _UNSET,
         result_cache: QueryResultCache | None = None,
     ) -> None:
         self.database = database
         self._evaluator = Evaluator(self)
         self.naive = naive
+        self._vectorized_opt = vectorized
         if naive:
             self.plan_cache: PlanCache | None = None
             self.result_cache: QueryResultCache | None = None
@@ -141,6 +156,18 @@ class Engine:
         # the statement reference both guards against id() reuse and keeps
         # the plan-cache entry alive so the memo stays valid.
         self._subquery_meta: dict[int, tuple] = {}
+        # id(statement) -> (statement, fingerprint, CompiledSelect | None);
+        # None records "not vectorizable" so rejection is also memoized.
+        self._vector_plans: dict[int, tuple] = {}
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this engine attempts the vectorized path (live value)."""
+        if self.naive:
+            return False
+        if self._vectorized_opt is None:
+            return VECTORIZED_DEFAULT
+        return self._vectorized_opt
 
     def execute(self, sql: str) -> QueryResult:
         """Parse and execute SQL text (consulting the caches, if any).
@@ -165,9 +192,39 @@ class Engine:
             raise
         tracer.record(
             "sql", "sql_execute", start, tracer.clock(),
-            sql=sql, rows=len(result.rows),
+            sql=sql, rows=len(result.rows), plan=self.plan_label(sql),
         )
         return result
+
+    def plan_label(self, sql: str) -> str:
+        """A deterministic description of this engine's plan for ``sql``.
+
+        ``"naive"`` for oracle engines, the vectorized plan's summary
+        string when one compiles, else ``"row"``. The label describes the
+        *chosen* plan, not any particular execution: it is identical on
+        cold runs, result-cache hits, and after a runtime fallback, so
+        span trees stay deterministic. Never raises (any failure while
+        planning here simply reports ``"row"`` — the actual execution
+        surfaces the real error).
+        """
+        try:
+            if self.naive:
+                return "naive"
+            if not self.vectorized:
+                return "row"
+            key = normalize_sql(sql)
+            statement = (
+                self.plan_cache.get(key)
+                if self.plan_cache is not None else None
+            )
+            if statement is None:
+                statement = parse_select(sql)
+                if self.plan_cache is not None:
+                    self.plan_cache.put(key, statement)
+            plan = self._vector_plan(statement)
+        except Exception:
+            return "row"
+        return plan.summary if plan is not None else "row"
 
     def _execute_text(self, sql: str) -> QueryResult:
         if self.naive:
@@ -250,16 +307,19 @@ class Engine:
             relation = self._build_from(statement, outer_scopes)
             if statement.where is not None:
                 relation = self._filter(relation, statement.where, outer_scopes)
+            names, tagged = self._project(statement, relation, outer_scopes)
         else:
-            relation = self._build_filtered(statement, outer_scopes)
-        if self._is_aggregate_query(statement):
-            names, tagged = self._execute_grouped(
-                statement, relation, outer_scopes
+            attempt = (
+                self._vectorized_attempt(statement)
+                if self.vectorized else None
             )
-        else:
-            names, tagged = self._execute_plain(
-                statement, relation, outer_scopes
-            )
+            if attempt is not None:
+                names, tagged = attempt
+            else:
+                relation = self._build_filtered(statement, outer_scopes)
+                names, tagged = self._project(
+                    statement, relation, outer_scopes
+                )
         if statement.distinct:
             tagged = _dedupe_tagged(tagged)
         if statement.order_by:
@@ -270,6 +330,72 @@ class Engine:
         if statement.limit is not None:
             rows = rows[: statement.limit]
         return QueryResult(names, rows)
+
+    def _project(
+        self,
+        statement: ast.SelectStatement,
+        relation: "_Relation",
+        outer_scopes: list[Scope],
+    ) -> tuple[list[str], list[tuple[tuple[SqlValue, ...], tuple]]]:
+        if self._is_aggregate_query(statement):
+            return self._execute_grouped(statement, relation, outer_scopes)
+        return self._execute_plain(statement, relation, outer_scopes)
+
+    # -- vectorized path -----------------------------------------------------
+
+    def _vector_plan(self, statement: ast.SelectStatement):
+        """The memoized vectorized plan for a statement (None = row path).
+
+        Keyed by statement identity — statements come from the shared plan
+        cache, so one parse yields one plan build — and guarded by the
+        database fingerprint so mutation invalidates every plan (the
+        soundness facts come from per-table statistics).
+        """
+        fingerprint = self.database.fingerprint()
+        entry = self._vector_plans.get(id(statement))
+        if (
+            entry is not None
+            and entry[0] is statement
+            and entry[1] == fingerprint
+        ):
+            return entry[2]
+        # Imported lazily: vectorized.py reuses this module's planning
+        # helpers, so a top-level import would be circular.
+        from . import vectorized as vec
+
+        try:
+            plan = vec.build_plan(statement, self.database)
+        except vec.VectorizeError:
+            plan = None
+        if len(self._vector_plans) > 256:
+            self._vector_plans.clear()
+        self._vector_plans[id(statement)] = (statement, fingerprint, plan)
+        return plan
+
+    def _vectorized_attempt(self, statement: ast.SelectStatement):
+        """Run the vectorized plan if one exists; None means "use rows".
+
+        A :class:`~repro.sqlengine.vectorized.FallbackNeeded` escape
+        disables the plan permanently (its triggers depend only on the
+        immutable table contents, so retrying can never succeed).
+        """
+        plan = self._vector_plan(statement)
+        if plan is None:
+            STRATEGY_COUNTERS.bump("vectorized_ineligible")
+            return None
+        if plan.disabled:
+            STRATEGY_COUNTERS.bump("vectorized_runtime_fallbacks")
+            return None
+        from .vectorized import FallbackNeeded
+
+        try:
+            names, tagged = plan.run()
+        except FallbackNeeded:
+            plan.disabled = True
+            STRATEGY_COUNTERS.bump("vectorized_runtime_fallbacks")
+            return None
+        STRATEGY_COUNTERS.bump("vectorized_executions")
+        return names, tagged
 
     # -- FROM clause (naive) -----------------------------------------------
 
@@ -700,57 +826,12 @@ class Engine:
     def _expand_items(
         self, statement: ast.SelectStatement, relation: _Relation
     ) -> list[ast.SelectItem]:
-        expanded: list[ast.SelectItem] = []
-        for item in statement.items:
-            if isinstance(item.expression, ast.Star):
-                table = item.expression.table
-                table_lower = table.lower() if table else None
-                selected = [
-                    info
-                    for info in relation.columns
-                    if table_lower is None or info.table == table_lower
-                ]
-                if table_lower is not None and not selected:
-                    raise PlanError(f"unknown table in {table}.*")
-                for info in selected:
-                    expanded.append(
-                        ast.SelectItem(
-                            ast.ColumnRef(info.display, info.table), info.display
-                        )
-                    )
-            else:
-                expanded.append(item)
-        return expanded
+        return _expand_select_items(statement, relation.columns)
 
     def _order_expressions(
         self, statement: ast.SelectStatement, items: list[ast.SelectItem]
     ) -> list[ast.OrderItem]:
-        """Resolve ORDER BY aliases and 1-based ordinals to expressions."""
-        aliases = {
-            item.alias.lower(): item.expression
-            for item in items
-            if item.alias
-        }
-        resolved: list[ast.OrderItem] = []
-        for order in statement.order_by:
-            expression = order.expression
-            if isinstance(expression, ast.Literal) and isinstance(
-                expression.value, int
-            ):
-                position = expression.value - 1
-                if not 0 <= position < len(items):
-                    raise PlanError(
-                        f"ORDER BY position {expression.value} out of range"
-                    )
-                expression = items[position].expression
-            elif (
-                isinstance(expression, ast.ColumnRef)
-                and expression.table is None
-                and expression.name.lower() in aliases
-            ):
-                expression = aliases[expression.name.lower()]
-            resolved.append(ast.OrderItem(expression, order.descending))
-        return resolved
+        return _resolve_order_items(statement, items)
 
     def _execute_plain(
         self,
@@ -933,6 +1014,69 @@ def engine_for(
 
 
 # -- planning helpers --------------------------------------------------------
+
+
+def _expand_select_items(
+    statement: ast.SelectStatement, columns: list[ColumnInfo]
+) -> list[ast.SelectItem]:
+    """Expand ``*`` / ``table.*`` select items against resolved columns.
+
+    Module-level (statement + column metadata only) so the vectorized
+    compiler shares the exact expansion — including the error for an
+    unknown ``table.*`` — with both row-engine modes.
+    """
+    expanded: list[ast.SelectItem] = []
+    for item in statement.items:
+        if isinstance(item.expression, ast.Star):
+            table = item.expression.table
+            table_lower = table.lower() if table else None
+            selected = [
+                info
+                for info in columns
+                if table_lower is None or info.table == table_lower
+            ]
+            if table_lower is not None and not selected:
+                raise PlanError(f"unknown table in {table}.*")
+            for info in selected:
+                expanded.append(
+                    ast.SelectItem(
+                        ast.ColumnRef(info.display, info.table), info.display
+                    )
+                )
+        else:
+            expanded.append(item)
+    return expanded
+
+
+def _resolve_order_items(
+    statement: ast.SelectStatement, items: list[ast.SelectItem]
+) -> list[ast.OrderItem]:
+    """Resolve ORDER BY aliases and 1-based ordinals to expressions."""
+    aliases = {
+        item.alias.lower(): item.expression
+        for item in items
+        if item.alias
+    }
+    resolved: list[ast.OrderItem] = []
+    for order in statement.order_by:
+        expression = order.expression
+        if isinstance(expression, ast.Literal) and isinstance(
+            expression.value, int
+        ):
+            position = expression.value - 1
+            if not 0 <= position < len(items):
+                raise PlanError(
+                    f"ORDER BY position {expression.value} out of range"
+                )
+            expression = items[position].expression
+        elif (
+            isinstance(expression, ast.ColumnRef)
+            and expression.table is None
+            and expression.name.lower() in aliases
+        ):
+            expression = aliases[expression.name.lower()]
+        resolved.append(ast.OrderItem(expression, order.descending))
+    return resolved
 
 
 def _splittable(conj: ast.Expression, columns: list[ColumnInfo]) -> bool:

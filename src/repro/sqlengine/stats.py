@@ -1,0 +1,211 @@
+"""Table and column statistics: the facts under the cost-based optimizer.
+
+Tables are immutable, so statistics computed over their column arrays are
+*exact* and computed at most once per (table, column). Two distinct
+consumers read them:
+
+* the **optimizer** (:mod:`repro.sqlengine.optimizer`) uses row counts,
+  distinct counts, and min/max for selectivity estimation, join ordering,
+  and access-path choice — classic estimate-quality concerns where being
+  exact (rather than sampled) is a free upgrade;
+* the **vectorized compiler** (:mod:`repro.sqlengine.vectorized`) uses
+  the value class as a *soundness* fact: an arithmetic or ``SUM`` over a
+  column is only total (guaranteed not to raise, hence safe to evaluate
+  out of row order) when every stored value is numeric-or-NULL, and a
+  fast ``<`` comparison only matches ``compare_values`` semantics when
+  neither side can hold NaN, a bool, or a numeric-looking string.
+
+Value classes:
+
+``"num"``
+    Every non-NULL value is an ``int`` or ``float`` (bools excluded) and
+    none is NaN. Direct Python comparison and arithmetic agree with
+    ``compare_values`` / ``coerce_numeric`` on this class.
+``"text"``
+    Every non-NULL value is a ``str`` that does *not* coerce to a number.
+    Direct string comparison agrees with ``compare_values``.
+``"empty"``
+    No non-NULL values at all (covers empty tables and all-NULL columns).
+``"other"``
+    Anything else — bools, NaN, numeric strings, mixed types. Only the
+    generic ``compare_values`` path is sound.
+
+Distinct counts reuse :meth:`Table.unique_column_values` — the same
+memoized first-seen-order scan that backs the agent tool — so profiling a
+column an agent already explored costs one ``len()``.
+
+Statistics builds are timed into :data:`STATS_COUNTERS` (surfaced as
+``engine_stats()["stats"]`` and ``cedar_sql_stats_*`` metrics).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from .table import Table
+from .values import SqlValue, coerce_numeric
+
+VALUE_CLASSES = ("num", "text", "empty", "other")
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Exact statistics for one stored column."""
+
+    name: str
+    row_count: int
+    null_count: int
+    distinct_count: int          # distinct non-NULL equality classes
+    value_class: str             # one of VALUE_CLASSES
+    minimum: SqlValue = None     # numeric min over non-NULLs ("num" only)
+    maximum: SqlValue = None     # numeric max over non-NULLs ("num" only)
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+    @property
+    def non_null_count(self) -> int:
+        return self.row_count - self.null_count
+
+
+class TableStats:
+    """Per-table statistics with lazily profiled columns.
+
+    Column profiles are computed on first request and memoized for the
+    table's lifetime (tables are immutable). The memo dict is written
+    unsynchronized like every other per-table memo in this package: the
+    computation is idempotent and dict assignment is atomic, so a racing
+    duplicate build is benign.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self.table_name = table.name
+        self.row_count = len(table)
+        self._columns: dict[str, ColumnStats] = {}
+
+    def column(self, name: str) -> ColumnStats:
+        """Statistics for one column, profiling it on first request."""
+        key = name.lower()
+        cached = self._columns.get(key)
+        if cached is None:
+            cached = self._profile(name)
+            self._columns[key] = cached
+        return cached
+
+    def has_column(self, name: str) -> bool:
+        return self._table.has_column(name)
+
+    def _profile(self, name: str) -> ColumnStats:
+        table = self._table
+        start = time.perf_counter()
+        array = table.column_array(table.column_position(name))
+        null_count = 0
+        saw_num = False
+        saw_pure_text = False
+        saw_other = False
+        minimum: int | float | None = None
+        maximum: int | float | None = None
+        for value in array:
+            if value is None:
+                null_count += 1
+            elif isinstance(value, bool):
+                saw_other = True
+            elif isinstance(value, (int, float)):
+                # Non-finite floats break the "num" contract twice over:
+                # NaN compares equal to everything under compare_values
+                # (which hashing and direct ``<`` cannot honour), and inf
+                # arithmetic can *produce* NaN downstream of a finite-only
+                # check. Both demote the column to "other".
+                if isinstance(value, float) and not math.isfinite(value):
+                    saw_other = True
+                    continue
+                saw_num = True
+                if minimum is None or value < minimum:
+                    minimum = value
+                if maximum is None or value > maximum:
+                    maximum = value
+            elif isinstance(value, str):
+                if coerce_numeric(value) is None:
+                    saw_pure_text = True
+                else:
+                    saw_other = True
+            else:
+                saw_other = True
+        if saw_other or (saw_num and saw_pure_text):
+            value_class = "other"
+        elif saw_num:
+            value_class = "num"
+        elif saw_pure_text:
+            value_class = "text"
+        else:
+            value_class = "empty"
+        distinct = len(table.unique_column_values(name))
+        if null_count:
+            distinct = max(distinct - 1, 0)  # NULL is not an equality class
+        stats = ColumnStats(
+            name=name,
+            row_count=len(array),
+            null_count=null_count,
+            distinct_count=distinct,
+            value_class=value_class,
+            minimum=minimum if value_class == "num" else None,
+            maximum=maximum if value_class == "num" else None,
+        )
+        STATS_COUNTERS.record_build(time.perf_counter() - start)
+        return stats
+
+
+def table_stats(table: Table) -> TableStats:
+    """The memoized :class:`TableStats` for a table."""
+    cached = table._stats_cache
+    if cached is None:
+        cached = TableStats(table)
+        table._stats_cache = cached
+        STATS_COUNTERS.bump("tables_profiled")
+    return cached  # type: ignore[return-value]
+
+
+class StatsCounters:
+    """Process-wide statistics-layer activity (build cost included)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables = 0
+        self._columns = 0
+        self._seconds = 0.0
+
+    def bump(self, name: str) -> None:
+        with self._lock:
+            if name == "tables_profiled":
+                self._tables += 1
+            else:
+                raise KeyError(name)
+
+    def record_build(self, seconds: float) -> None:
+        with self._lock:
+            self._columns += 1
+            self._seconds += seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tables_profiled": self._tables,
+                "columns_profiled": self._columns,
+                "build_seconds": self._seconds,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tables = 0
+            self._columns = 0
+            self._seconds = 0.0
+
+
+STATS_COUNTERS = StatsCounters()

@@ -1,17 +1,32 @@
 """In-memory relational tables and databases.
 
-A :class:`Table` is a named list of columns plus row tuples; a
+A :class:`Table` is a named set of columns over a fixed row count; a
 :class:`Database` is a case-insensitive collection of tables. These are the
 storage substrate under the SQL executor and are also used directly by the
 dataset generators and by the agent's ``unique_column_values`` tool.
 
+Storage is *columnar*: a table holds one value array per column, which is
+what the vectorized executor scans, filters, and aggregates over without
+ever materializing row tuples. The classic ``rows`` tuple view survives as
+a memoized compatibility property — the naive oracle engine, the row-wise
+compiled path, prompt rendering, and every pre-columnar caller keep
+working unchanged. Whichever representation a table was *constructed*
+from is stored as-is; the other is pivoted lazily on first use, so a
+table that only ever feeds the vectorized path never pays for row tuples
+and a table that only feeds prompts never pays for column arrays.
+
+Column arrays are an implementation detail of :mod:`repro.sqlengine`:
+outside the engine (and its tests) only the rows-view API may be used —
+``tools/check_invariants.py`` enforces this.
+
 Tables are immutable once constructed, which lets them memoize derived
 views that used to be recomputed on every prompt render or tool call:
-inferred column types, first-seen-order distinct values, and lazy equality
-indexes used by the optimized executor for ``col = literal`` scans.
-Databases are mutable (``add`` replaces tables) and therefore carry a
-``fingerprint()`` — a (creation token, mutation version) pair — that the
-query-result cache keys on so stale results can never be served.
+inferred column types, first-seen-order distinct values, per-column
+statistics, and lazy equality indexes used by the optimized executor for
+``col = literal`` scans. Databases are mutable (``add`` replaces tables)
+and therefore carry a ``fingerprint()`` — a (creation token, mutation
+version) pair — that the query-result cache keys on so stale results can
+never be served.
 """
 
 from __future__ import annotations
@@ -54,30 +69,112 @@ class Table:
         lowered = [c.lower() for c in self.column_names]
         if len(set(lowered)) != len(lowered):
             raise PlanError(f"duplicate column names in table {name!r}")
-        self.rows: list[tuple[SqlValue, ...]] = []
         width = len(self.column_names)
-        for row in rows:
-            row_tuple = tuple(row)
+        # Fast path: a list whose elements are already tuples is adopted
+        # without the tuple-by-tuple copy the old constructor always paid
+        # (dataset generators build exactly this shape).
+        if isinstance(rows, list) and all(type(r) is tuple for r in rows):
+            row_list: list[tuple[SqlValue, ...]] = rows
+        else:
+            row_list = [tuple(row) for row in rows]
+        for row_tuple in row_list:
             if len(row_tuple) != width:
                 raise PlanError(
                     f"row width {len(row_tuple)} does not match "
                     f"{width} columns in table {name!r}"
                 )
-            self.rows.append(row_tuple)
-        self._index = {c.lower(): i for i, c in enumerate(self.column_names)}
+        self._rows: list[tuple[SqlValue, ...]] | None = row_list
+        self._arrays: list[list[SqlValue]] | None = None
+        self._row_count = len(row_list)
+        self._finish_init()
+
+    def _finish_init(self) -> None:
+        self._index = {
+            c.lower(): i for i, c in enumerate(self.column_names)
+        }
         self._columns_cache: tuple[Column, ...] | None = None
         self._unique_cache: dict[str, tuple[SqlValue, ...]] = {}
         self._equality_indexes: dict[str, object] = {}
         self._null_cache: dict[str, bool] = {}
         self._content_fingerprint: str | None = None
+        self._stats_cache: object | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Sequence[str],
+        arrays: Sequence[Sequence[SqlValue]],
+    ) -> "Table":
+        """Build a table directly from column value arrays.
+
+        Skips the row pivot entirely: generators that naturally produce
+        one list per column (and the vectorized engine, whose
+        intermediate results already live column-wise) store their arrays
+        as-is. The ``rows`` tuple view is pivoted lazily if anything ever
+        asks for it.
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table.column_names = [str(c) for c in columns]
+        lowered = [c.lower() for c in table.column_names]
+        if len(set(lowered)) != len(lowered):
+            raise PlanError(f"duplicate column names in table {name!r}")
+        column_arrays = [list(a) for a in arrays]
+        if len(column_arrays) != len(table.column_names):
+            raise PlanError(
+                f"{len(column_arrays)} arrays do not match "
+                f"{len(table.column_names)} columns in table {name!r}"
+            )
+        lengths = {len(a) for a in column_arrays}
+        if len(lengths) > 1:
+            raise PlanError(
+                f"column arrays of unequal length in table {name!r}"
+            )
+        table._rows = None
+        table._arrays = column_arrays
+        table._row_count = lengths.pop() if lengths else 0
+        table._finish_init()
+        return table
+
+    @property
+    def rows(self) -> list[tuple[SqlValue, ...]]:
+        """Row tuples, in order (memoized compatibility view).
+
+        Tables built from rows keep their original list; tables built
+        from columns pivot once, on first access.
+        """
+        if self._rows is None:
+            assert self._arrays is not None
+            self._rows = (
+                list(zip(*self._arrays)) if self._row_count else []
+            )
+        return self._rows
+
+    def column_array(self, position: int) -> list[SqlValue]:
+        """One column's values as a flat array (internal to sqlengine).
+
+        This is the vectorized executor's scan primitive: batch operators
+        iterate these arrays directly instead of indexing row tuples.
+        Callers must treat the returned list as read-only — it is the
+        table's storage, not a copy. Code outside ``repro/sqlengine``
+        must use the rows-view API instead (enforced by
+        ``tools/check_invariants.py``).
+        """
+        if self._arrays is None:
+            assert self._rows is not None
+            self._arrays = [
+                list(column) for column in zip(*self._rows)
+            ] if self._rows else [[] for _ in self.column_names]
+        return self._arrays[position]
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._row_count
 
     def __repr__(self) -> str:
         return (
             f"Table({self.name!r}, {len(self.column_names)} cols, "
-            f"{len(self.rows)} rows)"
+            f"{self._row_count} rows)"
         )
 
     def has_column(self, name: str) -> bool:
@@ -95,9 +192,8 @@ class Table:
             ) from None
 
     def column_values(self, name: str) -> list[SqlValue]:
-        """Return all values of one column, in row order."""
-        position = self.column_position(name)
-        return [row[position] for row in self.rows]
+        """Return all values of one column, in row order (a fresh list)."""
+        return list(self.column_array(self.column_position(name)))
 
     def unique_column_values(self, name: str) -> list[SqlValue]:
         """Return distinct values of one column, preserving first-seen order.
@@ -112,7 +208,7 @@ class Table:
         if cached is None:
             seen: set[SqlValue] = set()
             unique: list[SqlValue] = []
-            for value in self.column_values(name):
+            for value in self.column_array(self.column_position(name)):
                 if value not in seen:
                     seen.add(value)
                     unique.append(value)
@@ -131,8 +227,8 @@ class Table:
         key = name.lower()
         cached = self._null_cache.get(key)
         if cached is None:
-            position = self.column_position(name)
-            cached = any(row[position] is None for row in self.rows)
+            array = self.column_array(self.column_position(name))
+            cached = any(value is None for value in array)
             self._null_cache[key] = cached
         return cached
 
@@ -157,10 +253,9 @@ class Table:
         key = name.lower()
         index = self._equality_indexes.get(key)
         if index is None:
-            position = self.column_position(name)
+            array = self.column_array(self.column_position(name))
             built: dict[tuple, list[int]] = {}
-            for i, row in enumerate(self.rows):
-                cell = row[position]
+            for i, cell in enumerate(array):
                 if cell is None:
                     continue
                 cell_key = equality_key(cell)

@@ -1,0 +1,64 @@
+"""Determinism guard: the vectorized path never changes verification output.
+
+The columnar/vectorized executor is a pure performance substrate — its
+hard contract is byte-identical results versus the row interpreter for
+every statement it accepts (anything else falls back). This suite runs
+``repro.verify()`` end to end with vectorized execution on and off under
+a fixed seed and compares the rendered reports byte for byte, then
+checks the on arm really exercised the vectorized path.
+"""
+
+import repro
+from repro.core import ScheduleEntry, VerifierConfig, to_json, to_markdown
+from repro.datasets import build_tabfact
+from repro.experiments import build_cedar
+from repro.sqlengine import (
+    engine_stats,
+    reset_engine_stats,
+    set_vectorized_default,
+)
+
+
+def _verify(vectorized: bool):
+    """One full verification arm: fresh bundle, fixed seed."""
+    previous = set_vectorized_default(vectorized)
+    try:
+        reset_engine_stats()
+        bundle = build_tabfact(table_count=5, total_claims=15)
+        system = build_cedar(bundle, seed=9)
+        entries = [
+            ScheduleEntry(system.method_by_name("one_shot[gpt-3.5-turbo]"), 2),
+            ScheduleEntry(system.method_by_name("agent[gpt-4o]"), 1),
+        ]
+        run = repro.verify(
+            bundle.documents,
+            schedule=entries,
+            config=VerifierConfig(ledger=system.ledger),
+        )
+        reports = [to_json(doc, run) for doc in bundle.documents]
+        rendered = [to_markdown(doc, run) for doc in bundle.documents]
+        verdicts = [claim.correct for claim in bundle.claims]
+        ledger = system.ledger
+        strategies = engine_stats()["strategies"]
+        return reports, rendered, verdicts, (ledger.totals().calls,
+                                             ledger.totals().cost), strategies
+    finally:
+        set_vectorized_default(previous)
+
+
+class TestVectorizedDeterminism:
+    def test_reports_byte_identical_with_and_without_vectorization(self):
+        fast = _verify(vectorized=True)
+        row = _verify(vectorized=False)
+        assert fast[0] == row[0]    # JSON reports
+        assert fast[1] == row[1]    # markdown renderings
+        assert fast[2] == row[2]    # verdicts
+        assert fast[3] == row[3]    # LLM calls and cost
+
+    def test_vectorized_path_actually_ran_in_the_on_arm(self):
+        fast = _verify(vectorized=True)
+        assert fast[4]["vectorized_executions"] > 0
+
+    def test_vectorized_path_fully_disabled_in_the_off_arm(self):
+        row = _verify(vectorized=False)
+        assert row[4]["vectorized_executions"] == 0

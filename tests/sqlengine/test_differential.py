@@ -1,19 +1,25 @@
 """Differential tests: the optimized engine vs ``naive=True``.
 
 The optimization contract is byte-identical behaviour — every plan-cache
-hit, compiled evaluator, pushed predicate, indexed scan, and hash join
-must produce exactly the rows (and exactly the errors) of the original
-parse-per-call interpreter. The property tests drive both arms over a
-query family chosen to hit the interesting strategy boundaries: NULL
-join keys, LEFT joins with pushable WHERE conjuncts, OR-connected
-predicates (not splittable), and grouped aggregates.
+hit, compiled evaluator, pushed predicate, indexed scan, hash join, and
+vectorized batch plan must produce exactly the rows (and exactly the
+errors) of the original parse-per-call interpreter. The property tests
+drive both arms over a query family chosen to hit the interesting
+strategy boundaries: NULL join keys, LEFT joins with pushable WHERE
+conjuncts, OR-connected predicates (not splittable), and grouped
+aggregates. A second family targets the vectorized path's soundness
+gates specifically: NaN/inf columns, mixed-type columns, NULL-heavy and
+empty tables, and GROUP BY over all-NULL keys.
 """
+
+import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sqlengine import Database, Engine, QueryResultCache, Table
 from repro.sqlengine.errors import SqlError
+from repro.sqlengine.planner import STRATEGY_COUNTERS
 
 _KEYS = st.one_of(st.none(), st.integers(0, 4))
 _CATS = ("red", "green", "blue")
@@ -145,3 +151,153 @@ def test_division_by_zero_error_matches_naive():
     optimized = _run(Engine(db, result_cache=None), sql)
     assert naive[0] == "error"
     assert optimized == naive
+
+
+# -- vectorized path ----------------------------------------------------------
+#
+# These drive the vectorized batch plans against the naive oracle AND the
+# unvectorized row path. Comparisons go through repr() so NaN cells (which
+# are != themselves) still compare, and so -0.0 vs 0.0 divergence would be
+# caught rather than masked.
+
+_NAN = float("nan")
+_INF = float("inf")
+
+_NUMS = st.one_of(st.none(), st.integers(-5, 5))
+_FLOATS = st.one_of(
+    st.none(),
+    st.integers(-3, 3),
+    st.sampled_from((0.5, -2.25, 1e15, _NAN, _INF, -_INF)),
+)
+_MIXED = st.one_of(
+    st.none(), st.integers(-3, 3), st.booleans(),
+    st.sampled_from(("x", "7", "", "y z")), st.just(_NAN),
+)
+_TEXTS = st.one_of(st.none(), st.sampled_from(("ab", "c", "", "zz")))
+
+
+@st.composite
+def vectorized_databases(draw):
+    v_rows = draw(st.lists(
+        st.tuples(_NUMS, _FLOATS, _MIXED, _TEXTS), min_size=0, max_size=14,
+    ))
+    j_rows = draw(st.lists(
+        st.tuples(_FLOATS, st.integers(0, 50)), min_size=0, max_size=10,
+    ))
+    db = Database("vecdiff")
+    db.add(Table("v", ["num", "fnum", "mix", "txt"], v_rows))
+    db.add(Table("j", ["k", "w"], j_rows))
+    return db
+
+
+_VECTOR_QUERIES = (
+    # Numeric scan + arithmetic (inf/NaN columns force the row path; the
+    # classes are per-database, so both outcomes are exercised).
+    "SELECT num, num + 1, num * 2 FROM v WHERE num > 0 ORDER BY 1, 2",
+    # Mixed-type column in predicates: only compare_values semantics work.
+    "SELECT mix FROM v WHERE mix = 7",
+    # NULL-heavy grouping; an all-NULL txt column makes one NULL group.
+    "SELECT txt, COUNT(*), COUNT(txt), SUM(num) FROM v "
+    "GROUP BY txt ORDER BY 2 DESC, 1",
+    # GROUP BY over a mixed column (bools, NaN, numeric strings).
+    "SELECT COUNT(*) FROM v GROUP BY mix ORDER BY 1",
+    # Global aggregates, empty-relation fallback included.
+    "SELECT COUNT(*), SUM(num), AVG(num), MIN(txt), MAX(fnum) FROM v",
+    "SELECT COUNT(*), MIN(num) FROM v WHERE num > 100",
+    # DISTINCT + aggregate arguments.
+    "SELECT COUNT(DISTINCT num), COUNT(DISTINCT txt) FROM v",
+    # Join on a float column: NaN keys defeat hashing at runtime and must
+    # fall back identically (the padded LEFT variant too).
+    "SELECT num, w FROM v JOIN j ON v.fnum = j.k ORDER BY 1, 2",
+    "SELECT num, w FROM v LEFT JOIN j ON v.fnum = j.k ORDER BY 1, 2",
+    # IN / BETWEEN / CASE / IS NULL over nullable numerics.
+    "SELECT num FROM v WHERE num IN (1, 2, NULL) OR num BETWEEN -2 AND -1",
+    "SELECT CASE WHEN num > 0 THEN txt WHEN num IS NULL THEN 'n' END "
+    "FROM v ORDER BY 1",
+    # HAVING over a computed aggregate.
+    "SELECT txt, SUM(num) FROM v GROUP BY txt "
+    "HAVING COUNT(*) >= 1 ORDER BY 1",
+)
+
+
+def _run_repr(engine, sql):
+    try:
+        result = engine.execute(sql)
+    except SqlError as error:
+        return ("error", type(error).__name__, str(error))
+    return ("ok", result.columns, repr(result.rows))
+
+
+@given(vectorized_databases(), st.sampled_from(_VECTOR_QUERIES))
+@settings(max_examples=150, deadline=None)
+def test_vectorized_matches_naive(db, sql):
+    naive = _run_repr(Engine(db, naive=True), sql)
+    vectorized = Engine(db, vectorized=True, result_cache=None)
+    row_path = Engine(db, vectorized=False, result_cache=None)
+    assert _run_repr(vectorized, sql) == naive
+    assert _run_repr(row_path, sql) == naive
+    # Replay through the (possibly runtime-disabled) memoized plan.
+    assert _run_repr(vectorized, sql) == naive
+
+
+def test_vectorized_path_actually_engages():
+    db = Database("engage")
+    db.add(Table("t", ["a", "b"], [(1, 2.0), (2, 3.5), (3, None)]))
+    engine = Engine(db, vectorized=True, result_cache=None)
+    before = STRATEGY_COUNTERS.snapshot()
+    engine.execute("SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a")
+    after = STRATEGY_COUNTERS.snapshot()
+    assert after["vectorized_executions"] == before["vectorized_executions"] + 1
+
+
+def test_nan_join_key_disables_plan_permanently():
+    db = Database("nanjoin")
+    db.add(Table("l", ["k"], [(math.nan,), (1.0,)]))
+    db.add(Table("r", ["k", "w"], [(1.0, 10)]))
+    engine = Engine(db, vectorized=True, result_cache=None)
+    naive = _run_repr(Engine(db, naive=True),
+                      "SELECT l.k, w FROM l JOIN r ON l.k = r.k")
+    before = STRATEGY_COUNTERS.snapshot()
+    sql = "SELECT l.k, w FROM l JOIN r ON l.k = r.k"
+    assert _run_repr(engine, sql) == naive
+    assert _run_repr(engine, sql) == naive
+    after = STRATEGY_COUNTERS.snapshot()
+    # First call trips the runtime fallback; the second skips the plan
+    # without re-running it (the disable is permanent).
+    assert (after["vectorized_runtime_fallbacks"]
+            == before["vectorized_runtime_fallbacks"] + 2)
+    assert after["vectorized_executions"] == before["vectorized_executions"]
+
+
+def test_subqueries_stay_on_the_row_path():
+    db = _correlated_db()
+    engine = Engine(db, vectorized=True, result_cache=None)
+    before = STRATEGY_COUNTERS.snapshot()
+    engine.execute(CORRELATED)
+    after = STRATEGY_COUNTERS.snapshot()
+    assert after["vectorized_executions"] == before["vectorized_executions"]
+    assert after["vectorized_ineligible"] > before["vectorized_ineligible"]
+
+
+def test_group_by_all_null_keys():
+    db = Database("allnull")
+    db.add(Table("t", ["g", "x"], [(None, None), (None, None), (None, 3)]))
+    sql = "SELECT g, COUNT(*), COUNT(x), SUM(x), AVG(x) FROM t GROUP BY g"
+    naive = _run_repr(Engine(db, naive=True), sql)
+    assert _run_repr(Engine(db, vectorized=True, result_cache=None), sql) \
+        == naive
+    assert naive[0] == "ok"
+
+
+def test_empty_table_vectorized():
+    db = Database("emptyv")
+    db.add(Table("t", ["a", "b"], []))
+    for sql in (
+        "SELECT a, b FROM t",
+        "SELECT a FROM t WHERE a > 0 ORDER BY b",
+        "SELECT a, COUNT(*) FROM t GROUP BY a",
+        "SELECT COUNT(*), SUM(a) FROM t",
+    ):
+        naive = _run_repr(Engine(db, naive=True), sql)
+        assert _run_repr(Engine(db, vectorized=True, result_cache=None), sql) \
+            == naive

@@ -1,0 +1,96 @@
+"""Unit tests for the statistics layer (repro.sqlengine.stats)."""
+
+import math
+
+from repro.sqlengine import Table, table_stats
+from repro.sqlengine.stats import STATS_COUNTERS, TableStats
+
+
+def _column(values, name="c"):
+    return table_stats(Table("t", [name], [(v,) for v in values])).column(name)
+
+
+# -- value classes ------------------------------------------------------------
+
+def test_num_class_with_min_max():
+    stats = _column([3, 1.5, None, 2, 3])
+    assert stats.value_class == "num"
+    assert stats.minimum == 1.5
+    assert stats.maximum == 3
+    assert stats.row_count == 5
+    assert stats.null_count == 1
+
+
+def test_text_class():
+    stats = _column(["ab", None, "c", "ab"])
+    assert stats.value_class == "text"
+    assert stats.minimum is None and stats.maximum is None
+
+
+def test_empty_class_for_all_null_and_zero_rows():
+    assert _column([None, None]).value_class == "empty"
+    assert _column([]).value_class == "empty"
+
+
+def test_nan_demotes_to_other():
+    assert _column([1, 2, math.nan]).value_class == "other"
+
+
+def test_inf_demotes_to_other():
+    # inf passes a naive NaN check but produces NaN downstream (inf - inf),
+    # so it must also break the "num" contract.
+    assert _column([1.0, math.inf]).value_class == "other"
+
+
+def test_bool_demotes_to_other():
+    assert _column([1, 2, True]).value_class == "other"
+
+
+def test_numeric_string_demotes_to_other():
+    # "42" compares equal to 42 under compare_values, which direct string
+    # or numeric comparison cannot honour.
+    assert _column(["42", "x"]).value_class == "other"
+
+
+def test_num_text_mix_is_other():
+    assert _column([1, "x"]).value_class == "other"
+
+
+# -- counts -------------------------------------------------------------------
+
+def test_distinct_excludes_null():
+    stats = _column([1, 1, 2, None, None])
+    assert stats.distinct_count == 2
+    assert stats.null_count == 2
+    assert stats.non_null_count == 3
+    assert stats.null_fraction == 0.4
+
+
+def test_numeric_equality_classes_unify_int_and_float():
+    # 1 and 1.0 are one equality class (unique_column_values semantics).
+    assert _column([1, 1.0, 2]).distinct_count == 2
+
+
+def test_null_fraction_of_empty_table_is_zero():
+    assert _column([]).null_fraction == 0.0
+
+
+# -- memoization and counters -------------------------------------------------
+
+def test_table_stats_memoized_per_table():
+    table = Table("t", ["a"], [(1,)])
+    first = table_stats(table)
+    assert table_stats(table) is first
+    assert isinstance(first, TableStats)
+
+
+def test_column_profile_memoized_and_counted():
+    table = Table("t", ["a", "b"], [(1, "x"), (2, "y")])
+    stats = table_stats(table)
+    before = STATS_COUNTERS.snapshot()
+    profile = stats.column("a")
+    again = stats.column("A")  # case-insensitive, same memo entry
+    after = STATS_COUNTERS.snapshot()
+    assert again is profile
+    assert after["columns_profiled"] == before["columns_profiled"] + 1
+    assert after["build_seconds"] >= before["build_seconds"]

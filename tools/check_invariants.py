@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repo-specific AST lints that generic linters cannot express.
 
-Run by ``make lint`` (through ``tools/lint.py``). Five invariants:
+Run by ``make lint`` (through ``tools/lint.py``). Six invariants:
 
 1. **No direct ``Engine()`` construction in library code.** Outside
    ``src/repro/sqlengine/`` (plus tests and benchmarks, which exercise
@@ -39,6 +39,15 @@ Run by ``make lint`` (through ``tools/lint.py``). Five invariants:
    bypasses all three. Pragma ``# lint: allow-sqlite`` to opt out
    (e.g. a test deliberately inspecting the L2 file).
 
+6. **Column arrays stay inside ``src/repro/sqlengine/``.** The typed
+   column storage (``Table.column_array`` / ``Table._arrays``) is an
+   internal representation of the vectorized executor; external code
+   must consume rows, ``column_values``, or ``Table.from_columns``.
+   Direct array access elsewhere would freeze the layout into de-facto
+   API and invite aliasing bugs against the shared, never-copied
+   arrays. ``tests/sqlengine/`` is exempt (it tests the layout on
+   purpose); pragma ``# lint: allow-column-array`` to opt out.
+
 Exit status is the number of violations (0 = clean).
 """
 
@@ -54,9 +63,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 ENGINE_PRAGMA = "# lint: allow-engine"
 SEED_PRAGMA = "# lint: allow-unseeded"
 SQLITE_PRAGMA = "# lint: allow-sqlite"
+COLUMN_ARRAY_PRAGMA = "# lint: allow-column-array"
 
 # The one place allowed to open sqlite connections (invariant 5).
 SQLITE_OWNER = Path("src/repro/cache")
+
+# The owner of the columnar storage layout (invariant 6), plus the
+# tests that exercise that layout on purpose.
+COLUMN_ARRAY_OWNERS = (
+    Path("src/repro/sqlengine"),
+    Path("tests/sqlengine"),
+)
+_COLUMN_ARRAY_ATTRS = ("column_array", "_arrays")
 
 _FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -154,6 +172,29 @@ def _sqlite_violations(
             continue
         if hit and SQLITE_PRAGMA not in lines[node.lineno - 1]:
             violations.append(f"{relative}:{node.lineno}: {message}")
+    return violations
+
+
+def _column_array_violations(
+    relative: Path, tree: ast.AST, lines: list[str]
+) -> list[str]:
+    """Columnar storage stays behind the sqlengine package (invariant 6)."""
+    if any(relative.is_relative_to(owner) for owner in COLUMN_ARRAY_OWNERS):
+        return []
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        if node.attr not in _COLUMN_ARRAY_ATTRS:
+            continue
+        if COLUMN_ARRAY_PRAGMA in lines[node.lineno - 1]:
+            continue
+        violations.append(
+            f"{relative}:{node.lineno}: {node.attr} accessed outside "
+            "src/repro/sqlengine/ — column arrays are internal storage; "
+            "consume rows, column_values, or Table.from_columns instead "
+            f"({COLUMN_ARRAY_PRAGMA} to opt out)"
+        )
     return violations
 
 
@@ -276,6 +317,7 @@ def check_file(path: Path) -> list[str]:
     if relative.is_relative_to(OBS_PACKAGE):
         violations.extend(_obs_violations(relative, tree))
     violations.extend(_sqlite_violations(relative, tree, lines))
+    violations.extend(_column_array_violations(relative, tree, lines))
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
