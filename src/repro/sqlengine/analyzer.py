@@ -905,7 +905,7 @@ class _Walker:
         inside it (at any nesting depth) landed in one of the *enclosing*
         scopes — exactly the scope objects alive in ``env.scopes`` now.
         """
-        outer_ids = {id(scope) for scope in env.scopes}
+        outer_ids = {id(scope) for scope in env.scopes}  # lint: allow-id-key
         mark = len(self.resolution_log)
         unresolved_before = self.unresolved_count
         facts = self.statement(query, env.scopes, certain)

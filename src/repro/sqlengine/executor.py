@@ -273,14 +273,14 @@ class Engine:
         if self.naive or self.result_cache is None:
             return self.execute_statement(statement, outer_scopes)
         fingerprint = self.database.fingerprint()
-        meta = self._subquery_meta.get(id(statement))
+        meta = self._subquery_meta.get(id(statement))  # lint: allow-id-key
         if meta is None or meta[0] is not statement or meta[1] != fingerprint:
             cacheable = subquery_is_cacheable(statement, self.database)
             key_sql = normalize_sql(statement.to_sql()) if cacheable else None
             if len(self._subquery_meta) > 256:
                 self._subquery_meta.clear()
             meta = (statement, fingerprint, cacheable, key_sql)
-            self._subquery_meta[id(statement)] = meta
+            self._subquery_meta[id(statement)] = meta  # lint: allow-id-key
         if not meta[2]:
             STRATEGY_COUNTERS.bump("subquery_cache_bypasses")
             return self.execute_statement(statement, outer_scopes)
@@ -352,7 +352,7 @@ class Engine:
         soundness facts come from per-table statistics).
         """
         fingerprint = self.database.fingerprint()
-        entry = self._vector_plans.get(id(statement))
+        entry = self._vector_plans.get(id(statement))  # lint: allow-id-key
         if (
             entry is not None
             and entry[0] is statement
@@ -369,7 +369,7 @@ class Engine:
             plan = None
         if len(self._vector_plans) > 256:
             self._vector_plans.clear()
-        self._vector_plans[id(statement)] = (statement, fingerprint, plan)
+        self._vector_plans[id(statement)] = (statement, fingerprint, plan)  # lint: allow-id-key
         return plan
 
     def _vectorized_attempt(self, statement: ast.SelectStatement):

@@ -364,7 +364,7 @@ class Database:
         # independently, and sharing (token, version) coordinates would let
         # the two databases poison each other's cached query results.
         clone = Database(self.name)
-        memo[id(self)] = clone
+        memo[id(self)] = clone  # lint: allow-id-key (deepcopy protocol)
         clone._tables = {
             key: deepcopy(table, memo) for key, table in self._tables.items()
         }

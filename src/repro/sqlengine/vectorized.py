@@ -548,7 +548,7 @@ def _literal_finite_number(node: ast.Expression) -> bool:
 def _b_aggregate(node: ast.AggregateCall, schema, aggs) -> BNode:
     if aggs is None:
         raise VectorizeError("aggregate in scalar context")
-    entry = aggs.get(id(node))
+    entry = aggs.get(id(node))  # lint: allow-id-key
     if entry is None:  # pragma: no cover - collection precedes compilation
         raise VectorizeError("aggregate not collected")
     slot, klass = entry
@@ -1249,7 +1249,7 @@ def _build(statement: ast.SelectStatement, database: Database) -> CompiledSelect
         for slot, agg_node in enumerate(aggs):
             spec, klass = _compile_aggregate(agg_node, full, slot)
             specs.append(spec)
-            env_map[id(agg_node)] = (slot, klass)
+            env_map[id(agg_node)] = (slot, klass)  # lint: allow-id-key
         plan.agg_specs = specs
         plan.group_key_nodes = [
             _compile(expr, full, None) for expr in statement.group_by
@@ -1306,7 +1306,7 @@ def _collect_aggregates(items, having, order_items) -> list[ast.AggregateCall]:
     for root in roots:
         for node in ast.walk_expressions(root):
             if isinstance(node, ast.AggregateCall) and id(node) not in seen:
-                seen.add(id(node))
+                seen.add(id(node))  # lint: allow-id-key
                 collected.append(node)
     return collected
 

@@ -1,0 +1,76 @@
+"""Baseline policy tests: errors are never grandfathered, matching is
+multiset-wise on (path, code, context), and the file only shrinks."""
+
+import json
+
+import pytest
+
+from tools.cedarlint import Baseline, Diagnostic
+
+
+def warning(path="src/repro/core/x.py", line=3, context="list(s)"):
+    return Diagnostic(code="CDL014", path=path, line=line,
+                      message="set iteration", context=context)
+
+
+def error(path="src/repro/core/x.py", line=9):
+    return Diagnostic(code="CDL011", path=path, line=line,
+                      message="seedless", context="rng = Random()")
+
+
+def test_write_refuses_error_severity(tmp_path):
+    path = tmp_path / "baseline.json"
+    with pytest.raises(ValueError, match="error-severity"):
+        Baseline.write(path, [warning(), error()])
+    assert not path.exists()
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    count = Baseline.write(path, [warning(), warning(line=7)])
+    assert count == 2
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert len(payload["entries"]) == 2
+    assert len(Baseline.load(path)) == 2
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert len(baseline) == 0
+    new, baselined = baseline.split([warning()])
+    assert [d.code for d in new] == ["CDL014"]
+    assert baselined == []
+
+
+def test_split_is_multiset_wise(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, [warning()])
+    baseline = Baseline.load(path)
+    # Two identical hazards, one baseline entry: one stays new.
+    new, baselined = baseline.split([warning(), warning(line=20)])
+    assert len(baselined) == 1
+    assert len(new) == 1
+
+
+def test_errors_never_match_baseline_entries(tmp_path):
+    # A hand-edited baseline listing an error must not silence it.
+    path = tmp_path / "baseline.json"
+    bad = error()
+    path.write_text(json.dumps({"version": 1, "entries": [{
+        "path": bad.path, "code": bad.code,
+        "line": bad.line, "context": bad.context,
+    }]}), encoding="utf-8")
+    new, baselined = Baseline.load(path).split([bad])
+    assert [d.code for d in new] == ["CDL011"]
+    assert baselined == []
+
+
+def test_context_mismatch_counts_as_new(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, [warning(context="list(old)")])
+    new, baselined = Baseline.load(path).split(
+        [warning(context="list(rewritten)")]
+    )
+    assert len(new) == 1
+    assert baselined == []

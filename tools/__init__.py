@@ -1,0 +1,1 @@
+"""Repo tooling: lint orchestration and the cedarlint static analyzer."""

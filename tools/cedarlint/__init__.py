@@ -1,0 +1,41 @@
+"""cedarlint — a plugin-based determinism & concurrency static analyzer.
+
+Replaces ``tools/check_invariants.py`` with a proper framework: stable
+``CDL0xx`` codes with severities, symbol-resolved AST rules, a
+project-wide lock-acquisition graph, per-line pragma suppression, and a
+checked-in shrink-only baseline.
+
+Run it as ``python -m tools.cedarlint [paths...]``; see
+``docs/static-analysis.md`` for the code table and the plugin-writing
+guide.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .diagnostics import CODES, ERROR, WARNING, Diagnostic, code_table
+from .engine import (
+    LintConfig,
+    LintResult,
+    ModuleContext,
+    Project,
+    run_lint,
+)
+from .plugins import ModuleRule, ProjectRule, all_rules
+
+__all__ = [
+    "Baseline",
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "ModuleRule",
+    "Project",
+    "ProjectRule",
+    "WARNING",
+    "all_rules",
+    "code_table",
+    "run_lint",
+]

@@ -1,0 +1,112 @@
+"""The checked-in baseline: grandfathered warnings, shrink-only.
+
+A baseline entry is ``(path, code, context)`` — the stripped source
+line, not the line number, so unrelated edits to a file don't churn the
+baseline. Matching is multiset-wise: two identical hazards on identical
+lines need two entries.
+
+Policy (enforced here and by the CI gate):
+
+* error-severity findings are never baselined — ``write`` refuses them,
+  so the only way past an error is to fix it or pragma the site;
+* a finding missing from the baseline fails the run (exit 1) — new
+  hazards can't land silently;
+* stale entries (baselined hazards that were fixed) are dropped on the
+  next ``--write-baseline``, so the file only ever shrinks unless a
+  human deliberately regenerates it with new *warnings*.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .diagnostics import CODES, ERROR, Diagnostic
+
+
+def _key(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    return (diagnostic.path, diagnostic.code, diagnostic.context)
+
+
+class Baseline:
+    """An in-memory multiset of grandfathered findings."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = entries or []
+        self._counts: Counter = Counter(
+            (entry["path"], entry["code"], entry.get("context", ""))
+            for entry in self.entries
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls([])
+        data = json.loads(path.read_text(encoding="utf-8"))
+        return cls(list(data.get("entries", [])))
+
+    @staticmethod
+    def write(path: Path, findings: list[Diagnostic]) -> int:
+        """Persist ``findings`` as the new baseline; returns the count.
+
+        Refuses error-severity findings: the baseline grandfathers
+        hazards, it does not waive guarantees.
+        """
+        errors = [d for d in findings if d.severity == ERROR]
+        if errors:
+            raise ValueError(
+                "refusing to baseline error-severity findings "
+                "(fix or pragma them instead):\n"
+                + "\n".join(d.render() for d in errors)
+            )
+        entries = [
+            {
+                "path": d.path,
+                "code": d.code,
+                "line": d.line,           # informational only
+                "context": d.context,
+                "message": d.message,
+            }
+            for d in sorted(findings, key=lambda d: d.sort_key)
+        ]
+        payload = {
+            "note": (
+                "cedarlint baseline - grandfathered warnings only. "
+                "Regenerate with `make lint-baseline`; CI fails on any "
+                "finding not listed here, so the file only shrinks."
+            ),
+            "version": 1,
+            "entries": entries,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)
+
+    # -- matching ------------------------------------------------------------
+
+    def split(
+        self, findings: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """(new, baselined) — multiset semantics, errors never match."""
+        budget = Counter(self._counts)
+        new: list[Diagnostic] = []
+        baselined: list[Diagnostic] = []
+        for diagnostic in findings:
+            key = _key(diagnostic)
+            if (
+                CODES[diagnostic.code].severity != ERROR
+                and budget.get(key, 0) > 0
+            ):
+                budget[key] -= 1
+                baselined.append(diagnostic)
+            else:
+                new.append(diagnostic)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return len(self.entries)

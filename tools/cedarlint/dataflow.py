@@ -1,0 +1,123 @@
+"""Lightweight intra-scope dataflow: what kind of value does a name hold?
+
+This is flow-insensitive and single-scope on purpose — enough to know
+that ``keys = set(row)`` makes ``keys`` a set and ``lock =
+threading.Lock()`` makes ``lock`` a lock, without attempting real type
+inference. A name assigned two different kinds (or anything
+unclassifiable alongside a classified kind) degrades to *unknown* and
+the rules stay silent on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .symbols import SymbolTable
+
+SET = "set"
+LOCK = "lock"           # threading.Lock / RLock / Condition / Semaphore
+ASYNC_LOCK = "async_lock"
+RANDOM = "random"       # a random.Random instance
+
+_LOCK_FACTORIES = {
+    "threading.Lock": LOCK,
+    "threading.RLock": LOCK,
+    "threading.Condition": LOCK,
+    "threading.Semaphore": LOCK,
+    "threading.BoundedSemaphore": LOCK,
+    "asyncio.Lock": ASYNC_LOCK,
+    "asyncio.Condition": ASYNC_LOCK,
+    "asyncio.Semaphore": ASYNC_LOCK,
+}
+
+#: Lock factories that hand out *reentrant* primitives: a nested
+#: re-acquisition of the same one is legal, not a self-deadlock.
+#: (threading.Condition wraps an RLock by default.)
+REENTRANT_FACTORIES = frozenset(
+    {"threading.RLock", "threading.Condition"}
+)
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A value known to be ``ClassName(...)`` of a project class."""
+
+    class_name: str     # the *local* spelling at the construction site
+
+
+def classify(node: ast.expr, symbols: SymbolTable) -> object | None:
+    """SET / LOCK / ASYNC_LOCK / RANDOM / Instance(...) / None."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return SET
+    if not isinstance(node, ast.Call):
+        return None
+    qualified = symbols.qualify(node.func)
+    if qualified in _LOCK_FACTORIES:
+        return _LOCK_FACTORIES[qualified]
+    if qualified == "random.Random":
+        return RANDOM
+    if isinstance(node.func, ast.Name):
+        name = node.func.id
+        if name == "set" and symbols.is_builtin(name):
+            return SET
+        if name == "frozenset" and symbols.is_builtin(name):
+            return SET
+        # A capitalised bare call is (by repo convention) a class
+        # construction; rules that care resolve the class later.
+        if name[:1].isupper():
+            return Instance(name)
+    if isinstance(node.func, ast.Attribute) and \
+            node.func.attr[:1].isupper():
+        return Instance(node.func.attr)
+    return None
+
+
+def scope_bindings(
+    scope: ast.AST, symbols: SymbolTable
+) -> dict[str, object]:
+    """Names bound to exactly one classified kind within ``scope``.
+
+    Walks the scope but not nested function/class bodies (their names
+    are their own scope's business). ``with x() as name`` and simple
+    ``name = expr`` both bind; conflicting bindings erase the name.
+    """
+    bindings: dict[str, object] = {}
+    conflicted: set[str] = set()
+
+    def bind(name: str, kind: object | None) -> None:
+        if name in conflicted:
+            return
+        if kind is None:
+            if name in bindings:
+                del bindings[name]
+                conflicted.add(name)
+            return
+        if name in bindings and bindings[name] != kind:
+            del bindings[name]
+            conflicted.add(name)
+            return
+        bindings[name] = kind
+
+    def visit(node: ast.AST, top: bool) -> None:
+        if not top and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(node, ast.Assign):
+            kind = classify(node.value, symbols)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bind(target.id, kind)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                bind(node.target.id, classify(node.value, symbols))
+        elif isinstance(node, ast.withitem):
+            if isinstance(node.optional_vars, ast.Name):
+                bind(node.optional_vars.id,
+                     classify(node.context_expr, symbols))
+        for child in ast.iter_child_nodes(node):
+            visit(child, False)
+
+    visit(scope, True)
+    return bindings

@@ -1,0 +1,418 @@
+"""A cross-module lock-acquisition graph for CDL020.
+
+The graph's nodes are *lock identities* — ``module.Class.attr`` for
+``self.attr = threading.Lock()`` instance locks, ``module.NAME`` for
+module-level locks. An edge A -> B means "somewhere, B is acquired
+while A is held". Acquisitions are found three ways:
+
+* **lexical nesting** — ``with self._lock: ... with other:``;
+* **call propagation** — while holding L, a call to a resolvable
+  function whose transitive acquisition set contains M adds L -> M.
+  Targets resolve through ``self.method()``, ``Class()`` construction,
+  locals the dataflow pass knows are instances, and attributes the
+  owning class constructed itself (``self._queue = BoundedJobQueue()``);
+* **explicit** ``lock.acquire()`` calls, treated as acquisitions at
+  the call site.
+
+A cycle in the graph is a potential deadlock: two threads taking the
+same locks in opposite orders. Self-edges are special-cased — nested
+re-acquisition of a *reentrant* lock (RLock, Condition) is legal and
+skipped; lexical re-acquisition of a plain Lock is a guaranteed
+single-thread deadlock and reported directly. Instance-insensitive
+self-edges (two *different* instances of the same class-level lock
+nesting) are skipped as well: ordering across instances needs runtime
+identity the static pass does not have.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .dataflow import Instance, LOCK, REENTRANT_FACTORIES, scope_bindings
+from .engine import ModuleContext, Project
+
+
+@dataclass(frozen=True)
+class LockId:
+    qualified: str
+    reentrant: bool = False
+
+    def __str__(self) -> str:
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Site:
+    path: str
+    line: int
+    context: str
+
+
+@dataclass(frozen=True)
+class Edge:
+    held: LockId
+    acquired: LockId
+    site: Site
+
+
+@dataclass
+class ClassInfo:
+    qualified: str
+    ctx: ModuleContext
+    node: ast.ClassDef
+    locks: dict[str, LockId] = field(default_factory=dict)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = \
+        field(default_factory=dict)
+    #: attrs the class constructs itself: attr -> locally spelled class
+    attr_classes: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionFacts:
+    """What one function/method does, lock-wise."""
+
+    key: str
+    direct: list[tuple[LockId, Site]] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    #: (held locks at the call, callee key) — resolved targets only.
+    calls: list[tuple[tuple[LockId, ...], str]] = field(default_factory=list)
+    #: lexical double-take of one non-reentrant lock (direct deadlock).
+    self_deadlocks: list[tuple[LockId, Site]] = field(default_factory=list)
+
+
+class LockGraph:
+    """Build from a :class:`Project`; query edges and cycles."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.classes: dict[str, ClassInfo] = {}
+        self.module_locks: dict[str, LockId] = {}
+        self.functions: dict[str, FunctionFacts] = {}
+        self._index()
+        self._analyse()
+        self._propagate()
+
+    # -- indexing ------------------------------------------------------------
+
+    def _module_qual(self, ctx: ModuleContext) -> str:
+        return ctx.module or str(ctx.relative)
+
+    def _lock_from_call(
+        self, node: ast.expr, ctx: ModuleContext, qualified: str
+    ) -> LockId | None:
+        if not isinstance(node, ast.Call):
+            return None
+        factory = ctx.symbols.qualify(node.func)
+        if factory is None or not factory.startswith(
+            ("threading.", "multiprocessing.")
+        ):
+            return None
+        if factory.split(".", 1)[1] not in (
+            "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"
+        ):
+            return None
+        return LockId(qualified, reentrant=factory in REENTRANT_FACTORIES)
+
+    def _index(self) -> None:
+        for ctx in self.project.modules:
+            module = self._module_qual(ctx)
+            for node in ctx.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    name = node.targets[0].id
+                    lock = self._lock_from_call(
+                        node.value, ctx, f"{module}.{name}"
+                    )
+                    if lock is not None:
+                        self.module_locks[f"{module}.{name}"] = lock
+                elif isinstance(node, ast.ClassDef):
+                    self._index_class(ctx, module, node)
+
+    def _index_class(self, ctx: ModuleContext, module: str,
+                     node: ast.ClassDef) -> None:
+        info = ClassInfo(f"{module}.{node.name}", ctx, node)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = item
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                continue
+            target = sub.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            lock = self._lock_from_call(
+                sub.value, ctx, f"{info.qualified}.{attr}"
+            )
+            if lock is not None:
+                info.locks[attr] = lock
+            elif (
+                isinstance(sub.value, ast.Call)
+                and isinstance(sub.value.func, ast.Name)
+                and sub.value.func.id[:1].isupper()
+            ):
+                info.attr_classes[attr] = sub.value.func.id
+        self.classes[info.qualified] = info
+
+    def _resolve_class(
+        self, local_name: str, ctx: ModuleContext
+    ) -> ClassInfo | None:
+        """A locally spelled class name -> its project ClassInfo."""
+        module = self._module_qual(ctx)
+        own = self.classes.get(f"{module}.{local_name}")
+        if own is not None:
+            return own
+        imported = ctx.symbols.imports.get(local_name)
+        if imported is not None:
+            info = self.classes.get(imported)
+            if info is not None:
+                return info
+            # ``from repro.service import VerificationService`` often
+            # goes through a package __init__ re-export; fall back to a
+            # unique suffix match on the class name.
+            leaf = imported.rsplit(".", 1)[-1]
+            matches = [c for q, c in self.classes.items()
+                       if q.rsplit(".", 1)[-1] == leaf]
+            if len(matches) == 1:
+                return matches[0]
+        return None
+
+    # -- per-function analysis ----------------------------------------------
+
+    def _analyse(self) -> None:
+        for ctx in self.project.modules:
+            module = self._module_qual(ctx)
+            for node in ctx.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    key = f"{module}.{node.name}"
+                    self.functions[key] = self._analyse_function(
+                        key, node, ctx, owner=None
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    info = self.classes[f"{module}.{node.name}"]
+                    for name, method in info.methods.items():
+                        key = f"{info.qualified}.{name}"
+                        self.functions[key] = self._analyse_function(
+                            key, method, ctx, owner=info
+                        )
+
+    def _analyse_function(
+        self,
+        key: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        ctx: ModuleContext,
+        owner: ClassInfo | None,
+    ) -> FunctionFacts:
+        facts = FunctionFacts(key)
+        bindings = scope_bindings(func, ctx.symbols)
+        module = self._module_qual(ctx)
+
+        def resolve_lock(expr: ast.expr) -> LockId | None:
+            if (
+                owner is not None
+                and isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                return owner.locks.get(expr.attr)
+            if isinstance(expr, ast.Name):
+                lock = self.module_locks.get(f"{module}.{expr.id}")
+                if lock is not None:
+                    return lock
+                imported = ctx.symbols.imports.get(expr.id)
+                if imported is not None:
+                    return self.module_locks.get(imported)
+                if bindings.get(expr.id) is LOCK:
+                    return LockId(f"{key}.<local:{expr.id}>")
+            return None
+
+        def resolve_call(call: ast.Call) -> str | None:
+            func_expr = call.func
+            if isinstance(func_expr, ast.Attribute):
+                receiver = func_expr.value
+                method = func_expr.attr
+                if isinstance(receiver, ast.Name):
+                    if receiver.id == "self" and owner is not None:
+                        if method in owner.methods:
+                            return f"{owner.qualified}.{method}"
+                        return None
+                    bound = bindings.get(receiver.id)
+                    if isinstance(bound, Instance):
+                        info = self._resolve_class(bound.class_name, ctx)
+                        if info is not None and method in info.methods:
+                            return f"{info.qualified}.{method}"
+                    return None
+                if (
+                    owner is not None
+                    and isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    spelled = owner.attr_classes.get(receiver.attr)
+                    if spelled is not None:
+                        info = self._resolve_class(spelled, ctx)
+                        if info is not None and method in info.methods:
+                            return f"{info.qualified}.{method}"
+                return None
+            if isinstance(func_expr, ast.Name):
+                name = func_expr.id
+                info = self._resolve_class(name, ctx)
+                if info is not None:
+                    if "__init__" in info.methods:
+                        return f"{info.qualified}.__init__"
+                    return None
+                if f"{module}.{name}" in self.functions or any(
+                    isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and n.name == name for n in ctx.tree.body
+                ):
+                    return f"{module}.{name}"
+                imported = ctx.symbols.imports.get(name)
+                if imported is not None and imported.startswith("repro."):
+                    return imported
+            return None
+
+        def site(node: ast.AST) -> Site:
+            return Site(str(ctx.relative), node.lineno,
+                        ctx.line_text(node.lineno).strip())
+
+        held: list[LockId] = []
+
+        def record_acquisition(lock: LockId, node: ast.AST) -> None:
+            where = site(node)
+            facts.direct.append((lock, where))
+            for h in held:
+                if h == lock:
+                    if not lock.reentrant:
+                        facts.self_deadlocks.append((lock, where))
+                elif h.qualified != lock.qualified:
+                    facts.edges.append(Edge(h, lock, where))
+
+        def walk(node: ast.AST) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                return  # nested scopes run on their own threads/stacks
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                acquired: list[LockId] = []
+                for item in node.items:
+                    lock = resolve_lock(item.context_expr)
+                    if lock is not None:
+                        record_acquisition(lock, item.context_expr)
+                        held.append(lock)
+                        acquired.append(lock)
+                for child in node.body:
+                    walk(child)
+                for lock in acquired:
+                    held.remove(lock)
+                return
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                ):
+                    lock = resolve_lock(node.func.value)
+                    if lock is not None:
+                        record_acquisition(lock, node)
+                target = resolve_call(node)
+                if target is not None:
+                    facts.calls.append((tuple(held), target))
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+
+        for statement in func.body:
+            walk(statement)
+        return facts
+
+    # -- propagation and cycles ----------------------------------------------
+
+    def _propagate(self) -> None:
+        """Close acquisition sets over calls, then add call edges."""
+        acquires: dict[str, set[LockId]] = {
+            key: {lock for lock, _ in facts.direct}
+            for key, facts in self.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, facts in self.functions.items():
+                for _, target in facts.calls:
+                    extra = acquires.get(target)
+                    if extra and not extra <= acquires[key]:
+                        acquires[key] |= extra
+                        changed = True
+        self.edges: list[Edge] = []
+        seen: set[tuple[str, str, str, int]] = set()
+
+        def add(edge: Edge) -> None:
+            dedup = (edge.held.qualified, edge.acquired.qualified,
+                     edge.site.path, edge.site.line)
+            if dedup not in seen:
+                seen.add(dedup)
+                self.edges.append(edge)
+
+        for facts in self.functions.values():
+            for edge in facts.edges:
+                add(edge)
+            for held, target in facts.calls:
+                if not held:
+                    continue
+                for lock in acquires.get(target, ()):
+                    for h in held:
+                        if h.qualified != lock.qualified:
+                            add(Edge(h, lock, _edge_site(facts, held)))
+
+    def self_deadlocks(self) -> list[tuple[LockId, Site]]:
+        found: list[tuple[LockId, Site]] = []
+        for facts in self.functions.values():
+            found.extend(facts.self_deadlocks)
+        return found
+
+    def cycles(self) -> list[list[Edge]]:
+        """Elementary cycles, each as its witness edge list."""
+        adjacency: dict[str, list[Edge]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.held.qualified, []).append(edge)
+        cycles: list[list[Edge]] = []
+        reported: set[frozenset[str]] = set()
+        for start in sorted(adjacency):
+            path: list[Edge] = []
+            on_path: set[str] = set()
+
+            def dfs(node: str) -> None:
+                if len(path) > 16:
+                    return
+                for edge in adjacency.get(node, ()):
+                    target = edge.acquired.qualified
+                    if target == start and path:
+                        members = frozenset(
+                            e.held.qualified for e in path
+                        ) | {target}
+                        if members not in reported:
+                            reported.add(members)
+                            cycles.append(path + [edge])
+                    elif target not in on_path and target > start:
+                        path.append(edge)
+                        on_path.add(target)
+                        dfs(target)
+                        on_path.remove(target)
+                        path.pop()
+
+            on_path.add(start)
+            dfs(start)
+        return cycles
+
+
+def _edge_site(facts: FunctionFacts, held: tuple[LockId, ...]) -> Site:
+    """Site for a propagated edge: the innermost acquisition still held.
+
+    Falls back to the function's first direct acquisition; propagated
+    edges always have at least one (they require held locks).
+    """
+    for lock, where in reversed(facts.direct):
+        if lock in held:
+            return where
+    return facts.direct[0][1] if facts.direct else Site("?", 1, "")

@@ -1,0 +1,68 @@
+"""The cedarlint plugin API and rule registry.
+
+A rule is a small class with a ``code`` and a ``check``/``check_project``
+method yielding :class:`~tools.cedarlint.diagnostics.Diagnostic`s. Two
+shapes exist:
+
+* :class:`ModuleRule` — stateless per-file analysis; ``check(ctx)`` is
+  called once per parsed module with its AST, symbol table, and zone
+  predicates.
+* :class:`ProjectRule` — whole-program analysis; ``check_project(project)``
+  is called once after every module parsed, for rules that need
+  cross-file state (the lock-acquisition graph, the public-surface
+  audit over examples and docs).
+
+Writing a plugin:
+
+1. Register a code in ``diagnostics.py`` (append-only; pick the family
+   by prefix).
+2. Subclass the fitting base below, emit diagnostics via
+   ``ctx.diagnostic(...)`` / ``project.diagnostic(...)`` so paths and
+   context lines are filled consistently.
+3. Add the class to ``ALL_RULES`` here and a known-bad fixture to
+   ``tests/tools/``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from ..diagnostics import Diagnostic
+    from ..engine import ModuleContext, Project
+
+
+class ModuleRule:
+    """Per-module rule: one ``check`` call per parsed file."""
+
+    code: str = ""
+    name: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterable["Diagnostic"]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code}>"
+
+
+class ProjectRule:
+    """Whole-program rule: one ``check_project`` call per run."""
+
+    code: str = ""
+    name: str = ""
+
+    def check_project(self, project: "Project") -> Iterable["Diagnostic"]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.code}>"
+
+
+def all_rules() -> list[ModuleRule | ProjectRule]:
+    """Fresh instances of every registered rule."""
+    from . import concurrency, determinism, layering
+
+    rules: list[ModuleRule | ProjectRule] = []
+    for module in (determinism, concurrency, layering):
+        rules.extend(factory() for factory in module.RULES)
+    return rules

@@ -1,0 +1,99 @@
+"""Per-module symbol resolution: imports, aliases, dotted names.
+
+Rules never pattern-match bare attribute spellings; they ask the symbol
+table what a name *resolves to*, so ``import time as t; t.sleep(...)``
+and ``from time import sleep; sleep(...)`` both resolve to
+``time.sleep``. Resolution is purely syntactic — no modules are
+imported — and deliberately conservative: a name that is shadowed,
+reassigned, or unresolvable qualifies to ``None`` and the rules stay
+silent.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class SymbolTable:
+    """Top-level import bindings of one module."""
+
+    def __init__(self, tree: ast.AST, module: str | None = None) -> None:
+        #: local name -> fully dotted target ("t" -> "time",
+        #: "sleep" -> "time.sleep").
+        self.imports: dict[str, str] = {}
+        #: names bound by non-import statements at module scope —
+        #: assignments, defs, classes. Used to detect shadowing of
+        #: builtins (``id``) and imported names.
+        self.assigned: set[str] = set()
+        self.module = module
+        self._collect(tree)
+
+    def _collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else (
+                        alias.name.split(".")[0]
+                    )
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._absolute_module(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                self.assigned.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.assigned.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    self.assigned.add(node.target.id)
+
+    def _absolute_module(self, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        if self.module is None:
+            return None
+        # ``from .x import y`` inside package a.b -> a.b.x (level 1
+        # strips the module's own leaf name, each further level one
+        # more package).
+        parts = self.module.split(".")
+        if node.level > len(parts):
+            return None
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    # -- resolution ----------------------------------------------------------
+
+    def qualify(self, node: ast.expr) -> str | None:
+        """The fully dotted name an expression refers to, or None.
+
+        ``Name`` resolves through the import table; dotted
+        ``Attribute`` chains resolve their root and append the
+        attribute path. A root that is not an import resolves to None.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def is_builtin(self, name: str) -> bool:
+        """True when ``name`` still means the builtin in this module."""
+        return name not in self.imports and name not in self.assigned

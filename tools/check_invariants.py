@@ -1,363 +1,39 @@
 #!/usr/bin/env python
-"""Repo-specific AST lints that generic linters cannot express.
+"""DEPRECATED — superseded by cedarlint.
 
-Run by ``make lint`` (through ``tools/lint.py``). Six invariants:
+The six ad-hoc invariants that used to live here are now rules in the
+plugin-based analyzer under ``tools/cedarlint/``:
 
-1. **No direct ``Engine()`` construction in library code.** Outside
-   ``src/repro/sqlengine/`` (plus tests and benchmarks, which exercise
-   engine configurations on purpose), code must go through
-   ``engine_for(db)`` so every query shares the process-wide plan and
-   result caches. A line may opt out with a ``# lint: allow-engine``
-   pragma when constructing a specific engine configuration *is* the
-   point (e.g. the naive-interpreter arm of a benchmark).
+=========================================  =======
+legacy invariant                           code
+=========================================  =======
+1. no direct ``Engine()`` construction     CDL030
+2. no seedless ``random.Random()``         CDL011
+3. no clock/RNG use in ``repro/obs/``      CDL015
+4. examples/docs import only ``__all__``   CDL033
+5. sqlite only in ``src/repro/cache/``     CDL031
+6. column arrays stay in sqlengine         CDL032
+=========================================  =======
 
-2. **No seedless ``random.Random()``.** Every simulated-LLM transcript,
-   dataset and benchmark must be reproducible; an unseeded generator
-   silently breaks byte-identical reports. Applies everywhere, pragma
-   ``# lint: allow-unseeded`` to opt out.
-
-3. **No direct clock or RNG use in ``src/repro/obs/``.** Span identity
-   must stay purely structural, so the tracing package may not *call*
-   ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()`` (or
-   anything else off the ``time`` module) and may not import ``random``
-   at all. Wall times flow only through the injected ``clock`` callable
-   — referencing ``time.perf_counter`` as a default argument is fine,
-   calling it is not. No pragma: there is no legitimate exception.
-
-4. **Examples and docs import only the public surface.** Every
-   ``from repro[.sub] import X`` in ``examples/*.py`` and in the
-   parseable ```` ```python ```` blocks of ``README.md`` and
-   ``docs/*.md`` must name a package with an ``__all__`` and pick
-   names from it. Deep-module imports and private names in showcased
-   code turn internals into de-facto API; keep the shop window
-   honest. Unparseable snippets (ellipses, shell transcripts) are
-   skipped.
-
-5. **Only ``src/repro/cache/`` talks to sqlite.** The persistent L2
-   tier owns the schema, the corruption quarantine, and the
-   disable-on-error policy; a stray ``sqlite3.connect`` elsewhere
-   bypasses all three. Pragma ``# lint: allow-sqlite`` to opt out
-   (e.g. a test deliberately inspecting the L2 file).
-
-6. **Column arrays stay inside ``src/repro/sqlengine/``.** The typed
-   column storage (``Table.column_array`` / ``Table._arrays``) is an
-   internal representation of the vectorized executor; external code
-   must consume rows, ``column_values``, or ``Table.from_columns``.
-   Direct array access elsewhere would freeze the layout into de-facto
-   API and invite aliasing bugs against the shared, never-copied
-   arrays. ``tests/sqlengine/`` is exempt (it tests the layout on
-   purpose); pragma ``# lint: allow-column-array`` to opt out.
-
-Exit status is the number of violations (0 = clean).
+The ``# lint: allow-*`` pragmas keep working unchanged. This shim just
+forwards to ``python -m tools.cedarlint`` so stale invocations and
+muscle memory don't break; new callers should invoke cedarlint
+directly (or ``tools/lint.py``, which runs everything).
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-ENGINE_PRAGMA = "# lint: allow-engine"
-SEED_PRAGMA = "# lint: allow-unseeded"
-SQLITE_PRAGMA = "# lint: allow-sqlite"
-COLUMN_ARRAY_PRAGMA = "# lint: allow-column-array"
-
-# The one place allowed to open sqlite connections (invariant 5).
-SQLITE_OWNER = Path("src/repro/cache")
-
-# The owner of the columnar storage layout (invariant 6), plus the
-# tests that exercise that layout on purpose.
-COLUMN_ARRAY_OWNERS = (
-    Path("src/repro/sqlengine"),
-    Path("tests/sqlengine"),
-)
-_COLUMN_ARRAY_ATTRS = ("column_array", "_arrays")
-
-_FENCED_PYTHON = re.compile(r"```python\n(.*?)```", re.DOTALL)
-
-# Directories whose files may construct Engine() directly.
-ENGINE_EXEMPT = (
-    Path("src/repro/sqlengine"),
-    Path("tests"),
-    Path("benchmarks"),
-    Path("tools"),
-)
-
-# The tracing package: wall-clock only via the injected ``clock``.
-OBS_PACKAGE = Path("src/repro/obs")
-
-
-def _is_engine_call(node: ast.Call) -> bool:
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id == "Engine"
-    if isinstance(func, ast.Attribute):
-        return func.attr == "Engine"
-    return False
-
-
-def _is_seedless_random(node: ast.Call) -> bool:
-    func = node.func
-    named = (
-        isinstance(func, ast.Attribute)
-        and func.attr == "Random"
-        and isinstance(func.value, ast.Name)
-        and func.value.id == "random"
-    ) or (isinstance(func, ast.Name) and func.id == "Random")
-    return named and not node.args and not node.keywords
-
-
-def _has_pragma(source_lines: list[str], node: ast.Call, pragma: str) -> bool:
-    line = source_lines[node.lineno - 1]
-    return pragma in line
-
-
-def _obs_violations(relative: Path, tree: ast.AST) -> list[str]:
-    """Clock/RNG bans inside the tracing package (invariant 3)."""
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            func = node.func
-            if (
-                isinstance(func, ast.Attribute)
-                and isinstance(func.value, ast.Name)
-                and func.value.id == "time"
-            ):
-                violations.append(
-                    f"{relative}:{node.lineno}: time.{func.attr}() called "
-                    "inside repro/obs/ — wall times must come from the "
-                    "injected clock (pass time functions by reference only)"
-                )
-        elif isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.split(".")[0] == "random":
-                    violations.append(
-                        f"{relative}:{node.lineno}: random imported inside "
-                        "repro/obs/ — span identity must be structural, "
-                        "never RNG-derived"
-                    )
-        elif isinstance(node, ast.ImportFrom):
-            if node.module and node.module.split(".")[0] == "random":
-                violations.append(
-                    f"{relative}:{node.lineno}: random imported inside "
-                    "repro/obs/ — span identity must be structural, "
-                    "never RNG-derived"
-                )
-    return violations
-
-
-def _sqlite_violations(
-    relative: Path, tree: ast.AST, lines: list[str]
-) -> list[str]:
-    """sqlite stays behind the cache package (invariant 5)."""
-    if relative.is_relative_to(SQLITE_OWNER):
-        return []
-    message = (
-        "sqlite used outside src/repro/cache/ — the persistent tier "
-        "owns connection, quarantine, and eviction policy "
-        f"({SQLITE_PRAGMA} to opt out)"
-    )
-    violations = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            hit = any(a.name.split(".")[0] == "sqlite3" for a in node.names)
-        elif isinstance(node, ast.ImportFrom):
-            hit = bool(node.module) and (
-                node.module.split(".")[0] == "sqlite3"
-            )
-        else:
-            continue
-        if hit and SQLITE_PRAGMA not in lines[node.lineno - 1]:
-            violations.append(f"{relative}:{node.lineno}: {message}")
-    return violations
-
-
-def _column_array_violations(
-    relative: Path, tree: ast.AST, lines: list[str]
-) -> list[str]:
-    """Columnar storage stays behind the sqlengine package (invariant 6)."""
-    if any(relative.is_relative_to(owner) for owner in COLUMN_ARRAY_OWNERS):
-        return []
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Attribute):
-            continue
-        if node.attr not in _COLUMN_ARRAY_ATTRS:
-            continue
-        if COLUMN_ARRAY_PRAGMA in lines[node.lineno - 1]:
-            continue
-        violations.append(
-            f"{relative}:{node.lineno}: {node.attr} accessed outside "
-            "src/repro/sqlengine/ — column arrays are internal storage; "
-            "consume rows, column_values, or Table.from_columns instead "
-            f"({COLUMN_ARRAY_PRAGMA} to opt out)"
-        )
-    return violations
-
-
-def _public_surface() -> dict[str, set[str] | None]:
-    """``__all__`` per ``repro`` package, parsed without importing."""
-    surface: dict[str, set[str] | None] = {}
-    for init in (REPO_ROOT / "src" / "repro").rglob("__init__.py"):
-        module = ".".join(init.parent.relative_to(REPO_ROOT / "src").parts)
-        try:
-            tree = ast.parse(init.read_text(encoding="utf-8"))
-        except SyntaxError:
-            surface[module] = None
-            continue
-        names: set[str] | None = None
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Name) and t.id == "__all__"
-                for t in node.targets
-            ):
-                try:
-                    names = set(ast.literal_eval(node.value))
-                except ValueError:
-                    names = None
-        surface[module] = names
-    return surface
-
-
-def _surface_violations(
-    where: str, tree: ast.AST, surface: dict[str, set[str] | None]
-) -> list[str]:
-    """Showcased code imports only exported names (invariant 4)."""
-    violations = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.ImportFrom) or node.level:
-            continue
-        module = node.module or ""
-        if module.split(".")[0] != "repro":
-            continue
-        if module not in surface:
-            violations.append(
-                f"{where}:{node.lineno}: import from {module} — examples "
-                "and docs must import from a repro package, not a deep "
-                "module"
-            )
-            continue
-        exported = surface[module]
-        if exported is None:
-            violations.append(
-                f"{where}:{node.lineno}: {module} has no parseable "
-                "__all__ — give the package an explicit public surface"
-            )
-            continue
-        for alias in node.names:
-            if alias.name != "*" and alias.name not in exported:
-                violations.append(
-                    f"{where}:{node.lineno}: {module}.{alias.name} is not "
-                    f"in {module}.__all__ — export it or drop it from "
-                    "showcased code"
-                )
-    return violations
-
-
-def check_showcased_code() -> list[str]:
-    """Invariant 4 over ``examples/`` and the docs' python snippets.
-
-    A separate pass on purpose: examples are user-facing scripts, not
-    library code, so the Engine/seed rules don't apply to them — only
-    the public-surface rule does.
-    """
-    surface = _public_surface()
-    violations = []
-    examples = REPO_ROOT / "examples"
-    if examples.is_dir():
-        for path in sorted(examples.glob("*.py")):
-            relative = path.relative_to(REPO_ROOT)
-            try:
-                tree = ast.parse(path.read_text(encoding="utf-8"))
-            except SyntaxError as error:
-                violations.append(
-                    f"{relative}:{error.lineno}: syntax error: {error.msg}"
-                )
-                continue
-            violations.extend(
-                _surface_violations(str(relative), tree, surface)
-            )
-    docs = [REPO_ROOT / "README.md"]
-    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
-    for path in docs:
-        if not path.is_file():
-            continue
-        relative = path.relative_to(REPO_ROOT)
-        text = path.read_text(encoding="utf-8")
-        for match in _FENCED_PYTHON.finditer(text):
-            snippet = match.group(1)
-            try:
-                tree = ast.parse(snippet)
-            except SyntaxError:
-                continue  # prose-ish snippet (ellipses etc.) — skip
-            line_base = text[: match.start(1)].count("\n")
-            for violation in _surface_violations("", tree, surface):
-                _, line, rest = violation.split(":", 2)
-                violations.append(
-                    f"{relative}:{line_base + int(line)}:{rest}"
-                )
-    return violations
-
-
-def check_file(path: Path) -> list[str]:
-    relative = path.relative_to(REPO_ROOT)
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(relative))
-    except SyntaxError as error:
-        return [f"{relative}:{error.lineno}: syntax error: {error.msg}"]
-    lines = source.splitlines()
-    engine_exempt = any(
-        relative.is_relative_to(prefix) for prefix in ENGINE_EXEMPT
-    )
-    violations = []
-    if relative.is_relative_to(OBS_PACKAGE):
-        violations.extend(_obs_violations(relative, tree))
-    violations.extend(_sqlite_violations(relative, tree, lines))
-    violations.extend(_column_array_violations(relative, tree, lines))
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        if (
-            _is_engine_call(node)
-            and not engine_exempt
-            and not _has_pragma(lines, node, ENGINE_PRAGMA)
-        ):
-            violations.append(
-                f"{relative}:{node.lineno}: direct Engine() construction "
-                "outside sqlengine/ — use engine_for(db) so queries share "
-                f"the process-wide caches ({ENGINE_PRAGMA} to opt out)"
-            )
-        if _is_seedless_random(node) and not _has_pragma(
-            lines, node, SEED_PRAGMA
-        ):
-            violations.append(
-                f"{relative}:{node.lineno}: random.Random() without a seed "
-                "breaks reproducible transcripts — pass an explicit seed "
-                f"({SEED_PRAGMA} to opt out)"
-            )
-    return violations
-
-
-def main() -> int:
-    roots = [REPO_ROOT / "src", REPO_ROOT / "tests",
-             REPO_ROOT / "benchmarks", REPO_ROOT / "tools"]
-    violations: list[str] = []
-    for root in roots:
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*.py")):
-            violations.extend(check_file(path))
-    violations.extend(check_showcased_code())
-    for violation in violations:
-        print(violation)
-    if not violations:
-        print("check_invariants: OK")
-    return min(len(violations), 125)
-
+from tools.cedarlint.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    print(
+        "check_invariants.py is deprecated; running "
+        "`python -m tools.cedarlint` instead",
+        file=sys.stderr,
+    )
+    sys.exit(main(sys.argv[1:]))

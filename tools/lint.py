@@ -1,12 +1,18 @@
 #!/usr/bin/env python
-"""Lint orchestrator for ``make lint``.
+"""Lint orchestrator for ``make lint`` — one entrypoint, one exit code.
 
-Always runs the repo-specific AST invariants (``check_invariants.py``).
-Then runs ruff and mypy with the configuration in ``pyproject.toml`` —
-but only if they are installed: the library itself is dependency-free
-and the reference container does not ship them, so a missing tool is a
-skip note, not a failure. Exit status is non-zero iff an *installed*
-check reported violations.
+Runs, in order:
+
+* **cedarlint** — the repo's own static analyzer (determinism,
+  concurrency, layering; see ``docs/static-analysis.md``). Always
+  available: it lives in this repo and needs only the stdlib.
+* **ruff** and **mypy** with the configuration in ``pyproject.toml`` —
+  but only if installed: the library itself is dependency-free and the
+  reference container does not ship them, so a missing tool is a skip
+  note, not a failure.
+
+Each tool is timed individually and the exit status is non-zero iff an
+*installed* check reported violations.
 """
 
 from __future__ import annotations
@@ -14,41 +20,50 @@ from __future__ import annotations
 import importlib.util
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _run(label: str, command: list[str]) -> bool:
+def _run(label: str, command: list[str], timings: dict[str, float]) -> bool:
     print(f"== {label} ==")
+    started = time.perf_counter()
     completed = subprocess.run(command, cwd=REPO_ROOT)
+    timings[label] = time.perf_counter() - started
     return completed.returncode == 0
 
 
 def main() -> int:
-    failed = []
+    failed: list[str] = []
+    timings: dict[str, float] = {}
 
     if not _run(
-        "invariants",
-        [sys.executable, str(REPO_ROOT / "tools" / "check_invariants.py")],
+        "cedarlint",
+        [sys.executable, "-m", "tools.cedarlint"],
+        timings,
     ):
-        failed.append("invariants")
+        failed.append("cedarlint")
 
     if importlib.util.find_spec("ruff") is not None:
         if not _run(
-            "ruff", [sys.executable, "-m", "ruff", "check", "src", "tests",
-                     "benchmarks", "tools"]
+            "ruff",
+            [sys.executable, "-m", "ruff", "check", "src", "tests",
+             "benchmarks", "tools"],
+            timings,
         ):
             failed.append("ruff")
     else:
         print("== ruff == skipped (not installed)")
 
     if importlib.util.find_spec("mypy") is not None:
-        if not _run("mypy", [sys.executable, "-m", "mypy"]):
+        if not _run("mypy", [sys.executable, "-m", "mypy"], timings):
             failed.append("mypy")
     else:
         print("== mypy == skipped (not installed)")
 
+    for label, seconds in timings.items():
+        print(f"   {label}: {seconds:.2f}s")
     if failed:
         print(f"lint FAILED: {', '.join(failed)}")
         return 1
