@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulate per-token model latency (bench)")
     parser.add_argument("--no-respawn", action="store_true",
                         help="do not respawn crashed workers")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable distributed tracing (router spans, "
+                             "trace contexts, worker span trees)")
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append router ndjson logs to PATH; each "
+                             "worker appends to PATH.w<id>")
     return parser
 
 
@@ -62,6 +68,8 @@ async def _run(arguments: argparse.Namespace) -> int:
         cache_db=arguments.cache_db,
         latency_scale=arguments.latency_scale,
         respawn=not arguments.no_respawn,
+        tracing=not arguments.no_tracing,
+        log_file=arguments.log_file,
     ))
     loop = asyncio.get_running_loop()
     drained = asyncio.Event()

@@ -98,6 +98,41 @@ async def read_frame_async(reader: asyncio.StreamReader) -> dict | None:
     return _decode_body(body)
 
 
+# -- trace context on the wire -----------------------------------------------
+#
+# Distributed tracing crosses the socket as a tiny dict riding the
+# ``submit`` request under the ``"trace"`` key. It names the router's
+# trace and the span the worker's tree will be grafted under, nothing
+# more — span payloads travel the *other* way, via the ``trace`` op,
+# only when a stitched trace is actually requested.
+
+
+def make_trace_context(trace_id: str, parent_span: str = "1") -> dict:
+    """The trace context attached to a routed submit frame.
+
+    ``parent_span`` is a structural span reference (render-time id of
+    the router's job root — ``"1"`` since the stitched tree has one
+    root), not a random span id: ids here are positions, so the
+    reference is stable across reruns.
+    """
+    return {"trace_id": str(trace_id), "parent_span": str(parent_span)}
+
+
+def parse_trace_context(payload) -> dict | None:
+    """Validate a wire trace context; None when absent or malformed.
+
+    Malformed contexts are dropped rather than rejected — tracing is
+    observability, and a bad context must never fail the job itself.
+    """
+    if not isinstance(payload, dict):
+        return None
+    trace_id = payload.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent_span = payload.get("parent_span", "1")
+    return {"trace_id": trace_id, "parent_span": str(parent_span)}
+
+
 # -- metric snapshots on the wire --------------------------------------------
 #
 # The router's GET /metrics aggregates every shard's registry. Metric

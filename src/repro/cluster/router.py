@@ -28,12 +28,23 @@ event loop doing four jobs:
 The HTTP layer underneath is a hand-rolled asyncio HTTP/1.1 server —
 the same framework-free stance as the stdlib single-process front end,
 minus the thread-per-connection cost that motivated this subsystem.
+
+Observability (docs/observability.md): every accepted job gets a router
+root span (admission → routing decision → worker RPC) whose trace
+context rides the submit frame; ``GET /v1/jobs/<id>/trace`` stitches
+the worker's span tree back under that root into one Chrome trace.
+``GET /v1/telemetry`` serves the router's rolling telemetry window plus
+every shard's, and ``GET /v1/debug/logs?n=`` tails the structured-log
+ring buffer. Router spans are built by hand from recorded timestamps —
+never through a shared ``Tracer``, whose thread-local span stack would
+cross-contaminate between interleaved coroutines on the one event loop.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import json
 import math
 import os
@@ -44,8 +55,23 @@ import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Callable
 
-from repro.obs.export import to_prometheus
+from repro.obs.export import to_chrome_trace, to_prometheus
+from repro.obs.logging import (
+    FileSink,
+    RingBufferSink,
+    add_sink,
+    get_logger,
+    remove_sink,
+)
 from repro.obs.metrics import Metric, merge_metrics
+from repro.obs.telemetry import TelemetryWindow
+from repro.obs.tracer import (
+    Span,
+    annotate_critical_path,
+    shift_times,
+    span_from_dict,
+    spans_from_dicts,
+)
 from repro.service import WorkerLost, retry_after_seconds
 from repro.service.queue import (
     REASON_CLIENT_LIMIT,
@@ -53,6 +79,7 @@ from repro.service.queue import (
     REASON_QUEUE_FULL,
 )
 
+from .protocol import make_trace_context
 from .ring import DEFAULT_REPLICAS, HashRing
 from .supervisor import WorkerGone, WorkerSupervisor
 from .worker import dataset_builders
@@ -94,6 +121,13 @@ class ClusterConfig:
     spawn_timeout: float = 60.0
     health_interval: float = 1.0
     respawn: bool = True
+    #: Distributed tracing: router job roots + trace contexts on the
+    #: wire + worker span trees. Off turns both the router spans *and*
+    #: the workers' service tracing off (the bench's untraced arm).
+    tracing: bool = True
+    #: Structured ndjson log file for the router; each worker appends
+    #: to ``{log_file}.w{id}`` so processes never interleave lines.
+    log_file: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -117,6 +151,11 @@ class JobRecord:
     terminal: bool = False
     subscribers: set[asyncio.Queue] = field(default_factory=set)
     submitted_at: float = field(default_factory=time.monotonic)
+    #: Distributed-trace state (None with tracing off): the router's
+    #: job root span — admission/route/rpc children — kept open until
+    #: the terminal event, and the trace id the worker was handed.
+    root: Span | None = None
+    trace_id: str | None = None
 
 
 class RoutingTable:
@@ -192,10 +231,49 @@ class ClusterRouter:
         )
         self._shed: dict[str, int] = {}
         self._jobs_lost = 0
+        self._jobs_lost_by_worker: dict[int, int] = dict.fromkeys(
+            range(self.config.workers), 0
+        )
         self._events_delivered = 0
         self._open_streams = 0
+        self._trace_seq = itertools.count(1)
         self._health_task: asyncio.Task | None = None
         self._http_server: asyncio.AbstractServer | None = None
+        self._log = get_logger("cluster.router")
+        #: The last 512 structured log records (router process only —
+        #: each worker serves its own ring), behind /v1/debug/logs.
+        self.log_buffer = RingBufferSink(512)
+        add_sink(self.log_buffer)
+        self._file_sink: FileSink | None = None
+        if self.config.log_file:
+            self._file_sink = FileSink(self.config.log_file)
+            add_sink(self._file_sink)
+        #: Router-side rolling telemetry window; /v1/telemetry merges
+        #: this with every shard's own window.
+        self.telemetry = TelemetryWindow()
+        self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        window = self.telemetry
+        window.register_gauges(lambda: {
+            "open_jobs": self._total_open(),
+            "open_event_streams": self._open_streams,
+            "live_workers": len(self.supervisor.live_workers()),
+            "queue_depth": sum(
+                slot.link.queue_depth
+                for slot in self.supervisor.slots.values()
+                if slot.link is not None and slot.link.alive
+            ),
+        })
+        window.register_counters("cluster", lambda: {
+            "jobs_routed": sum(self._routed.values()),
+            "jobs_lost": self._jobs_lost,
+            "events_delivered": self._events_delivered,
+            "worker_restarts": self.supervisor.total_restarts,
+        })
+        window.register_counters(
+            "shed", lambda: dict(self._shed), keyed_by="reason",
+        )
 
     # -- worker process plumbing --------------------------------------------
 
@@ -217,6 +295,10 @@ class ClusterRouter:
             argv += ["--cache-db", config.cache_db]
         if config.latency_scale > 0:
             argv += ["--latency-scale", str(config.latency_scale)]
+        if not config.tracing:
+            argv += ["--no-tracing"]
+        if config.log_file:
+            argv += ["--log-file", f"{config.log_file}.w{worker_id}"]
         return argv
 
     async def start(self) -> "ClusterRouter":
@@ -242,14 +324,25 @@ class ClusterRouter:
 
     def _worker_lost(self, worker_id: int, error: str) -> None:
         """Turn the dead shard's open jobs into worker_lost terminals."""
+        lost_here = 0
         for job_id in list(self._worker_open.get(worker_id, ())):
             record = self.records.get(job_id)
             if record is None or record.terminal:
                 continue
-            self._jobs_lost += 1
+            self._count_lost(worker_id)
+            lost_here += 1
             self._append_event(record, WorkerLost(
                 job_id=record.job_id, worker=worker_id, error=error,
             ).to_dict())
+        if lost_here:
+            self._log.warning("jobs_lost", worker=worker_id,
+                              jobs=lost_here, error=error)
+
+    def _count_lost(self, worker_id: int) -> None:
+        self._jobs_lost += 1
+        self._jobs_lost_by_worker[worker_id] = (
+            self._jobs_lost_by_worker.get(worker_id, 0) + 1
+        )
 
     def _append_event(self, record: JobRecord, event: dict) -> None:
         event = dict(event)
@@ -257,6 +350,11 @@ class ClusterRouter:
         record.events.append(event)
         if event.get("event") in TERMINAL_KINDS and not record.terminal:
             record.terminal = True
+            if record.root is not None:
+                record.root.end = time.monotonic()
+                if event["event"] in ("job_failed", "worker_lost"):
+                    record.root.status = "error"
+                record.root.set(outcome=event["event"])
             self._release(record)
         for queue in list(record.subscribers):
             queue.put_nowait(event)
@@ -277,7 +375,7 @@ class ClusterRouter:
         elif frame.get("lost") and not record.terminal:
             # The link died and this subscription's synthetic end frame
             # arrived before (or without) the slot-level callback.
-            self._jobs_lost += 1
+            self._count_lost(record.worker_id)
             self._append_event(record, WorkerLost(
                 job_id=record.job_id, worker=record.worker_id,
                 error=str(frame.get("lost")),
@@ -288,6 +386,8 @@ class ClusterRouter:
     def _shed_response(self, code: str, message: str,
                        queue_depth: int) -> tuple[int, dict]:
         self._shed[code] = self._shed.get(code, 0) + 1
+        self._log.warning("submission_shed", reason=code,
+                          queue_depth=queue_depth)
         body: dict = {"rejected": {"code": code, "message": message}}
         body["retry_after_seconds"] = retry_after_seconds(queue_depth)
         return _REJECTION_STATUS.get(code, 429), body
@@ -297,6 +397,7 @@ class ClusterRouter:
 
     async def submit(self, payload: dict) -> tuple[int, dict]:
         """Route one submission; mirrors ``ServiceApp.submit``'s API."""
+        t_start = time.monotonic()
         dataset = payload.get("dataset", "aggchecker")
         if not self.routing.knows(dataset):
             return 400, {"error": f"unknown dataset {dataset!r}",
@@ -320,6 +421,7 @@ class ClusterRouter:
                 f"(limit {self.config.per_client_limit})",
                 self._total_open(),
             )
+        t_admitted = time.monotonic()
         fingerprints = await self.routing.fingerprints(dataset)
         if not 0 <= index < len(fingerprints):
             return 400, {
@@ -330,6 +432,7 @@ class ClusterRouter:
         worker_id = self.ring.route(
             fingerprint, self.supervisor.live_workers()
         )
+        t_routed = time.monotonic()
         if worker_id is None:
             return self._shed_response(
                 REASON_WORKER_LOST,
@@ -351,13 +454,21 @@ class ClusterRouter:
                 f"worker {worker_id} went away before the job was sent",
                 self._total_open(),
             )
+        # The trace id is minted before the RPC so the context can ride
+        # the submit frame; it is a sequence number, never clock-derived.
+        trace_id = (f"trace-{next(self._trace_seq):06d}"
+                    if self.config.tracing else None)
+        submit_payload = {
+            "dataset": dataset,
+            "document": index,
+            "client_id": client_id,
+            "priority": payload.get("priority", 0),
+        }
+        if trace_id is not None:
+            submit_payload["trace"] = make_trace_context(trace_id)
+        t_rpc_start = time.monotonic()
         try:
-            reply = await link.request("submit", payload={
-                "dataset": dataset,
-                "document": index,
-                "client_id": client_id,
-                "priority": payload.get("priority", 0),
-            })
+            reply = await link.request("submit", payload=submit_payload)
         except (WorkerGone, asyncio.TimeoutError):
             return self._shed_response(
                 REASON_WORKER_LOST,
@@ -365,6 +476,7 @@ class ClusterRouter:
                 "it is being respawned",
                 self._total_open(),
             )
+        t_rpc_end = time.monotonic()
         status = int(reply.get("status", 500))
         body = dict(reply.get("body") or {})
         if status != 202:
@@ -383,12 +495,23 @@ class ClusterRouter:
             client_id=client_id,
             fingerprint=fingerprint,
         )
+        if trace_id is not None:
+            record.trace_id = trace_id
+            record.root = self._build_job_root(
+                record, trace_id, dataset, index, link.generation,
+                t_start, t_admitted, t_routed, t_rpc_start, t_rpc_end,
+            )
         self.records[job_id] = record
         self._worker_open[worker_id].add(job_id)
         self._client_open[client_id] = (
             self._client_open.get(client_id, 0) + 1
         )
         self._routed[worker_id] = self._routed.get(worker_id, 0) + 1
+        self._log.info(
+            "job_routed", job_id=job_id, worker=worker_id,
+            client_id=client_id, dataset=dataset, document=index,
+            **({"trace_id": trace_id} if trace_id is not None else {}),
+        )
         try:
             await link.subscribe(
                 worker_job_id,
@@ -396,7 +519,7 @@ class ClusterRouter:
             )
         except WorkerGone:
             if not record.terminal:
-                self._jobs_lost += 1
+                self._count_lost(worker_id)
                 self._append_event(record, WorkerLost(
                     job_id=job_id, worker=worker_id,
                     error="worker died right after accepting the job",
@@ -405,6 +528,110 @@ class ClusterRouter:
         body["worker"] = worker_id
         body["events_url"] = f"/v1/jobs/{job_id}/events"
         return 202, body
+
+    def _build_job_root(
+        self,
+        record: JobRecord,
+        trace_id: str,
+        dataset: str,
+        index: int,
+        ring_generation: int,
+        t_start: float,
+        t_admitted: float,
+        t_routed: float,
+        t_rpc_start: float,
+        t_rpc_end: float,
+    ) -> Span:
+        """The router's per-job root span, built from recorded stamps.
+
+        Spans are constructed by hand (not via a Tracer) because many
+        submit coroutines interleave on this one thread — a shared
+        span *stack* would nest their spans into each other. The root
+        stays open until the job's terminal event closes it.
+        """
+        root = Span(f"job:{record.job_id}", "job", t_start, {
+            "job_id": record.job_id,
+            "trace_id": trace_id,
+            "client_id": record.client_id,
+            "dataset": dataset,
+            "document": index,
+            "worker": record.worker_id,
+        })
+        admission = Span("admission", "admission", t_start, {
+            "client_id": record.client_id,
+            "client_open": self._client_open.get(record.client_id, 0),
+            "cluster_open": self._total_open(),
+        })
+        admission.end = t_admitted
+        route = Span("route", "route", t_admitted, {
+            "worker": record.worker_id,
+            "ring_generation": ring_generation,
+            "fingerprint": record.fingerprint,
+            "live_workers": len(self.supervisor.live_workers()),
+        })
+        route.end = t_routed
+        rpc = Span("rpc:submit", "rpc", t_rpc_start, {
+            "op": "submit",
+            "worker": record.worker_id,
+            "worker_job_id": record.worker_job_id,
+        })
+        rpc.end = t_rpc_end
+        root.children.extend([admission, route, rpc])
+        root.end = t_rpc_end
+        return root
+
+    async def job_trace(self, job_id: str,
+                        fmt: str = "") -> tuple[int, dict]:
+        """One stitched trace: router spans with the worker tree grafted.
+
+        The worker's span forest (queue wait + per-document waterfall)
+        is fetched over the ``trace`` op, its wall times rebased onto
+        the router's clock (the two monotonic clocks share no epoch:
+        the worker's earliest span is aligned with the submit RPC), and
+        its roots grafted under the router's job root after the
+        admission/route/rpc children. Structural span ids are assigned
+        at render time, so the stitched tree is byte-identical across
+        reruns once wall times are stripped. ``fmt="tree"`` returns the
+        raw span tree; the default is Chrome trace-event JSON.
+        """
+        record = self.records.get(job_id)
+        if record is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if record.root is None:
+            return 404, {"error": f"no trace for job {job_id!r} "
+                                  "(tracing is disabled)"}
+        # Render from a deep copy: repeated GETs must not accumulate
+        # grafted subtrees (or stale annotations) on the live record.
+        root = span_from_dict(record.root.to_dict(include_times=True))
+        rpc = root.children[-1]
+        link = self.supervisor.link(record.worker_id)
+        reply = None
+        if link is not None:
+            with contextlib.suppress(WorkerGone, asyncio.TimeoutError):
+                reply = await link.request(
+                    "trace", job_id=record.worker_job_id,
+                )
+        if reply and reply.get("ok") and reply.get("spans"):
+            worker_roots = spans_from_dicts(reply["spans"])
+            delta = rpc.start - min(span.start for span in worker_roots)
+            for span in worker_roots:
+                shift_times(span, delta)
+                span.set(worker=record.worker_id)
+            root.children.extend(worker_roots)
+            root.end = max(root.end,
+                           max(span.end for span in worker_roots))
+        else:
+            # Respawned shard (the job died with its process), tracing
+            # off worker-side, or the worker is mid-crash right now.
+            root.set(worker_trace="unavailable")
+        annotate_critical_path(root)
+        if fmt == "tree":
+            return 200, {
+                "job_id": job_id,
+                "trace_id": record.trace_id,
+                "spans": [root.to_dict("1", include_times=True)],
+            }
+        return 200, to_chrome_trace([root], process_name=job_id)
 
     # -- job introspection ---------------------------------------------------
 
@@ -510,6 +737,7 @@ class ClusterRouter:
                 "queue_depth": link.queue_depth if link else 0,
                 "open_jobs": len(self._worker_open.get(worker_id, ())),
                 "routed_total": self._routed.get(worker_id, 0),
+                "jobs_lost": self._jobs_lost_by_worker.get(worker_id, 0),
             }
         return {
             "workers": self.config.workers,
@@ -559,12 +787,6 @@ class ClusterRouter:
             Metric.gauge("cedar_cluster_live_workers",
                          len(self.supervisor.live_workers()),
                          "Worker slots with a live connection"),
-            Metric.counter("cedar_cluster_worker_restarts_total",
-                           self.supervisor.total_restarts,
-                           "Workers respawned after a crash"),
-            Metric.counter("cedar_cluster_jobs_lost_total",
-                           self._jobs_lost,
-                           "Jobs ended by a worker_lost event"),
             Metric.gauge("cedar_cluster_open_event_streams",
                          self._open_streams,
                          "Client event streams currently open"),
@@ -575,10 +797,23 @@ class ClusterRouter:
         for worker_id in range(self.config.workers):
             labels = {"worker": str(worker_id)}
             link = self.supervisor.link(worker_id)
+            slot = self.supervisor.slots[worker_id]
             metrics.append(Metric.counter(
                 "cedar_cluster_jobs_routed_total",
                 self._routed.get(worker_id, 0),
                 "Jobs routed to each shard", labels,
+            ))
+            # Restarts and losses stay per-worker only (no unlabelled
+            # aggregate sample — Prometheus would double-count the sum).
+            metrics.append(Metric.counter(
+                "cedar_cluster_worker_restarts_total",
+                slot.restarts,
+                "Workers respawned after a crash", labels,
+            ))
+            metrics.append(Metric.counter(
+                "cedar_cluster_jobs_lost_total",
+                self._jobs_lost_by_worker.get(worker_id, 0),
+                "Jobs ended by a worker_lost event", labels,
             ))
             metrics.append(Metric.gauge(
                 "cedar_cluster_queue_depth",
@@ -599,7 +834,9 @@ class ClusterRouter:
 
     async def metrics_text(self) -> str:
         """Aggregated Prometheus text: router families plus every
-        shard's registry relabelled with ``worker=<id>``."""
+        shard's registry relabelled with ``worker=<id>`` and the slot's
+        ``generation``, so a scrape after a crash-respawn never merges
+        the dead process's counters with its replacement's."""
         from .protocol import metrics_from_wire
 
         replies = await self.supervisor.broadcast("metrics", timeout=30.0)
@@ -607,10 +844,26 @@ class ClusterRouter:
         for worker_id, reply in sorted(replies.items()):
             if not reply or "metrics" not in reply:
                 continue
+            generation = self.supervisor.slots[worker_id].generation
             merged.extend(metrics_from_wire(
-                reply["metrics"], {"worker": str(worker_id)},
+                reply["metrics"],
+                {"worker": str(worker_id),
+                 "generation": str(generation)},
             ))
         return to_prometheus(merge_metrics(merged))
+
+    async def telemetry_snapshot(self) -> tuple[int, dict]:
+        """The router's telemetry window plus every live shard's own."""
+        replies = await self.supervisor.broadcast("telemetry",
+                                                  timeout=30.0)
+        workers = {
+            str(worker_id): (reply or {}).get("telemetry")
+            for worker_id, reply in sorted(replies.items())
+        }
+        return 200, {
+            "cluster": self.telemetry.snapshot(),
+            "workers": workers,
+        }
 
     # -- drain and shutdown --------------------------------------------------
 
@@ -634,6 +887,12 @@ class ClusterRouter:
                 await self._http_server.wait_closed()
         if self._own_socket_dir:
             shutil.rmtree(self.socket_dir, ignore_errors=True)
+        # Detach this router's sinks from the process-global logging
+        # state so a later router in the same process starts clean.
+        remove_sink(self.log_buffer)
+        if self._file_sink is not None:
+            remove_sink(self._file_sink)
+            self._file_sink.close()
 
     # -- the asyncio HTTP front end ------------------------------------------
 
@@ -694,6 +953,30 @@ class ClusterRouter:
                 writer, 200, await self.metrics_text(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif method == "GET" and parts == ["telemetry"]:
+            status, reply = await self.telemetry_snapshot()
+            await _send_json(writer, status, reply)
+        elif method == "GET" and parts == ["debug", "logs"]:
+            try:
+                count = int(query.get("n", "100"))
+                if count < 0:
+                    raise ValueError
+            except ValueError:
+                await _send_json(
+                    writer, 400,
+                    {"error": "n must be a non-negative integer"},
+                )
+                return
+            await _send_text(
+                writer, 200, self.log_buffer.to_ndjson(count),
+                "application/x-ndjson",
+            )
+        elif (method == "GET" and len(parts) == 3 and parts[0] == "jobs"
+              and parts[2] == "trace"):
+            status, reply = await self.job_trace(
+                parts[1], query.get("format", ""),
+            )
+            await _send_json(writer, status, reply)
         elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
             status, reply = self.job_summary(parts[1])
             await _send_json(writer, status, reply)

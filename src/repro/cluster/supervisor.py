@@ -31,7 +31,11 @@ import sys
 import time
 from typing import Awaitable, Callable
 
+from repro.obs.logging import get_logger
+
 from .protocol import ProtocolError, encode_frame, read_frame_async
+
+_log = get_logger("cluster.supervisor")
 
 #: How long a single request waits for its response frame. Generous:
 #: under full CPU load a worker's handler threads contend with its
@@ -275,10 +279,16 @@ class WorkerSupervisor:
     async def _spawn_slot(self, slot: WorkerProcess) -> None:
         link = await slot.spawn(self.spawn_timeout, self._env)
         link.on_lost = lambda _link, error: self._lost(slot, error)
+        _log.info("worker_spawned", worker=slot.worker_id,
+                  generation=slot.generation,
+                  pid=slot.process.pid if slot.process else None)
         if self.on_worker_up is not None:
             self.on_worker_up(slot.worker_id)
 
     def _lost(self, slot: WorkerProcess, error: str) -> None:
+        _log.warning("worker_lost", worker=slot.worker_id,
+                     generation=slot.generation, error=error,
+                     will_respawn=not self.stopping and self.respawn)
         if self.on_worker_lost is not None:
             self.on_worker_lost(slot.worker_id, error)
         if not self.stopping and self.respawn:
@@ -295,7 +305,9 @@ class WorkerSupervisor:
                 )
         try:
             await self._spawn_slot(slot)
-        except (RuntimeError, TimeoutError):
+        except (RuntimeError, TimeoutError) as error:
+            _log.error("worker_respawn_failed", worker=slot.worker_id,
+                       error=str(error), retrying=not self.stopping)
             if not self.stopping and self.respawn:
                 await asyncio.sleep(0.5)
                 asyncio.ensure_future(self._respawn(slot))
@@ -333,9 +345,14 @@ class WorkerSupervisor:
     async def drain_all(self, timeout: float = 300.0) -> dict[int, bool]:
         """Graceful drain: every live worker flushes and confirms."""
         self.stopping = True
+        _log.info("drain_started", workers=len(self.live_workers()))
         replies = await self.broadcast("drain", timeout=timeout)
-        return {worker_id: bool(reply and reply.get("drained"))
-                for worker_id, reply in replies.items()}
+        results = {worker_id: bool(reply and reply.get("drained"))
+                   for worker_id, reply in replies.items()}
+        _log.info("drain_finished",
+                  drained=sum(1 for ok in results.values() if ok),
+                  workers=len(results))
+        return results
 
     async def stop(self) -> None:
         """Exit every worker (politely, then forcefully)."""

@@ -28,6 +28,12 @@ Ops (see :mod:`repro.cluster.protocol` for framing):
 ``stats``      the full ServiceStats dict for ``/v1/stats`` aggregation.
 ``metrics``    the metrics registry snapshot (wire form) for
                ``GET /metrics`` aggregation.
+``trace``      ``{"job_id"}`` -> the job's span forest (wire form, wall
+               times included) plus the trace context it was submitted
+               with; the router stitches these under its own job root
+               for ``GET /v1/jobs/<id>/trace``.
+``telemetry``  the shard's rolling telemetry-window snapshot for
+               ``GET /v1/telemetry`` aggregation.
 ``drain``      graceful drain: stop accepting, flush accepted jobs,
                reply ``{"drained": true}`` when the queue is empty.
 ``exit``       acknowledge, then stop the process.
@@ -48,6 +54,7 @@ from typing import Callable
 
 from repro.cache import CacheConfig
 from repro.datasets import DatasetBundle, build_aggchecker, build_tabfact
+from repro.obs.logging import FileSink, add_sink
 from repro.service import ServiceConfig, VerificationService
 from repro.service.http import DEFAULT_DATASETS, ServiceApp
 from repro.service.signals import install_drain_handlers
@@ -223,6 +230,13 @@ class WorkerServer:
                 self._send(connection, lock, {
                     "id": request_id, "ok": True, "metrics": snapshot,
                 })
+            elif op == "trace":
+                self._trace(request, connection, lock)
+            elif op == "telemetry":
+                self._send(connection, lock, {
+                    "id": request_id, "ok": True,
+                    "telemetry": self.service.telemetry.snapshot(),
+                })
             elif op == "drain":
                 self.drain()
                 self._send(connection, lock, {
@@ -241,6 +255,27 @@ class WorkerServer:
                 "id": request_id, "ok": False,
                 "error": f"{type(error).__name__}: {error}",
             })
+
+    def _trace(self, request: dict, connection: socket.socket,
+               lock: threading.Lock) -> None:
+        """The job's span forest in wire form (wall times included —
+        the router rebases them onto its own clock when stitching)."""
+        request_id = request.get("id")
+        handle = self.service.job(str(request.get("job_id")))
+        if handle is None:
+            self._send(connection, lock, {
+                "id": request_id, "ok": False,
+                "error": f"no job {request.get('job_id')!r}",
+            })
+            return
+        spans = [
+            span.to_dict(str(index), include_times=True)
+            for index, span in enumerate(handle.spans(), start=1)
+        ]
+        self._send(connection, lock, {
+            "id": request_id, "ok": True, "state": handle.state,
+            "spans": spans, "trace": handle.trace_context(),
+        })
 
     def _subscribe(self, request: dict, connection: socket.socket,
                    lock: threading.Lock) -> None:
@@ -280,11 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shared persistent L2 sqlite path (optional)")
     parser.add_argument("--latency-scale", type=float, default=0.0,
                         help="simulate per-token model latency (bench)")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="disable per-job span trees (bench baseline)")
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append structured ndjson logs to PATH")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
+    if arguments.log_file:
+        add_sink(FileSink(arguments.log_file))
     service = VerificationService(ServiceConfig(
         max_queue_depth=arguments.queue_depth,
         # Fairness is enforced at the router across all shards; a
@@ -295,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         batch_window=arguments.batch_window,
         workers=arguments.workers,
         cache_size=arguments.cache_size,
+        tracing=not arguments.no_tracing,
         cache_config=(CacheConfig(path=arguments.cache_db)
                       if arguments.cache_db else None),
     )).start()

@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of the run "
                              "(load it in https://ui.perfetto.dev)")
+    parser.add_argument("--trace-summary", action="store_true",
+                        help="print a per-span self-time table (where the "
+                             "run's wall-clock actually went)")
     return parser
 
 
@@ -105,11 +108,16 @@ def _list_documents(bundle: DatasetBundle) -> None:
 
 
 def _run_demo(bundle: DatasetBundle, arguments) -> None:
-    from repro.obs import NULL_TRACER, Tracer, write_chrome_trace
+    from repro.obs import (
+        NULL_TRACER,
+        Tracer,
+        self_time_table,
+        write_chrome_trace,
+    )
 
     tracer = (
         Tracer(trace_id=f"demo-{bundle.name}")
-        if arguments.trace else NULL_TRACER
+        if arguments.trace or arguments.trace_summary else NULL_TRACER
     )
     target = bundle.documents[arguments.document]
     profiling_docs = [
@@ -176,6 +184,23 @@ def _run_demo(bundle: DatasetBundle, arguments) -> None:
                            process_name=f"cedar:{bundle.name}")
         print(f"trace: {tracer.span_count()} spans -> {arguments.trace} "
               "(open in https://ui.perfetto.dev)")
+    if arguments.trace_summary:
+        _print_trace_summary(self_time_table(tracer.roots))
+
+
+def _print_trace_summary(rows: list[dict]) -> None:
+    """Per-span-name self-time table: where the wall-clock went."""
+    if not rows:
+        print("trace summary: no spans recorded")
+        return
+    print("\ntrace summary (self time = span minus its children):")
+    name_width = max(len("span"), max(len(r["name"]) for r in rows))
+    print(f"  {'span':{name_width}}  {'kind':10}  {'count':>5}  "
+          f"{'self (s)':>9}  {'total (s)':>9}")
+    for row in rows:
+        print(f"  {row['name']:{name_width}}  {row['kind']:10}  "
+              f"{row['count']:5d}  {row['self_seconds']:9.4f}  "
+              f"{row['total_seconds']:9.4f}")
 
 
 if __name__ == "__main__":

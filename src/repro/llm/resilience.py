@@ -24,10 +24,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.logging import get_logger
 from repro.obs.tracer import current_tracer
 
 from .base import ChatResponse, DelegatingLLMClient, LLMClient
 from .openai_client import TransportError
+
+_log = get_logger("llm.resilience")
 
 
 class TransientLLMError(RuntimeError):
@@ -152,6 +155,10 @@ class ResilientLLMClient(DelegatingLLMClient):
                         error=repr(error),
                         gave_up=True,
                     )
+                    _log.error(
+                        "llm_retries_exhausted", model=self.model_name,
+                        attempts=attempt, error=repr(error),
+                    )
                     if tracer.enabled:
                         now = tracer.clock()
                         tracer.record(
@@ -166,6 +173,10 @@ class ResilientLLMClient(DelegatingLLMClient):
                     attempt=attempt,
                     delay_seconds=delay,
                     error=repr(error),
+                )
+                _log.warning(
+                    "llm_retry", model=self.model_name, attempt=attempt,
+                    delay_seconds=round(delay, 6), error=repr(error),
                 )
                 # The retry span covers the backoff sleep, so waterfalls
                 # show waiting-out-a-failure as its own bar next to the

@@ -1,4 +1,4 @@
-"""Unified observability layer: tracing, metrics, exports.
+"""Unified observability layer: tracing, logging, metrics, telemetry.
 
 This package is the one place the rest of the stack reports *where time
 and money went*. It deliberately sits below every other ``repro``
@@ -6,23 +6,30 @@ package — nothing here imports pipeline, service, or engine code — so
 any layer (LLM client, SQL engine, HTTP front end) can attach spans or
 publish metrics without import cycles.
 
-Three modules:
+Five modules:
 
 * :mod:`repro.obs.tracer` — deterministic span trees. Span ids are
   parent-scoped sequence numbers (``1``, ``1.2``, ``1.2.3`` …), never
   derived from wall clocks or randomness, so two runs that do the same
   work produce the *same tree* — the integration suite diffs parallel
   vs sequential runs on exactly this property. Wall times come only
-  from the tracer's injected clock (enforced by an AST lint in
-  ``tools/check_invariants.py``).
+  from the tracer's injected clock (enforced by cedarlint CDL015).
+* :mod:`repro.obs.logging` — correlated structured logging: ndjson
+  :class:`~repro.obs.logging.LogRecord` lines with a stable field
+  order, trace/span/job correlation ids pulled from the ambient
+  tracer, and pluggable sinks (ring buffer for ``/v1/debug/logs``,
+  file for ``--log-file``).
+* :mod:`repro.obs.telemetry` — a rolling-window aggregator over the
+  stack's cumulative counters (queue depth, retries, cache hit rates,
+  per-method spend) serving ``GET /v1/telemetry`` and the
+  ``cedar_telemetry_*`` gauges.
 * :mod:`repro.obs.metrics` — a process-level registry of named
   counters/gauges/histograms plus *collectors* that absorb the stats
   already kept elsewhere (cost ledger, LLM/SQL caches, engine strategy
   counters, analyzer counters) behind one ``snapshot()``.
 * :mod:`repro.obs.export` — renderers: Chrome trace-event JSON (loads
   in Perfetto / ``chrome://tracing``), Prometheus text exposition for
-  ``GET /metrics``, and ndjson structured logs with trace/span
-  correlation ids.
+  ``GET /metrics``, and ndjson span records.
 """
 
 from .export import (
@@ -31,6 +38,17 @@ from .export import (
     to_prometheus,
     write_chrome_trace,
 )
+from .logging import (
+    FileSink,
+    LogRecord,
+    Logger,
+    RingBufferSink,
+    add_sink,
+    configure_logging,
+    get_logger,
+    remove_sink,
+    reset_logging,
+)
 from .metrics import (
     Metric,
     MetricsRegistry,
@@ -38,29 +56,55 @@ from .metrics import (
     engine_metrics,
     ledger_metrics,
 )
+from .telemetry import TelemetryWindow, hit_rate
 from .tracer import (
     NULL_TRACER,
     NullTracer,
     Span,
     SpanDelta,
     Tracer,
+    annotate_critical_path,
+    critical_path,
     current_tracer,
+    self_time_table,
     set_default_tracer,
+    shift_times,
+    span_from_dict,
+    spans_from_dicts,
+    strip_times,
 )
 
 __all__ = [
+    "FileSink",
+    "LogRecord",
+    "Logger",
     "Metric",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RingBufferSink",
     "Span",
     "SpanDelta",
+    "TelemetryWindow",
     "Tracer",
+    "add_sink",
+    "annotate_critical_path",
     "cache_metrics",
+    "configure_logging",
+    "critical_path",
     "current_tracer",
     "engine_metrics",
+    "get_logger",
+    "hit_rate",
     "ledger_metrics",
+    "remove_sink",
+    "reset_logging",
+    "self_time_table",
     "set_default_tracer",
+    "shift_times",
+    "span_from_dict",
+    "spans_from_dicts",
+    "strip_times",
     "to_chrome_trace",
     "to_ndjson",
     "to_prometheus",

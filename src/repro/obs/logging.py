@@ -1,0 +1,329 @@
+"""Correlated structured logging: ndjson records with stable field order.
+
+Every log line is one JSON object — a :class:`LogRecord` — whose keys
+appear in a *fixed, documented order* (``ts``, ``level``, ``component``,
+``event``, then the correlation ids, then sorted extra fields), so logs
+diff cleanly and downstream parsers never depend on dict luck. Records
+carry three correlation ids:
+
+* ``trace_id`` — the ambient tracer's id (:func:`~repro.obs.tracer.
+  current_tracer`), so a log line written inside a traced batch names
+  the trace it belongs to;
+* ``span`` — the innermost *open* span's name on the logging thread
+  (structural span ids are assigned at render time, after the tree is
+  final, so the name is the stable handle available while work runs);
+* ``job_id`` — bound explicitly by the service layers that know it
+  (``logger.bind(job_id=...)`` or a ``job_id=`` field).
+
+Sinks are process-global and deliberately dumb: a bounded
+:class:`RingBufferSink` backs ``GET /v1/debug/logs`` on the service and
+the cluster router, and an optional :class:`FileSink` (``--log-file``)
+appends ndjson for shippers. With no sinks installed, logging costs one
+attribute read per call.
+
+Like the tracer, this module never reads a clock directly: timestamps
+flow through an injected ``clock`` callable (default :func:`time.time`,
+passed by reference — enforced by cedarlint CDL015 for everything under
+``repro/obs/``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Callable, Mapping
+
+from .tracer import current_tracer
+
+#: Severity levels, least to most severe.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {level: rank for rank, level in enumerate(LEVELS)}
+
+#: The canonical leading keys of every rendered record, in order. Extra
+#: fields follow, sorted by name. This ordering is part of the log
+#: schema (see docs/observability.md) — tests assert on it.
+FIELD_ORDER = ("ts", "level", "component", "event",
+               "trace_id", "span", "job_id")
+
+#: Default ring-buffer capacity for the debug-log endpoints.
+DEFAULT_BUFFER_CAPACITY = 1024
+
+
+class LogRecord:
+    """One structured log line; immutable once constructed."""
+
+    __slots__ = ("ts", "level", "component", "event",
+                 "trace_id", "span", "job_id", "fields")
+
+    def __init__(
+        self,
+        ts: float,
+        level: str,
+        component: str,
+        event: str,
+        trace_id: str | None = None,
+        span: str | None = None,
+        job_id: str | None = None,
+        fields: Mapping | None = None,
+    ) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown log level {level!r}; one of {LEVELS}")
+        self.ts = ts
+        self.level = level
+        self.component = component
+        self.event = event
+        self.trace_id = trace_id
+        self.span = span
+        self.job_id = job_id
+        self.fields = dict(fields) if fields else {}
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering with the canonical key order.
+
+        The dict is built in :data:`FIELD_ORDER` (None correlation ids
+        are omitted) followed by the extra fields sorted by name —
+        ``json.dumps`` preserves insertion order, so :meth:`to_json`
+        inherits the stable ordering for free.
+        """
+        record: dict = {
+            "ts": round(self.ts, 6),
+            "level": self.level,
+            "component": self.component,
+            "event": self.event,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.span is not None:
+            record["span"] = self.span
+        if self.job_id is not None:
+            record["job_id"] = self.job_id
+        for key in sorted(self.fields):
+            record[key] = self.fields[key]
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LogRecord":
+        """Rebuild a record from :meth:`to_dict` output (round-trips)."""
+        known = {key: payload.get(key) for key in FIELD_ORDER}
+        fields = {key: value for key, value in payload.items()
+                  if key not in FIELD_ORDER}
+        return cls(
+            ts=float(known["ts"] or 0.0),
+            level=str(known["level"] or "info"),
+            component=str(known["component"] or ""),
+            event=str(known["event"] or ""),
+            trace_id=known["trace_id"],
+            span=known["span"],
+            job_id=known["job_id"],
+            fields=fields,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        return cls.from_dict(json.loads(line))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogRecord({self.level} {self.component}.{self.event} "
+                f"job={self.job_id})")
+
+
+# -- sinks -------------------------------------------------------------------
+
+
+class RingBufferSink:
+    """The last N records, in arrival order — the ``/v1/debug/logs``
+    backing store. Thread-safe; old records fall off the front."""
+
+    def __init__(self, capacity: int = DEFAULT_BUFFER_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._records: deque[LogRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, record: LogRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def tail(self, n: int | None = None) -> list[LogRecord]:
+        """The most recent ``n`` records (all, when ``n`` is None)."""
+        with self._lock:
+            records = list(self._records)
+        if n is not None and n >= 0:
+            records = records[len(records) - min(n, len(records)):]
+        return records
+
+    def to_ndjson(self, n: int | None = None) -> str:
+        lines = [record.to_json() for record in self.tail(n)]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class FileSink:
+    """Append ndjson lines to a file (the ``--log-file`` flag).
+
+    Opens lazily in append mode and flushes per record — the volume
+    here is operator events, not per-claim chatter, so durability wins
+    over batching.
+    """
+
+    def __init__(self, path_or_file: str | IO[str]) -> None:
+        self._lock = threading.Lock()
+        if hasattr(path_or_file, "write"):
+            self._handle: IO[str] | None = path_or_file  # type: ignore
+            self._path = None
+        else:
+            self._handle = None
+            self._path = str(path_or_file)
+
+    def emit(self, record: LogRecord) -> None:
+        with self._lock:
+            if self._handle is None:
+                assert self._path is not None
+                self._handle = open(self._path, "a", encoding="utf-8")
+            self._handle.write(record.to_json() + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and self._path is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# -- the process-wide sink registry ------------------------------------------
+
+
+class _LoggingState:
+    """Module-level sink list, level threshold, and injected clock."""
+
+    __slots__ = ("sinks", "level_rank", "clock", "lock")
+
+    def __init__(self) -> None:
+        self.sinks: list = []
+        self.level_rank = _LEVEL_RANK["debug"]
+        self.clock: Callable[[], float] = time.time
+        self.lock = threading.Lock()
+
+
+_STATE = _LoggingState()
+
+
+def add_sink(sink) -> None:
+    """Install a sink (anything with ``emit(record)``)."""
+    with _STATE.lock:
+        if sink not in _STATE.sinks:
+            _STATE.sinks.append(sink)
+
+
+def remove_sink(sink) -> None:
+    with _STATE.lock:
+        if sink in _STATE.sinks:
+            _STATE.sinks.remove(sink)
+
+
+def configure_logging(
+    level: str | None = None,
+    clock: Callable[[], float] | None = None,
+) -> None:
+    """Set the process-wide level threshold and/or timestamp clock."""
+    if level is not None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown log level {level!r}; one of {LEVELS}")
+        _STATE.level_rank = _LEVEL_RANK[level]
+    if clock is not None:
+        _STATE.clock = clock
+
+
+def reset_logging() -> None:
+    """Drop every sink and restore defaults (test isolation hook)."""
+    with _STATE.lock:
+        _STATE.sinks = []
+    _STATE.level_rank = _LEVEL_RANK["debug"]
+    _STATE.clock = time.time
+
+
+# -- loggers -----------------------------------------------------------------
+
+
+class Logger:
+    """A component-named handle onto the process sink set.
+
+    ``bind(**fields)`` derives a child logger whose records always carry
+    those fields — the idiom for attaching a ``job_id`` once instead of
+    threading it through every call site.
+    """
+
+    __slots__ = ("component", "_bound")
+
+    def __init__(self, component: str,
+                 bound: Mapping | None = None) -> None:
+        self.component = component
+        self._bound = dict(bound) if bound else {}
+
+    def bind(self, **fields) -> "Logger":
+        merged = dict(self._bound)
+        merged.update(fields)
+        return Logger(self.component, merged)
+
+    def log(self, level: str, event: str, **fields) -> None:
+        sinks = _STATE.sinks
+        if not sinks or _LEVEL_RANK.get(level, 0) < _STATE.level_rank:
+            return
+        merged = dict(self._bound)
+        merged.update(fields)
+        job_id = merged.pop("job_id", None)
+        explicit_trace = merged.pop("trace_id", None)
+        tracer = current_tracer()
+        # An explicit ``trace_id=`` kwarg wins over the ambient tracer —
+        # the cluster router correlates by minted trace id without ever
+        # activating a tracer on its event loop.
+        trace_id = (explicit_trace if explicit_trace is not None
+                    else tracer.trace_id if tracer.enabled else None)
+        span = tracer.current_span_name() if tracer.enabled else None
+        record = LogRecord(
+            ts=_STATE.clock(),
+            level=level,
+            component=self.component,
+            event=event,
+            trace_id=trace_id,
+            span=span,
+            job_id=str(job_id) if job_id is not None else None,
+            fields=merged,
+        )
+        for sink in list(sinks):
+            try:
+                sink.emit(record)
+            except Exception:
+                # A broken sink must never take down the code that logs.
+                continue
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+def get_logger(component: str) -> Logger:
+    """A logger for ``component`` (cheap; loggers hold no sink state)."""
+    return Logger(component)

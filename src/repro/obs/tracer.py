@@ -58,7 +58,18 @@ KINDS = (
     "reconstruction",
     "retry",
     "queue_wait",
+    # Cluster-router spans (docs/observability.md "Distributed tracing").
+    "job",
+    "admission",
+    "route",
+    "rpc",
 )
+
+#: Attributes whose *values* are derived from wall times (the critical-
+#: path annotation). They are stripped alongside ``start``/``end`` by
+#: ``include_times=False`` renderings and :func:`strip_times`, so the
+#: timeless tree stays byte-identical across runs.
+WALL_TIME_ATTRIBUTES = ("critical_path_seconds", "critical_path")
 
 #: Attribute values longer than this are truncated on insert, so a span
 #: tree never retains unbounded prompt/SQL text.
@@ -113,12 +124,16 @@ class Span:
         the determinism tests compare, and the shape documented as "the
         span tree minus wall times".
         """
+        attributes = dict(self.attributes)
+        if not include_times:
+            for key in WALL_TIME_ATTRIBUTES:
+                attributes.pop(key, None)
         record: dict = {
             "span_id": span_id,
             "name": self.name,
             "kind": self.kind,
             "status": self.status,
-            "attributes": dict(self.attributes),
+            "attributes": attributes,
             "children": [
                 child.to_dict(f"{span_id}.{index}", include_times)
                 for index, child in enumerate(self.children, start=1)
@@ -239,17 +254,55 @@ class Tracer:
         status: str = "ok",
         **attributes,
     ) -> Span:
-        """Attach one already-timed leaf span (hot-path API: no stack ops)."""
-        span = Span(name, kind, start,
-                    {k: _clip(v) for k, v in attributes.items()})
+        """Attach one already-timed leaf span (convenience kwargs form)."""
+        for key, value in attributes.items():
+            if isinstance(value, str) and len(value) > MAX_ATTRIBUTE_LENGTH:
+                attributes[key] = value[: MAX_ATTRIBUTE_LENGTH - 1] + "…"
+        span = self.leaf(name, kind, start, end, attributes, status)
+        # ``leaf`` skips the bookkeeping for :meth:`annotate_latest`;
+        # the cache layer reaches back to spans recorded through here.
+        self._local.latest = span
+        return span
+
+    def leaf(
+        self,
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        attributes: dict,
+        status: str = "ok",
+    ) -> Span:
+        """Lowest-overhead :meth:`record`: no stack ops, no kwargs packing.
+
+        The caller hands over ownership of ``attributes`` and is
+        responsible for clipping any value that may exceed
+        :data:`MAX_ATTRIBUTE_LENGTH` (``record`` clips for you; this
+        path trusts the caller). Unlike ``record`` it also does not
+        update the :meth:`annotate_latest` target. Deliberately flat —
+        no helper calls, ``Span`` built without re-entering ``__init__``
+        — because the SQL engine invokes this once per execution and
+        its cost is exactly the traced-vs-untraced gap BENCH_obs.json
+        budgets.
+        """
+        span = Span.__new__(Span)
+        span.name = name
+        span.kind = kind
+        span.start = start
         span.end = end
         span.status = status
-        stack = self._stack()
+        span.attributes = attributes
+        span.children = []
+        stack = getattr(self._local, "stack", None)
         if stack:
             stack[-1].children.append(span)
         else:
-            self._attach_root(span)
-        self._local.latest = span
+            sink = getattr(self._local, "sink", None)
+            if sink is not None:
+                sink.spans.append(span)
+            else:
+                with self._lock:
+                    self.roots.append(span)
         return span
 
     def annotate(self, **attributes) -> None:
@@ -301,6 +354,16 @@ class Tracer:
         return _ActivationHandle(self)
 
     # -- introspection -------------------------------------------------------
+
+    def current_span_name(self) -> str | None:
+        """The innermost *open* span's name on this thread, or None.
+
+        Structural span ids do not exist until render time, so the name
+        is the stable handle available while work runs — the structured
+        logger stamps it onto records as the ``span`` correlation id.
+        """
+        stack = self._stack()
+        return stack[-1].name if stack else None
 
     def tree(self, include_times: bool = True) -> list[dict]:
         """The finished forest as plain dicts with structural span ids."""
@@ -391,6 +454,9 @@ class NullTracer(Tracer):
     def record(self, name, kind, start, end, status="ok", **attributes):
         return _NULL_SPAN
 
+    def leaf(self, name, kind, start, end, attributes, status="ok"):
+        return _NULL_SPAN
+
     def annotate(self, **attributes) -> None:
         pass
 
@@ -468,12 +534,125 @@ def strip_times(tree: list[dict] | Mapping) -> list[dict] | dict:
     """Recursively drop wall-time fields from a :meth:`Tracer.tree` dump.
 
     Equivalent to ``tree(include_times=False)`` but usable on an
-    already-rendered dump (e.g. one loaded back from JSON).
+    already-rendered dump (e.g. one loaded back from JSON). Also drops
+    the wall-time-derived attributes (:data:`WALL_TIME_ATTRIBUTES`).
     """
     if isinstance(tree, list):
         return [strip_times(node) for node in tree]
-    return {
-        key: (strip_times(value) if key == "children" else value)
-        for key, value in tree.items()
-        if key not in ("start", "end")
-    }
+    stripped = {}
+    for key, value in tree.items():
+        if key in ("start", "end"):
+            continue
+        if key == "children":
+            stripped[key] = strip_times(value)
+        elif key == "attributes":
+            stripped[key] = {k: v for k, v in value.items()
+                             if k not in WALL_TIME_ATTRIBUTES}
+        else:
+            stripped[key] = value
+    return stripped
+
+
+# -- serialization and analysis helpers --------------------------------------
+
+
+def span_from_dict(payload: Mapping) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output.
+
+    The cluster router uses this to reconstruct a worker's span tree
+    from the wire so it can graft the subtree under its own job root.
+    Structural ids are discarded — they are reassigned at render time.
+    """
+    span = Span(
+        str(payload.get("name", "")),
+        str(payload.get("kind", "")),
+        float(payload.get("start", 0.0)),
+        dict(payload.get("attributes") or {}),
+    )
+    span.end = float(payload.get("end", span.start))
+    span.status = str(payload.get("status", "ok"))
+    span.children = [span_from_dict(child)
+                     for child in payload.get("children", [])]
+    return span
+
+
+def spans_from_dicts(payloads) -> list[Span]:
+    return [span_from_dict(payload) for payload in payloads]
+
+
+def shift_times(span: Span, delta: float) -> Span:
+    """Shift a span tree's wall times by ``delta`` seconds, in place.
+
+    Stitching rebases worker-process clocks onto the router's timeline:
+    the two monotonic clocks share no epoch, so the router aligns the
+    worker's earliest span with the moment its RPC was sent.
+    """
+    for node in span.walk():
+        node.start += delta
+        node.end += delta
+    return span
+
+
+def self_time(span: Span) -> float:
+    """A span's duration minus its children's (never negative)."""
+    child_total = sum(child.duration for child in span.children)
+    return max(0.0, span.duration - child_total)
+
+
+def critical_path(span: Span) -> tuple[float, list[str]]:
+    """The heaviest root-to-leaf chain through ``span``.
+
+    Weight is *self time* summed along the chain, so a parent that
+    merely wraps its children contributes nothing and the path descends
+    to where time was actually spent. Ties break on the first child —
+    child order is logical submission order, so the tie-break is
+    deterministic.
+    """
+    own = self_time(span)
+    if not span.children:
+        return own, [span.name]
+    best_seconds, best_chain = -1.0, []
+    for child in span.children:
+        seconds, chain = critical_path(child)
+        if seconds > best_seconds:
+            best_seconds, best_chain = seconds, chain
+    return own + best_seconds, [span.name] + best_chain
+
+
+def annotate_critical_path(root: Span) -> Span:
+    """Stamp ``critical_path_seconds`` + the chain onto a root span.
+
+    Both values derive from wall times, so they live in
+    :data:`WALL_TIME_ATTRIBUTES` and vanish from timeless renderings.
+    """
+    seconds, chain = critical_path(root)
+    root.set(
+        critical_path_seconds=round(seconds, 6),
+        critical_path=" > ".join(chain),
+    )
+    return root
+
+
+def self_time_table(roots) -> list[dict]:
+    """Aggregate self time per span name across a forest.
+
+    Rows sort by self time (descending) then name; ``repro.demo
+    --trace-summary`` renders this as the per-span cost table.
+    """
+    totals: dict[str, dict] = {}
+    for root in roots:
+        for span in root.walk():
+            row = totals.setdefault(
+                span.name,
+                {"name": span.name, "kind": span.kind, "count": 0,
+                 "self_seconds": 0.0, "total_seconds": 0.0},
+            )
+            row["count"] += 1
+            row["self_seconds"] += self_time(span)
+            row["total_seconds"] += span.duration
+    rows = sorted(totals.values(),
+                  key=lambda row: (-row["self_seconds"], row["name"]))
+    for row in rows:
+        row["self_seconds"] = round(row["self_seconds"], 6)
+        row["total_seconds"] = round(row["total_seconds"], 6)
+    return rows

@@ -14,6 +14,8 @@ import argparse
 import sys
 import threading
 
+from repro.obs.logging import FileSink, add_sink
+
 from .http import ServiceApp, make_server
 from .service import ServiceConfig, VerificationService
 from .signals import install_drain_handlers
@@ -40,6 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=1024,
                         help="shared response cache entries (0 disables)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append structured ndjson logs to PATH")
     parser.add_argument("--verbose", action="store_true",
                         help="log HTTP requests")
     return parser
@@ -47,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
+    if arguments.log_file:
+        add_sink(FileSink(arguments.log_file))
     service = VerificationService(ServiceConfig(
         max_queue_depth=arguments.queue_depth,
         per_client_limit=arguments.per_client,

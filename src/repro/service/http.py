@@ -25,6 +25,12 @@ versioned ``/v1/`` prefix:
   cumulative retry backoff), and the latency histogram.
 * ``GET /v1/metrics`` — the same numbers in Prometheus text exposition
   format, ready for a scrape config.
+* ``GET /v1/telemetry`` — rolling-window rates (jobs, retries, cache
+  hit rates, per-method spend) from the service's
+  :class:`~repro.obs.telemetry.TelemetryWindow`.
+* ``GET /v1/debug/logs?n=`` — the last ``n`` structured log records as
+  ndjson, straight out of the process ring buffer
+  (docs/observability.md "Structured logs").
 
 The legacy unprefixed paths (``POST /verify``, ``GET /stats``, ...)
 keep working as aliases but answer with a ``Deprecation: true``
@@ -59,6 +65,7 @@ from repro.datasets import (
 )
 from repro.experiments import build_cedar
 from repro.obs.export import to_chrome_trace, to_prometheus
+from repro.obs.logging import RingBufferSink, add_sink
 
 from .events import JobEvent
 from .queue import (
@@ -132,6 +139,11 @@ class ServiceApp:
                                         list[ScheduleEntry]]] = {}
         self._lock = threading.Lock()
         self._request_seq = itertools.count(1)
+        #: The last 512 structured log records, served by
+        #: ``GET /v1/debug/logs`` (process-global sink: records from
+        #: every component land here, not just the HTTP layer's).
+        self.log_buffer = RingBufferSink(512)
+        add_sink(self.log_buffer)
 
     @property
     def datasets(self) -> list[str]:
@@ -191,12 +203,19 @@ class ServiceApp:
         document = clone_document(
             bundle.documents[index], f"r{next(self._request_seq):05d}"
         )
+        # A routed submission carries its upstream trace context (see
+        # cluster/protocol.py); a malformed one is dropped, never fatal.
+        trace = payload.get("trace")
+        if not (isinstance(trace, dict)
+                and isinstance(trace.get("trace_id"), str)):
+            trace = None
         try:
             handle = self.service.submit(
                 document,
                 schedule,
                 client_id=str(payload.get("client_id", "default")),
                 priority=priority,
+                trace_context=trace,
             )
         except AdmissionError as error:
             status = _REJECTION_STATUS.get(error.reason.code, 429)
@@ -265,6 +284,14 @@ class ServiceApp:
     def metrics(self) -> str:
         """The service registry in Prometheus text exposition format."""
         return to_prometheus(self.service.metrics)
+
+    def telemetry(self) -> tuple[int, dict]:
+        """The rolling telemetry window's current snapshot."""
+        return 200, self.service.telemetry.snapshot()
+
+    def debug_logs(self, n: int | None = None) -> str:
+        """The last ``n`` structured log records as ndjson."""
+        return self.log_buffer.to_ndjson(n)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -375,6 +402,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 200, self.app.metrics(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
+        elif parts == ["telemetry"]:
+            self._send_json(*self.app.telemetry())
+        elif parts == ["debug", "logs"]:
+            query = parse_qs(url.query)
+            try:
+                n = int(query.get("n", ["100"])[0])
+                if n < 0:
+                    raise ValueError
+            except ValueError:
+                self._send_json(
+                    400, {"error": "n must be a non-negative integer"}
+                )
+                return
+            self._send_text(200, self.app.debug_logs(n),
+                            "application/x-ndjson")
         elif len(parts) == 2 and parts[0] == "jobs":
             self._send_json(*self.app.job_summary(parts[1]))
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":

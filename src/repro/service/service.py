@@ -50,6 +50,7 @@ from repro.core.reports import claim_record
 from repro.llm.cache import LLMCache
 from repro.llm.ledger import CostLedger
 from repro.llm.resilience import RetryPolicy
+from repro.obs.logging import get_logger
 from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
@@ -57,7 +58,13 @@ from repro.obs.metrics import (
     engine_metrics,
     ledger_metrics,
 )
-from repro.obs.tracer import NULL_TRACER, Span, Tracer
+from repro.obs.telemetry import TelemetryWindow, hit_rate
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    annotate_critical_path,
+)
 from repro.sqlengine import QueryResultCache, engine_stats
 
 from .events import (
@@ -180,12 +187,16 @@ class Job:
         schedule: list[ScheduleEntry],
         client_id: str,
         priority: int,
+        trace_context: dict | None = None,
     ) -> None:
         self.job_id = job_id
         self.documents = documents
         self.schedule = schedule
         self.client_id = client_id
         self.priority = priority
+        #: Distributed-trace parentage handed in by a cluster router
+        #: (``{"trace_id", "parent_span"}``); None for direct callers.
+        self.trace_context = trace_context
         self.state = QUEUED
         self.submitted_at = time.monotonic()
         self.started_at: float | None = None
@@ -329,6 +340,10 @@ class JobHandle:
         """Root spans filed under this job (populated at completion)."""
         return list(self._job.spans)
 
+    def trace_context(self) -> dict | None:
+        """The upstream trace context the job was submitted with."""
+        return self._job.trace_context
+
 
 class _StreamingObserver(VerificationObserver):
     """Fan one batch's verifier progress out to each job's event stream.
@@ -434,6 +449,65 @@ class VerificationService:
         self.metrics.register_collector(
             lambda: engine_metrics(self._engine_stats())
         )
+        self._log = get_logger("service")
+        #: Rolling-window rates over the counters above — the adaptive
+        #: scheduler's input surface (``GET /v1/telemetry`` and the
+        #: ``cedar_telemetry_*`` gauges). Sampled after every batch.
+        self.telemetry = TelemetryWindow()
+        self._wire_telemetry()
+        self.metrics.register_collector(self.telemetry.metrics)
+
+    def _wire_telemetry(self) -> None:
+        window = self.telemetry
+        window.register_gauges(lambda: {
+            "queue_depth": len(self._queue),
+            "running_jobs": self._running_jobs,
+        })
+        window.register_counters("jobs", lambda: dict(self._counts))
+        window.register_counters("llm", self._llm_counters)
+        if self.cache is not None:
+            window.register_counters("llm_cache", lambda: {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+            })
+            window.register_derived(
+                "llm_cache_hit_rate",
+                hit_rate("llm_cache_hits", "llm_cache_misses"),
+            )
+        if self.sql_cache is not None:
+            window.register_counters("sql_cache", lambda: {
+                "hits": self.sql_cache.stats()["hits"],
+                "misses": self.sql_cache.stats()["misses"],
+            })
+            window.register_derived(
+                "sql_cache_hit_rate",
+                hit_rate("sql_cache_hits", "sql_cache_misses"),
+            )
+        window.register_counters(
+            "method_cost_usd",
+            lambda: self._method_totals("cost"), keyed_by="method",
+        )
+        window.register_counters(
+            "method_calls",
+            lambda: self._method_totals("calls"), keyed_by="method",
+        )
+
+    def _llm_counters(self) -> dict:
+        totals = self.ledger.totals()
+        return {
+            "calls": totals.calls,
+            "cost_usd": totals.cost,
+            "retries": self.ledger.retry_count,
+            "retry_backoff_seconds": self.ledger.retry_backoff_seconds,
+        }
+
+    def _method_totals(self, field_name: str) -> dict:
+        """Per-method ledger totals, ``method:`` tag prefix stripped."""
+        totals = self.ledger.totals_by_tag_prefix("method:")
+        return {
+            tag[len("method:"):]: getattr(entry, field_name)
+            for tag, entry in totals.items()
+        }
 
     def _engine_stats(self) -> dict:
         """Process engine stats with this service's result cache spliced
@@ -490,6 +564,9 @@ class VerificationService:
             if self._started:
                 return self
             self._started = True
+            self._log.info("service_started",
+                           dispatchers=self.config.dispatchers,
+                           workers=self.config.workers)
             for index in range(self.config.dispatchers):
                 thread = threading.Thread(
                     target=self._dispatch_loop,
@@ -508,6 +585,7 @@ class VerificationService:
         """
         with self._lock:
             self._draining = True
+        self._log.info("drain_started", queue_depth=len(self._queue))
 
     def shutdown(self, drain: bool = True,
                  timeout: float | None = None) -> None:
@@ -534,6 +612,7 @@ class VerificationService:
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout)
+        self._log.info("service_stopped", drained=drain)
 
     def __enter__(self) -> "VerificationService":
         return self.start()
@@ -569,8 +648,15 @@ class VerificationService:
         *,
         client_id: str = "default",
         priority: int = 0,
+        trace_context: dict | None = None,
     ) -> JobHandle:
-        """Admit a job or raise :class:`AdmissionError` with the reason."""
+        """Admit a job or raise :class:`AdmissionError` with the reason.
+
+        ``trace_context`` (``{"trace_id", "parent_span"}``) marks the
+        job as part of a distributed trace — the cluster router passes
+        its own per-job root here so the worker's span tree can be
+        stitched under it (docs/observability.md).
+        """
         if isinstance(documents, Document):
             documents = [documents]
         documents = list(documents)
@@ -581,6 +667,8 @@ class VerificationService:
         with self._lock:
             if self._draining or self._stop.is_set():
                 self._counts["rejected"] += 1
+                self._log.warning("job_rejected", reason=REASON_DRAINING,
+                                  client_id=client_id)
                 raise AdmissionError(RejectionReason(
                     REASON_DRAINING,
                     "service is draining and not accepting new jobs",
@@ -588,6 +676,8 @@ class VerificationService:
             inflight = self._inflight.get(client_id, 0)
             if inflight >= self.config.per_client_limit:
                 self._counts["rejected"] += 1
+                self._log.warning("job_rejected", reason=REASON_CLIENT_LIMIT,
+                                  client_id=client_id, inflight=inflight)
                 raise AdmissionError(RejectionReason(
                     REASON_CLIENT_LIMIT,
                     f"client {client_id!r} already has {inflight} jobs in "
@@ -605,6 +695,8 @@ class VerificationService:
                 or any(did in self._active_doc_ids for did in doc_ids)
             ):
                 self._counts["rejected"] += 1
+                self._log.warning("job_rejected", reason=REASON_CONFLICT,
+                                  client_id=client_id)
                 raise AdmissionError(RejectionReason(
                     REASON_CONFLICT,
                     "doc or claim ids overlap a job already in flight; "
@@ -616,6 +708,7 @@ class VerificationService:
                 schedule=schedule,
                 client_id=client_id,
                 priority=priority,
+                trace_context=trace_context,
             )
             # Admission events go on the stream before the job becomes
             # poppable, so JobStarted can never precede JobQueued.
@@ -636,6 +729,13 @@ class VerificationService:
             self._active_claim_ids.update(claim_ids)
             self._active_doc_ids.update(doc_ids)
             self._counts["submitted"] += 1
+        self._log.info(
+            "job_accepted", job_id=job.job_id, client_id=client_id,
+            priority=priority, documents=len(documents),
+            claims=len(claim_ids),
+            **({"upstream_trace": trace_context["trace_id"]}
+               if trace_context else {}),
+        )
         return JobHandle(job, self)
 
     def job(self, job_id: str) -> JobHandle | None:
@@ -756,6 +856,10 @@ class VerificationService:
         verifier, verifier_lock = self._verifier_for(
             self._batch_key(runnable[0])
         )
+        self._log.debug(
+            "batch_dispatched", batch_id=batch_id, jobs=len(runnable),
+            documents=len(documents),
+        )
         # One tracer per batch: roots are routed to their owning jobs
         # afterwards, so concurrent dispatchers never mix span forests.
         # The clock is time.monotonic — the same epoch as the Job
@@ -782,6 +886,8 @@ class VerificationService:
                 )
         except Exception as error:  # the whole batch is poisoned
             message = f"{type(error).__name__}: {error}"
+            self._log.error("batch_failed", batch_id=batch_id,
+                            jobs=len(runnable), error=message)
             for job in runnable:
                 self._finalize(job, CANCELLED if job.cancelled else FAILED,
                                error=message)
@@ -791,6 +897,7 @@ class VerificationService:
                 self._running_jobs -= len(runnable)
             if tracer.enabled:
                 self._file_spans(tracer, runnable, doc_jobs)
+            self.telemetry.sample()
         for job in runnable:
             if job.cancelled:
                 self._finalize(job, CANCELLED)
@@ -819,7 +926,10 @@ class VerificationService:
 
         ``queue_wait`` roots carry a ``job_id`` attribute; ``document``
         roots carry ``doc_id``. Anything unroutable is dropped — spans
-        are diagnostics, never load-bearing state.
+        are diagnostics, never load-bearing state. Document roots get
+        the critical-path annotation here, once their subtree is final
+        (the attributes are wall-time-derived, so timeless renderings
+        drop them again — see ``WALL_TIME_ATTRIBUTES``).
         """
         jobs_by_id = {job.job_id: job for job in runnable}
         for span in tracer.drain_roots():
@@ -827,6 +937,7 @@ class VerificationService:
                 job = jobs_by_id.get(span.attributes.get("job_id"))
             else:
                 job = doc_jobs.get(span.attributes.get("doc_id"))
+                annotate_critical_path(span)
             if job is not None:
                 job.spans.append(span)
 
@@ -861,6 +972,12 @@ class VerificationService:
                        CANCELLED: "cancelled"}[state]
             self._counts[counter] += 1
         latency = job.finished_at - job.submitted_at
+        self._log.log(
+            "error" if state == FAILED else "info", "job_finished",
+            job_id=job.job_id, state=state,
+            latency_seconds=round(latency, 6),
+            **({"error": error} if error else {}),
+        )
         if state == COMPLETED:
             self._histogram.record(latency)
             flagged = sum(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.obs.tracer import current_tracer
+from repro.obs.tracer import MAX_ATTRIBUTE_LENGTH, current_tracer
 
 from . import ast_nodes as ast
 from .analyzer import subquery_is_cacheable
@@ -120,12 +120,29 @@ _UNSET = object()
 VECTORIZED_DEFAULT = True
 
 
+#: Bumped on every :func:`set_vectorized_default` toggle. Engines tag
+#: their plan-label memo with the epoch they filled it under, turning
+#: "is my memo still valid?" into one int compare on the traced hot
+#: path instead of re-deriving the live mode per call.
+_VECTOR_EPOCH = 0
+
+
 def set_vectorized_default(enabled: bool) -> bool:
     """Set the process-wide vectorized default; returns the old value."""
-    global VECTORIZED_DEFAULT
+    global VECTORIZED_DEFAULT, _VECTOR_EPOCH
     previous = VECTORIZED_DEFAULT
     VECTORIZED_DEFAULT = bool(enabled)
+    _VECTOR_EPOCH += 1
     return previous
+
+
+def _clip_sql(sql: str) -> str:
+    """Clip SQL text to the tracer's attribute bound (``Tracer.leaf``
+    trusts callers to pre-clip; a single length check here keeps the
+    traced hot path from paying a generic per-attribute loop)."""
+    if len(sql) > MAX_ATTRIBUTE_LENGTH:
+        return sql[: MAX_ATTRIBUTE_LENGTH - 1] + "…"
+    return sql
 
 
 class Engine:
@@ -159,6 +176,14 @@ class Engine:
         # id(statement) -> (statement, fingerprint, CompiledSelect | None);
         # None records "not vectorizable" so rejection is also memoized.
         self._vector_plans: dict[int, tuple] = {}
+        # sql -> plan label, valid for the epoch it was filled under
+        # (``naive``/``vectorized=`` are per-engine constants; only the
+        # process-wide vectorized default can shift underneath us). The
+        # traced hot path asks on every execution — uncached it costs
+        # more than recording the span itself (normalize + plan-cache
+        # lock + summary).
+        self._plan_labels: dict[str, str] = {}
+        self._plan_label_epoch = _VECTOR_EPOCH
 
     @property
     def vectorized(self) -> bool:
@@ -185,14 +210,17 @@ class Engine:
         try:
             result = self._execute_text(sql)
         except Exception as error:
-            tracer.record(
+            tracer.leaf(
                 "sql", "sql_execute", start, tracer.clock(),
-                status="error", sql=sql, error=type(error).__name__,
+                {"sql": _clip_sql(sql), "error": type(error).__name__},
+                status="error",
             )
             raise
-        tracer.record(
+        tracer.leaf(
             "sql", "sql_execute", start, tracer.clock(),
-            sql=sql, rows=len(result.rows), plan=self.plan_label(sql),
+            {"sql": sql if len(sql) <= MAX_ATTRIBUTE_LENGTH
+             else _clip_sql(sql),
+             "rows": len(result.rows), "plan": self.plan_label(sql)},
         )
         return result
 
@@ -205,8 +233,24 @@ class Engine:
         cold runs, result-cache hits, and after a runtime fallback, so
         span trees stay deterministic. Never raises (any failure while
         planning here simply reports ``"row"`` — the actual execution
-        surfaces the real error).
+        surfaces the real error). Memoized per sql text: the tracer
+        asks on every execution, and the label cannot change while the
+        mode stays fixed — a mode toggle bumps ``_VECTOR_EPOCH``, which
+        invalidates the whole memo.
         """
+        labels = self._plan_labels
+        if self._plan_label_epoch != _VECTOR_EPOCH:
+            labels.clear()
+            self._plan_label_epoch = _VECTOR_EPOCH
+        label = labels.get(sql)
+        if label is None:
+            label = self._plan_label_uncached(sql)
+            if len(labels) >= 4096:   # unbounded query texts
+                labels.clear()
+            labels[sql] = label
+        return label
+
+    def _plan_label_uncached(self, sql: str) -> str:
         try:
             if self.naive:
                 return "naive"

@@ -10,15 +10,19 @@ order. The autouse fixture below zeroes all of it around every test.
 
 import pytest
 
+from repro.obs.logging import reset_logging
 from repro.obs.tracer import set_default_tracer
 from repro.sqlengine import reset_engine_stats
 
 
 @pytest.fixture(autouse=True)
 def _fresh_process_counters():
-    """Zero engine/analyzer counters and clear the ambient tracer."""
+    """Zero engine/analyzer counters, clear the ambient tracer, and
+    drop any log sinks the previous test left installed."""
     reset_engine_stats()
+    reset_logging()
     previous = set_default_tracer(None)
     yield
     set_default_tracer(previous)
+    reset_logging()
     reset_engine_stats()
